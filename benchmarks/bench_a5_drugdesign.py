@@ -1,0 +1,74 @@
+"""Assignment 5's measurement protocol — the paper's only performance
+experiment (sequential vs OpenMP vs C++11-threads; threads 4→5; max
+ligand 5→7; program size vs performance).
+
+Shape criteria on the simulated Pi (absolute numbers are ours, shapes are
+the paper's): the parallel solutions beat sequential by roughly the core
+count; five threads is not slower than four; raising max ligand from 5
+to 7 raises every runtime; the sequential program is the shortest.
+"""
+
+import pytest
+
+from repro.drugdesign import DrugDesignConfig, run_assignment5
+
+
+def test_a5_baseline_three_solutions(benchmark):
+    report = benchmark(run_assignment5, DrugDesignConfig(n_ligands=120, max_ligand=5))
+
+    print()
+    print(report.render())
+
+    assert report.answers_agree()
+    seq = report.measurements["sequential"]
+    omp = report.measurements["openmp"]
+    cxx = report.measurements["cxx11_threads"]
+    # Who wins: the parallel styles, by roughly the core count (4x ideal;
+    # allow scheduling overheads + contention to eat some of it).
+    assert report.fastest_simulated in ("openmp", "cxx11_threads")
+    assert 2.0 < seq.simulated_us / omp.simulated_us <= 4.0
+    assert 2.0 < seq.simulated_us / cxx.simulated_us <= 4.0
+    # Program size vs performance: shortest program is the slowest.
+    assert seq.lines_of_code < omp.lines_of_code
+    assert seq.lines_of_code < cxx.lines_of_code
+
+
+def test_a5_five_threads(benchmark):
+    report4 = run_assignment5(DrugDesignConfig(n_ligands=120, num_threads=4))
+    report5 = benchmark(run_assignment5,
+                        DrugDesignConfig(n_ligands=120, num_threads=5))
+
+    print()
+    print(report5.render())
+
+    assert report5.answers_agree()
+    assert (
+        report5.measurements["openmp"].simulated_us
+        <= report4.measurements["openmp"].simulated_us * 1.05
+    )
+    # Sequential time is unaffected by the thread count.
+    assert report5.measurements["sequential"].simulated_us == pytest.approx(
+        report4.measurements["sequential"].simulated_us
+    )
+
+
+def test_a5_max_ligand_7(benchmark):
+    base = run_assignment5(DrugDesignConfig(n_ligands=120, max_ligand=5))
+    bigger = benchmark(run_assignment5,
+                       DrugDesignConfig(n_ligands=120, max_ligand=7))
+
+    print()
+    print(bigger.render())
+
+    # More work for every style, and the parallel styles still win.
+    for style in ("sequential", "openmp", "cxx11_threads"):
+        assert (
+            bigger.measurements[style].simulated_us
+            > base.measurements[style].simulated_us
+        )
+    assert bigger.fastest_simulated in ("openmp", "cxx11_threads")
+    # Longer ligands can only raise the best LCS score.
+    assert (
+        bigger.measurements["sequential"].result.max_score
+        >= base.measurements["sequential"].result.max_score
+    )

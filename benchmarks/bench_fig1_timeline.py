@@ -1,0 +1,31 @@
+"""Fig. 1 — the semester timeline.
+
+Regenerates the schedule figure and asserts its structure: 15 weeks,
+team formation in week 1, five back-to-back two-week assignments, a quiz
+after each, the midterm + first survey at the mid-point and the final +
+second survey in week 15.
+"""
+
+from repro.course.timeline import EventKind, paper_timeline
+from repro.reporting import render_fig1_timeline
+
+
+def test_fig1_timeline(benchmark, report):
+    semester = benchmark(paper_timeline)
+
+    print()
+    print(render_fig1_timeline(semester))
+
+    assert semester.n_weeks == 15
+    assignments = semester.of_kind(EventKind.ASSIGNMENT)
+    assert len(assignments) == 5
+    assert all(a.duration_weeks == 2 for a in assignments)
+    assert assignments[0].start_week == 2
+    assert assignments[-1].end_week == 11
+    assert semester.of_kind(EventKind.TEAM_FORMATION)[0].start_week == 1
+    assert semester.survey_weeks == (8, 15)
+    assert semester.of_kind(EventKind.MIDTERM)[0].start_week == 8
+    assert semester.of_kind(EventKind.FINAL)[0].start_week == 15
+    assert len(semester.of_kind(EventKind.QUIZ)) == 5
+    # The report's figure renderer agrees with the timeline object.
+    assert "survey 2" in report.render_figure("fig1")

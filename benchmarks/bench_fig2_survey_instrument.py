@@ -1,0 +1,40 @@
+"""Fig. 2 — the Team Design Skills Growth Survey instrument sheet.
+
+Regenerates the survey element figure and asserts the instrument's
+structure: seven elements, the Fig.-2 Teamwork wording verbatim, a
+definition item plus performance-indicator components per element, and
+the two verbatim 5-point scales.
+"""
+
+from repro.reporting import render_fig2_instrument
+from repro.survey import (
+    CLASS_EMPHASIS_SCALE,
+    ELEMENT_NAMES,
+    PERSONAL_GROWTH_SCALE,
+    team_design_skills_survey,
+)
+
+
+def test_fig2_survey_instrument(benchmark):
+    instrument = benchmark(team_design_skills_survey)
+
+    print()
+    print(render_fig2_instrument(instrument))
+
+    assert instrument.element_names == ELEMENT_NAMES
+    assert instrument.n_items == 35
+
+    teamwork = instrument.element("Teamwork")
+    assert teamwork.definition.text == (
+        "Individuals participate effectively in groups or teams."
+    )
+    assert len(teamwork.components) == 4
+
+    assert CLASS_EMPHASIS_SCALE.label(1) == "Did not discuss"
+    assert PERSONAL_GROWTH_SCALE.label(5) == (
+        "I experienced a tremendous growth and added many new skills"
+    )
+
+    rendered = render_fig2_instrument(instrument)
+    assert "definition" in rendered
+    assert "CE" in rendered and "PG" in rendered

@@ -1,0 +1,84 @@
+"""Assignment 5's MapReduce examples: throughput + semantics under faults.
+
+Benchmarks the engine on a synthetic corpus across worker counts and with
+fault injection; shape criteria: output equals the sequential reference
+in every configuration, the combiner cuts shuffle volume, and
+re-execution recovers every injected failure.
+"""
+
+import random
+
+from repro.mapreduce import (
+    MapReduceEngine,
+    MapReduceSpec,
+    TaskFailure,
+    inverted_index_job,
+    word_count_job,
+)
+
+_WORDS = ("map", "reduce", "shard", "worker", "key", "value", "shuffle", "sort")
+
+
+def _corpus(n_docs=200, words_per_doc=40, seed=9):
+    rng = random.Random(seed)
+    return [
+        (f"doc{i:04d}", " ".join(rng.choice(_WORDS) for _ in range(words_per_doc)))
+        for i in range(n_docs)
+    ]
+
+
+CORPUS = _corpus()
+REFERENCE = MapReduceEngine(n_workers=1).run_sequential(word_count_job(), CORPUS)
+
+
+def test_word_count_throughput(benchmark):
+    engine = MapReduceEngine(n_workers=4)
+    result = benchmark(engine.run, word_count_job(), CORPUS)
+    assert result.output == REFERENCE.output
+    total = sum(result.as_dict().values())
+    assert total == 200 * 40
+
+
+def test_word_count_single_worker(benchmark):
+    engine = MapReduceEngine(n_workers=1)
+    result = benchmark(engine.run, word_count_job(), CORPUS)
+    assert result.output == REFERENCE.output
+
+
+def test_word_count_with_fault_injection(benchmark):
+    failures = [TaskFailure("map", i, 0) for i in range(4)] + [
+        TaskFailure("reduce", 0, 0)
+    ]
+
+    def run():
+        return MapReduceEngine(n_workers=4, failures=failures).run(
+            word_count_job(), CORPUS
+        )
+
+    result = benchmark(run)
+    assert result.output == REFERENCE.output
+    assert result.retries == 5
+
+
+def test_combiner_shuffle_reduction(benchmark):
+    spec_no_combiner = MapReduceSpec(
+        name="wc_nocomb",
+        mapper=word_count_job().mapper,
+        reducer=word_count_job().reducer,
+    )
+    engine = MapReduceEngine(n_workers=4)
+    with_combiner = engine.run(word_count_job(), CORPUS, n_map_tasks=8)
+    without = benchmark(engine.run, spec_no_combiner, CORPUS, 8)
+    print()
+    print(f"intermediate pairs: combiner={with_combiner.intermediate_pairs} "
+          f"vs none={without.intermediate_pairs}")
+    assert with_combiner.intermediate_pairs < without.intermediate_pairs / 10
+    assert with_combiner.as_dict() == without.as_dict()
+
+
+def test_inverted_index(benchmark):
+    engine = MapReduceEngine(n_workers=4)
+    result = benchmark(engine.run, inverted_index_job(), CORPUS[:50])
+    index = result.as_dict()
+    for word, docs in index.items():
+        assert docs == tuple(sorted(set(docs), key=repr))

@@ -1,0 +1,87 @@
+"""The Assignments 2–4 programs: runtime execution + simulated-Pi shapes.
+
+Times each patternlet on the real thread runtime, and checks the
+performance *shapes* Assignment 3's scheduling questions are about on the
+simulated Pi: balanced loops near-linear, block-static poor on triangular
+work, chunked/dynamic fixing it, dynamic chunk overhead visible.
+"""
+
+import math
+
+from repro.openmp import Schedule
+from repro.patternlets import (
+    run_barrier_demo,
+    run_fork_join,
+    run_master_worker,
+    run_race_demo,
+    run_reduction_loop,
+    run_scheduling_demo,
+    run_spmd,
+    trapezoid_parallel,
+)
+from repro.rpi import SimulatedPi
+
+
+def test_fork_join_and_spmd(benchmark):
+    demo = benchmark(run_fork_join, 4)
+    assert len(demo.during) == 4
+    assert run_spmd(4).thread_ids == (0, 1, 2, 3)
+
+
+def test_race_demo(benchmark):
+    demo = benchmark(run_race_demo, 4, 100)
+    print()
+    print(demo.render())
+    assert demo.racy_races_detected > 0
+    assert demo.private_total == demo.expected_total
+
+
+def test_reduction_loop(benchmark):
+    demo = benchmark(run_reduction_loop, 4, 500)
+    assert demo.reduction_matches_sequential
+
+
+def test_trapezoid(benchmark):
+    result = benchmark(trapezoid_parallel, math.sin, 0.0, math.pi, 1 << 12, 4)
+    assert abs(result.value - 2.0) < 1e-5
+
+
+def test_barrier_and_master_worker(benchmark):
+    demo = benchmark(run_barrier_demo, 4)
+    assert demo.barrier_respected
+    mw = run_master_worker(list(range(40)), lambda x: x * x, 4)
+    assert mw.results == tuple(x * x for x in range(40))
+
+
+def test_scheduling_demo_shapes(benchmark):
+    demo = benchmark(run_scheduling_demo, 4, 12)
+    print()
+    for key in ("static,1", "static,2", "static,3"):
+        print(demo.traces[key].render())
+    assert set(demo.traces) == {
+        f"{kind},{chunk}" for kind in ("static", "dynamic") for chunk in (1, 2, 3)
+    }
+
+
+def test_simulated_speedup_shapes(benchmark):
+    """The three shapes Assignment 3 teaches, as assertions."""
+    pi = SimulatedPi()
+    balanced = [10.0] * 1000
+    triangular = [float(i) / 10 for i in range(1000)]
+
+    curve = benchmark(pi.speedup_curve, balanced)
+    print()
+    print("balanced loop speedup:", [round(c.speedup, 2) for c in curve])
+    assert curve[-1].speedup > 3.0
+
+    block = pi.cost_loop(triangular, Schedule.static())
+    cyclic = pi.cost_loop(triangular, Schedule.static(chunk=1))
+    dynamic = pi.cost_loop(triangular, Schedule.dynamic(4))
+    print("triangular:", block, cyclic, dynamic, sep="\n  ")
+    assert block.load_imbalance > 0.5
+    assert cyclic.elapsed_us < block.elapsed_us
+    assert dynamic.elapsed_us < block.elapsed_us
+
+    d1 = pi.cost_loop(balanced, Schedule.dynamic(1))
+    d8 = pi.cost_loop(balanced, Schedule.dynamic(8))
+    assert d8.elapsed_us < d1.elapsed_us  # chunking amortises the counter

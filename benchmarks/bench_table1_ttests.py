@@ -1,0 +1,46 @@
+"""Table 1 — paired t-tests on Class Emphasis and Personal Growth.
+
+Regenerates both rows of Table 1 from raw item-level responses: scoring
+(overall averages per student per wave) followed by paired t-tests.
+
+Shape criteria (the paper's t/p are internally inconsistent; see
+EXPERIMENTS.md): both mean differences negative (second half higher) and
+both tests significant, with the growth effect stronger than the emphasis
+effect — who-wins and direction, exactly as published.
+"""
+
+from repro.stats.ttest import ttest_paired
+from repro.survey.scales import Category
+from repro.survey.scoring import cohort_scores
+
+
+def _table1(waves):
+    rows = {}
+    for category in Category:
+        first = cohort_scores(waves["first_half"], category)
+        second = cohort_scores(waves["second_half"], category)
+        rows[category.value] = ttest_paired(list(first.overall), list(second.overall))
+    return rows
+
+
+def test_table1_ttests(benchmark, study_result, report, fidelity):
+    rows = benchmark(_table1, study_result.waves)
+
+    print()
+    print(report.render_table("table1"))
+
+    emphasis = rows["class_emphasis"]
+    growth = rows["personal_growth"]
+    # Direction: scores rose in the second half of the semester.
+    assert emphasis.mean_difference < 0
+    assert growth.mean_difference < 0
+    # Magnitudes match the published mean differences.
+    assert abs(emphasis.mean_difference - (-0.10)) < 0.02
+    assert abs(growth.mean_difference - (-0.20)) < 0.02
+    # Significance, and growth stronger than emphasis (paper: |t| 5.11 > 2.63).
+    assert emphasis.p_value < 0.05 and growth.p_value < 0.05
+    assert abs(growth.t) > abs(emphasis.t)
+    assert emphasis.n == growth.n == 124
+    for name in ("table1.emphasis.direction", "table1.emphasis.significant",
+                 "table1.growth.direction", "table1.growth.significant"):
+        assert fidelity[name].passed, fidelity[name]

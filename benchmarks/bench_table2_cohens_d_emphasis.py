@@ -1,0 +1,34 @@
+"""Table 2 — Cohen's d of Course Emphasis.
+
+Regenerates the per-wave M/SD/n rows and the effect size with the paper's
+exact pooled-SD formula.  Shape criteria: wave means/SDs within
+publication tolerance of the printed values and d in the 'medium' band
+(paper: d = 0.50).
+"""
+
+from repro.stats.effectsize import cohens_d_paper
+from repro.survey.scales import Category
+from repro.survey.scoring import cohort_scores
+
+
+def _table2(waves):
+    first = cohort_scores(waves["first_half"], Category.CLASS_EMPHASIS)
+    second = cohort_scores(waves["second_half"], Category.CLASS_EMPHASIS)
+    return cohens_d_paper(list(first.overall), list(second.overall))
+
+
+def test_table2_cohens_d_emphasis(benchmark, study_result, report, fidelity):
+    result = benchmark(_table2, study_result.waves)
+
+    print()
+    print(report.render_table("table2"))
+
+    assert abs(result.mean1 - 4.023068) < 0.01
+    assert abs(result.mean2 - 4.124365) < 0.01
+    assert abs(result.sd1 - 0.232416) < 0.01
+    assert abs(result.sd2 - 0.172052) < 0.01
+    assert result.n1 == result.n2 == 124
+    assert abs(result.d - 0.50) < 0.1
+    assert result.interpretation == "medium"
+    assert fidelity["table2.effect_band"].passed
+    assert fidelity["table2.d_close"].passed

@@ -1,0 +1,33 @@
+"""Table 3 — Cohen's d of Personal Growth.
+
+Shape criteria: wave means/SDs near the printed values and a *large*
+effect (paper: d = 0.86) — the paper's headline result ("a significant
+and direct effect on the student's growth").
+"""
+
+from repro.stats.effectsize import cohens_d_paper
+from repro.survey.scales import Category
+from repro.survey.scoring import cohort_scores
+
+
+def _table3(waves):
+    first = cohort_scores(waves["first_half"], Category.PERSONAL_GROWTH)
+    second = cohort_scores(waves["second_half"], Category.PERSONAL_GROWTH)
+    return cohens_d_paper(list(first.overall), list(second.overall))
+
+
+def test_table3_cohens_d_growth(benchmark, study_result, report, fidelity):
+    result = benchmark(_table3, study_result.waves)
+
+    print()
+    print(report.render_table("table3"))
+
+    assert abs(result.mean1 - 3.81) < 0.02
+    assert abs(result.mean2 - 4.01) < 0.02
+    assert abs(result.sd1 - 0.262204) < 0.01
+    assert abs(result.sd2 - 0.198497) < 0.01
+    assert abs(result.d - 0.86) < 0.15
+    assert result.interpretation == "large"
+    # The ordering the Discussion leans on: growth effect > emphasis effect.
+    assert fidelity["table3.effect_band"].passed
+    assert fidelity["table3.d_close"].passed

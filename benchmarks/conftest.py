@@ -1,0 +1,35 @@
+"""Shared state for the benchmark harness.
+
+Every table/figure bench consumes the same deterministic study run; it is
+computed once per session.  Each bench (a) times the regeneration of its
+artefact with pytest-benchmark and (b) prints the paper-vs-ours table so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section on the terminal, and (c) asserts the fidelity checks that artefact
+is responsible for.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PBLStudy, ReproductionReport
+
+
+@pytest.fixture(scope="session")
+def study():
+    return PBLStudy.default(seed=2018)
+
+
+@pytest.fixture(scope="session")
+def study_result(study):
+    return study.run()
+
+
+@pytest.fixture(scope="session")
+def report(study, study_result):
+    return ReproductionReport(analysis=study_result.analysis, paper=study.paper)
+
+
+@pytest.fixture(scope="session")
+def fidelity(report):
+    return {check.name: check for check in report.fidelity_checks()}

@@ -1,0 +1,41 @@
+"""Assignment 5's drug-design lab: the full measurement protocol.
+
+Usage::
+
+    python examples/drug_design_lab.py
+
+Runs the sequential / OpenMP / C++11-threads solutions, answers the
+assignment's questions (fastest approach, lines of code, 5 threads, max
+ligand 7), and prints the speedup curve on the simulated Pi.
+"""
+
+from __future__ import annotations
+
+from repro.drugdesign import DrugDesignConfig, run_assignment5
+from repro.drugdesign.ligands import DEFAULT_PROTEIN, generate_ligands
+from repro.drugdesign.scoring import dp_cells
+from repro.openmp import Schedule
+from repro.rpi import SimulatedPi
+
+
+def main() -> None:
+    print("baseline: 120 ligands, max length 5, 4 threads")
+    base = run_assignment5(DrugDesignConfig())
+    print(base.render())
+
+    print("\nQ: increase the number of threads to 5 — what is the run time?")
+    print(run_assignment5(DrugDesignConfig(num_threads=5)).render())
+
+    print("\nQ: increase the maximum ligand length to 7 and rerun.")
+    print(run_assignment5(DrugDesignConfig(max_ligand=7)).render())
+
+    print("\nspeedup curve on the simulated Pi (dynamic, chunk=1):")
+    ligands = generate_ligands(120, 5)
+    costs = [dp_cells(l, DEFAULT_PROTEIN) * 0.01 for l in ligands]
+    for costed in SimulatedPi().speedup_curve(costs, Schedule.dynamic(1)):
+        bar = "#" * int(round(costed.speedup * 10))
+        print(f"  {costed.num_threads} threads: speedup {costed.speedup:4.2f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

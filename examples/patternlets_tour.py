@@ -1,0 +1,84 @@
+"""A tour of the Assignments 2–4 parallel patternlets.
+
+Usage::
+
+    python examples/patternlets_tour.py
+
+Runs every patternlet a student team would run on its Raspberry Pi —
+fork-join, SPMD, the data race (with detection), loop scheduling,
+reduction, trapezoidal integration, barrier coordination, master-worker —
+printing each program's observable behaviour, plus the simulated-Pi
+schedule comparison from Assignment 3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.openmp import Schedule
+from repro.patternlets import (
+    run_barrier_demo,
+    run_equal_chunks,
+    run_fork_join,
+    run_master_worker,
+    run_race_demo,
+    run_reduction_loop,
+    run_scheduling_demo,
+    run_spmd,
+    trapezoid_parallel,
+    trapezoid_sequential,
+)
+from repro.rpi import RaspberryPi3BPlus, SimulatedPi
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    pi = RaspberryPi3BPlus()
+    print(f"simulated board: {pi.soc.name}, {pi.n_cores} cores "
+          f"@ {pi.soc.clock_ghz} GHz, {pi.ram_mib} MiB RAM")
+
+    banner("A2.1 fork-join")
+    print(run_fork_join(num_threads=4).render())
+
+    banner("A2.2 SPMD")
+    print(run_spmd(num_threads=4).render())
+
+    banner("A2.3 shared memory concerns (the data race)")
+    print(run_race_demo(num_threads=4, increments_per_thread=200).render())
+
+    banner("A3.1 running loops in parallel (equal chunks)")
+    print(run_equal_chunks(num_threads=4, n_iterations=16).render())
+
+    banner("A3.2 loop scheduling (chunks of 1, 2, 3; static and dynamic)")
+    demo = run_scheduling_demo(num_threads=4, n_iterations=12)
+    for key in ("static,1", "static,2", "static,3", "dynamic,2"):
+        print(demo.traces[key].render())
+
+    banner("A3.3 when loops have dependencies (reduction)")
+    print(run_reduction_loop(num_threads=4, n=1000).render())
+
+    banner("A4.1 trapezoidal integration")
+    seq = trapezoid_sequential(math.sin, 0.0, math.pi, 1 << 14)
+    par = trapezoid_parallel(math.sin, 0.0, math.pi, 1 << 14, num_threads=4)
+    print(f"integral of sin over [0, pi]: sequential={seq.value:.10f} "
+          f"parallel={par.value:.10f} (exact: 2)")
+
+    banner("A4.2 barrier coordination")
+    print(run_barrier_demo(num_threads=4).render())
+
+    banner("A4.3 master-worker")
+    print(run_master_worker(list(range(20)), lambda x: x * x, num_threads=4).render())
+
+    banner("simulated-Pi schedule comparison (imbalanced loop)")
+    machine = SimulatedPi()
+    triangular = [float(i) / 10 for i in range(1000)]
+    for schedule in (Schedule.static(), Schedule.static(chunk=1),
+                     Schedule.dynamic(4), Schedule.guided()):
+        print(f"  {machine.cost_loop(triangular, schedule)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""pblkit — reproduction of the IPPS 2019 PBL parallel-programming case study.
+
+The package is organised as a set of substrates (statistics, survey
+instrument, cohort/team formation, OpenMP-style runtime, patternlets,
+simulated Raspberry Pi, MapReduce, MPI-style message passing, drug-design
+exemplar, teamwork technologies) and a core driver (:mod:`repro.core`) that
+runs the full study and regenerates every table and figure in the paper.
+
+Quickstart::
+
+    from repro.core import PBLStudy
+    study = PBLStudy.default(seed=2018)
+    report = study.run()
+    print(report.render_table("table1"))
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,181 @@
+"""Flynn's taxonomy as four executable machine models.
+
+Each machine runs a tiny element-wise kernel and reports how many
+instruction streams and data streams it used — making the taxonomy's
+definitions checkable instead of memorised:
+
+- **SISD** — one instruction stream, one data stream: a scalar loop.
+- **SIMD** — one instruction stream applied to many lanes per step
+  (lock-step): a vector unit.
+- **MISD** — many instruction streams over one data stream: redundant /
+  pipelined processing of the same input (the rare one; systolic arrays
+  and fault-tolerant voters are the textbook examples).
+- **MIMD** — many instruction streams, many data streams: independent
+  cores, like the Pi's four A53s.
+
+All four produce per-step execution traces, so tests can assert e.g.
+SIMD's lock-step property (every lane executes the same op each step)
+and MIMD's independence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "StepTrace",
+    "MachineRun",
+    "SISDMachine",
+    "SIMDMachine",
+    "MISDMachine",
+    "MIMDMachine",
+    "classify",
+]
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """One time step: which (instruction, data index) pairs ran."""
+
+    step: int
+    ops: tuple[tuple[str, int], ...]   # (instruction label, data index)
+
+
+@dataclass(frozen=True)
+class MachineRun:
+    """Result + trace of one kernel execution."""
+
+    taxonomy: str
+    output: tuple[object, ...]
+    trace: tuple[StepTrace, ...]
+    instruction_streams: int
+    data_streams: int
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.trace)
+
+
+class SISDMachine:
+    """One PE, one instruction stream, one data stream."""
+
+    taxonomy = "SISD"
+
+    def run(self, op: Callable[[object], object], data: Sequence[object]) -> MachineRun:
+        out = []
+        trace = []
+        for step, x in enumerate(data):
+            out.append(op(x))
+            trace.append(StepTrace(step=step, ops=((op.__name__, step),)))
+        return MachineRun(
+            taxonomy=self.taxonomy,
+            output=tuple(out),
+            trace=tuple(trace),
+            instruction_streams=1,
+            data_streams=1,
+        )
+
+
+class SIMDMachine:
+    """One instruction stream broadcast to ``n_lanes`` in lock-step."""
+
+    taxonomy = "SIMD"
+
+    def __init__(self, n_lanes: int = 4) -> None:
+        if n_lanes < 1:
+            raise ValueError(f"n_lanes must be >= 1, got {n_lanes}")
+        self.n_lanes = n_lanes
+
+    def run(self, op: Callable[[object], object], data: Sequence[object]) -> MachineRun:
+        out: list[object] = [None] * len(data)
+        trace = []
+        for step, start in enumerate(range(0, len(data), self.n_lanes)):
+            lane_ops = []
+            for index in range(start, min(start + self.n_lanes, len(data))):
+                out[index] = op(data[index])   # same op, every lane, same step
+                lane_ops.append((op.__name__, index))
+            trace.append(StepTrace(step=step, ops=tuple(lane_ops)))
+        return MachineRun(
+            taxonomy=self.taxonomy,
+            output=tuple(out),
+            trace=tuple(trace),
+            instruction_streams=1,
+            data_streams=self.n_lanes,
+        )
+
+
+class MISDMachine:
+    """Many instruction streams over one data stream.
+
+    Each datum flows through *all* units; the output per datum is the
+    tuple of every unit's result (the fault-tolerant-voter reading).
+    """
+
+    taxonomy = "MISD"
+
+    def run(
+        self, ops: Sequence[Callable[[object], object]], data: Sequence[object]
+    ) -> MachineRun:
+        if not ops:
+            raise ValueError("MISD needs at least one instruction stream")
+        out = []
+        trace = []
+        for step, x in enumerate(data):
+            results = tuple(op(x) for op in ops)
+            out.append(results)
+            trace.append(
+                StepTrace(step=step, ops=tuple((op.__name__, step) for op in ops))
+            )
+        return MachineRun(
+            taxonomy=self.taxonomy,
+            output=tuple(out),
+            trace=tuple(trace),
+            instruction_streams=len(ops),
+            data_streams=1,
+        )
+
+
+class MIMDMachine:
+    """Independent processors, each with its own program and data."""
+
+    taxonomy = "MIMD"
+
+    def run(
+        self,
+        programs: Sequence[Callable[[Sequence[object]], object]],
+        data_streams: Sequence[Sequence[object]],
+    ) -> MachineRun:
+        if len(programs) != len(data_streams):
+            raise ValueError(
+                f"{len(programs)} programs for {len(data_streams)} data streams"
+            )
+        out = tuple(prog(data) for prog, data in zip(programs, data_streams))
+        trace = (
+            StepTrace(
+                step=0,
+                ops=tuple((prog.__name__, i) for i, prog in enumerate(programs)),
+            ),
+        )
+        return MachineRun(
+            taxonomy=self.taxonomy,
+            output=out,
+            trace=trace,
+            instruction_streams=len(programs),
+            data_streams=len(data_streams),
+        )
+
+
+def classify(instruction_streams: int, data_streams: int) -> str:
+    """Flynn classification from stream counts (Assignment 3's question)."""
+    if instruction_streams < 1 or data_streams < 1:
+        raise ValueError("stream counts must be >= 1")
+    single_i = instruction_streams == 1
+    single_d = data_streams == 1
+    if single_i and single_d:
+        return "SISD"
+    if single_i:
+        return "SIMD"
+    if single_d:
+        return "MISD"
+    return "MIMD"

@@ -1,0 +1,520 @@
+"""A tiny RISC (ARM-like) vs CISC (x86-like) machine pair.
+
+CSc 3210 teaches Intel x86; the paper chose the Pi partly to expose
+students to ARM and have them "compare it with Intel X86 in terms of data
+movement, instruction encoding, immediate value representation, and
+memory layout".  This module makes that comparison executable with two
+miniature machines that share a word size (32-bit) and endianness
+(little), and differ exactly where the real ISAs differ:
+
+==================  ===========================  ==========================
+aspect              RISC-mini (ARM-like)          CISC-mini (x86-like)
+==================  ===========================  ==========================
+data movement       load/store only — ALU ops     memory operands allowed —
+                    touch registers               ``ADD r, [mem]`` in one op
+encoding            fixed 4 bytes/instruction     variable 2–7 bytes
+immediates          12-bit inline; larger values  full 32-bit inline
+                    need a MOVW/MOVT pair
+registers           16 (r0..r15)                  8 (a..h)
+==================  ===========================  ==========================
+
+Both assemblers produce real byte encodings (inspectable hexdumps) and
+both interpreters execute them against a little-endian byte-addressed
+memory, so "sum an array" runs on each and the tests assert the two
+machines compute the same value through genuinely different instruction
+streams.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "Instruction",
+    "RISCMachine",
+    "CISCMachine",
+    "assemble_risc",
+    "assemble_cisc",
+    "sum_array_risc",
+    "sum_array_cisc",
+    "compare_isas",
+    "ISAComparison",
+]
+
+WORD = 4
+RISC_IMM_BITS = 12
+RISC_IMM_MAX = (1 << RISC_IMM_BITS) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction: mnemonic + operands + its encoding."""
+
+    mnemonic: str
+    operands: tuple[object, ...]
+    encoding: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.encoding)
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(o) for o in self.operands)
+        return f"{self.mnemonic:6s} {ops:20s} ; {self.encoding.hex()}"
+
+
+# ---------------------------------------------------------------------------
+# RISC-mini
+# ---------------------------------------------------------------------------
+
+_RISC_OPCODES = {
+    "MOVW": 0x01,   # rd, imm12           (low half)
+    "MOVT": 0x02,   # rd, imm12           (shifted into high bits)
+    "ADD": 0x03,    # rd, rn, rm
+    "SUB": 0x04,
+    "ADDI": 0x05,   # rd, rn, imm12
+    "LDR": 0x06,    # rd, [rn, imm12]
+    "STR": 0x07,    # rs, [rn, imm12]
+    "CMP": 0x08,    # rn, rm
+    "BNE": 0x09,    # imm12 (absolute instruction index)
+    "HALT": 0x0A,
+}
+
+
+def _risc_encode(op: str, a: int = 0, b: int = 0, imm: int = 0) -> bytes:
+    """Fixed 4-byte encoding: opcode(8) | ra(4) rb(4) | imm12 padded."""
+    if not 0 <= imm <= RISC_IMM_MAX:
+        raise ValueError(f"RISC immediate {imm} exceeds {RISC_IMM_BITS} bits")
+    if not (0 <= a < 16 and 0 <= b < 16):
+        raise ValueError("RISC register out of range")
+    word = (_RISC_OPCODES[op] << 24) | (a << 20) | (b << 16) | imm
+    return struct.pack("<I", word)
+
+
+def assemble_risc(program: Sequence[tuple]) -> list[Instruction]:
+    """Assemble RISC-mini source.
+
+    Source lines are tuples: ``("ADD", rd, rn, rm)``, ``("LDI", rd, imm32)``
+    (a pseudo-instruction that expands to MOVW/MOVT when the immediate
+    does not fit 12 bits — the ARM idiom), ``("LDR", rd, rn, off)``,
+    ``("BNE", target_index)``, ``("HALT",)``, ...
+    """
+    out: list[Instruction] = []
+    for line in program:
+        op, *args = line
+        if op == "LDI":
+            rd, imm = args
+            if imm < 0 or imm > 0xFFFFFFFF:
+                raise ValueError(f"immediate {imm} out of 32-bit range")
+            if imm <= RISC_IMM_MAX:
+                out.append(Instruction("MOVW", (rd, imm), _risc_encode("MOVW", rd, 0, imm)))
+            else:
+                low = imm & RISC_IMM_MAX
+                high = imm >> RISC_IMM_BITS
+                if high > RISC_IMM_MAX:
+                    raise ValueError(
+                        f"immediate {imm} needs more than 24 bits; RISC-mini "
+                        "cannot represent it in two instructions"
+                    )
+                out.append(Instruction("MOVW", (rd, low), _risc_encode("MOVW", rd, 0, low)))
+                out.append(Instruction("MOVT", (rd, high), _risc_encode("MOVT", rd, 0, high)))
+        elif op in ("ADD", "SUB"):
+            rd, rn, rm = args
+            out.append(Instruction(op, (rd, rn, rm), _risc_encode(op, rd, rn, rm)))
+        elif op == "ADDI":
+            rd, rn, imm = args
+            out.append(Instruction(op, (rd, rn, imm), _risc_encode(op, rd, rn, imm)))
+        elif op in ("LDR", "STR"):
+            r, rn, off = args
+            out.append(Instruction(op, (r, rn, off), _risc_encode(op, r, rn, off)))
+        elif op == "CMP":
+            rn, rm = args
+            out.append(Instruction(op, (rn, rm), _risc_encode(op, rn, rm)))
+        elif op == "BNE":
+            (target,) = args
+            out.append(Instruction(op, (target,), _risc_encode(op, 0, 0, target)))
+        elif op == "HALT":
+            out.append(Instruction(op, (), _risc_encode(op)))
+        else:
+            raise ValueError(f"unknown RISC mnemonic {op!r}")
+    return out
+
+
+class RISCMachine:
+    """Interpreter for RISC-mini: 16 registers, load/store architecture."""
+
+    def __init__(self, memory_size: int = 4096) -> None:
+        self.registers = [0] * 16
+        self.memory = bytearray(memory_size)
+        self.zero_flag = False
+        self.instructions_executed = 0
+        self.loads = 0
+        self.stores = 0
+
+    def load_words(self, address: int, values: Sequence[int]) -> None:
+        for i, v in enumerate(values):
+            self.memory[address + i * WORD : address + (i + 1) * WORD] = struct.pack("<i", v)
+
+    def _read_word(self, address: int) -> int:
+        return struct.unpack_from("<i", self.memory, address)[0]
+
+    def _write_word(self, address: int, value: int) -> None:
+        struct.pack_into("<i", self.memory, address, value & 0xFFFFFFFF if value >= 0 else value)
+
+    def run(self, program: list[Instruction], max_steps: int = 1_000_000) -> None:
+        pc = 0
+        regs = self.registers
+        for _ in range(max_steps):
+            if pc >= len(program):
+                raise RuntimeError("fell off the end of the program (no HALT)")
+            instr = program[pc]
+            self.instructions_executed += 1
+            op, args = instr.mnemonic, instr.operands
+            if op == "MOVW":
+                regs[args[0]] = args[1]
+            elif op == "MOVT":
+                regs[args[0]] |= args[1] << RISC_IMM_BITS
+            elif op == "ADD":
+                regs[args[0]] = regs[args[1]] + regs[args[2]]
+            elif op == "SUB":
+                regs[args[0]] = regs[args[1]] - regs[args[2]]
+            elif op == "ADDI":
+                regs[args[0]] = regs[args[1]] + args[2]
+            elif op == "LDR":
+                regs[args[0]] = self._read_word(regs[args[1]] + args[2])
+                self.loads += 1
+            elif op == "STR":
+                self._write_word(regs[args[1]] + args[2], regs[args[0]])
+                self.stores += 1
+            elif op == "CMP":
+                self.zero_flag = regs[args[0]] == regs[args[1]]
+            elif op == "BNE":
+                if not self.zero_flag:
+                    pc = args[0]
+                    continue
+            elif op == "HALT":
+                return
+            else:  # pragma: no cover - assembler rejects unknowns
+                raise RuntimeError(f"bad instruction {op}")
+            pc += 1
+        raise RuntimeError(f"exceeded {max_steps} steps — infinite loop?")
+
+
+# ---------------------------------------------------------------------------
+# CISC-mini
+# ---------------------------------------------------------------------------
+
+_CISC_OPCODES = {
+    "MOVI": 0x10,      # reg <- imm32                  (2 + 4 bytes)
+    "MOVRM": 0x11,     # reg <- [reg + disp32]         (2 + 4 bytes)
+    "MOVMR": 0x12,     # [reg + disp32] <- reg         (2 + 4 bytes)
+    "ADDRM": 0x13,     # reg += [reg + disp32]         (2 + 4 bytes) memory operand!
+    "ADDRR": 0x14,     # reg += reg                    (2 bytes)
+    "ADDI": 0x15,      # reg += imm32                  (2 + 4 bytes)
+    "SUBRR": 0x16,     # reg -= reg                    (2 bytes)
+    "CMPRR": 0x17,     # flags <- reg == reg           (2 bytes)
+    "JNE": 0x18,       # jump to instruction index     (1 + 2 bytes)
+    "HALT": 0x19,      # 1 byte
+}
+
+
+def _modrm(a: int, b: int) -> int:
+    if not (0 <= a < 8 and 0 <= b < 8):
+        raise ValueError("CISC register out of range")
+    return (a << 3) | b
+
+
+def assemble_cisc(program: Sequence[tuple]) -> list[Instruction]:
+    """Assemble CISC-mini source (same tuple convention as the RISC one)."""
+    out: list[Instruction] = []
+    for line in program:
+        op, *args = line
+        code = _CISC_OPCODES.get(op)
+        if code is None:
+            raise ValueError(f"unknown CISC mnemonic {op!r}")
+        if op == "MOVI":
+            r, imm = args
+            enc = bytes([code, _modrm(r, 0)]) + struct.pack("<i", imm)
+        elif op in ("MOVRM", "MOVMR", "ADDRM"):
+            r, base, disp = args
+            enc = bytes([code, _modrm(r, base)]) + struct.pack("<i", disp)
+        elif op in ("ADDRR", "SUBRR", "CMPRR"):
+            ra, rb = args
+            enc = bytes([code, _modrm(ra, rb)])
+        elif op == "ADDI":
+            r, imm = args
+            enc = bytes([code, _modrm(r, 0)]) + struct.pack("<i", imm)
+        elif op == "JNE":
+            (target,) = args
+            enc = bytes([code]) + struct.pack("<H", target)
+        elif op == "HALT":
+            enc = bytes([code])
+        out.append(Instruction(op, tuple(args), enc))
+    return out
+
+
+class CISCMachine:
+    """Interpreter for CISC-mini: 8 registers, memory operands allowed."""
+
+    def __init__(self, memory_size: int = 4096) -> None:
+        self.registers = [0] * 8
+        self.memory = bytearray(memory_size)
+        self.zero_flag = False
+        self.instructions_executed = 0
+        self.memory_operand_ops = 0
+
+    def load_words(self, address: int, values: Sequence[int]) -> None:
+        for i, v in enumerate(values):
+            struct.pack_into("<i", self.memory, address + i * WORD, v)
+
+    def _read_word(self, address: int) -> int:
+        return struct.unpack_from("<i", self.memory, address)[0]
+
+    def run(self, program: list[Instruction], max_steps: int = 1_000_000) -> None:
+        pc = 0
+        regs = self.registers
+        for _ in range(max_steps):
+            if pc >= len(program):
+                raise RuntimeError("fell off the end of the program (no HALT)")
+            instr = program[pc]
+            self.instructions_executed += 1
+            op, args = instr.mnemonic, instr.operands
+            if op == "MOVI":
+                regs[args[0]] = args[1]
+            elif op == "MOVRM":
+                regs[args[0]] = self._read_word(regs[args[1]] + args[2])
+                self.memory_operand_ops += 1
+            elif op == "MOVMR":
+                struct.pack_into("<i", self.memory, regs[args[1]] + args[2], regs[args[0]])
+                self.memory_operand_ops += 1
+            elif op == "ADDRM":
+                regs[args[0]] += self._read_word(regs[args[1]] + args[2])
+                self.memory_operand_ops += 1
+            elif op == "ADDRR":
+                regs[args[0]] += regs[args[1]]
+            elif op == "ADDI":
+                regs[args[0]] += args[1]
+            elif op == "SUBRR":
+                regs[args[0]] -= regs[args[1]]
+            elif op == "CMPRR":
+                self.zero_flag = regs[args[0]] == regs[args[1]]
+            elif op == "JNE":
+                if not self.zero_flag:
+                    pc = args[0]
+                    continue
+            elif op == "HALT":
+                return
+            pc += 1
+        raise RuntimeError(f"exceeded {max_steps} steps — infinite loop?")
+
+
+# ---------------------------------------------------------------------------
+# The comparison kernel: sum an n-element array at a given address.
+# ---------------------------------------------------------------------------
+
+def sum_array_risc(n: int, base: int = 256) -> list[Instruction]:
+    """RISC-mini program: r0 = sum of n words at ``base``.
+
+    Registers: r0 acc, r1 pointer, r2 loop index, r3 scratch, r4 n.
+    Note the explicit LDR in the loop — on a load/store architecture data
+    must move into a register before the ALU can touch it.
+    """
+    source = [
+        ("LDI", 0, 0),
+        ("LDI", 1, base),
+        ("LDI", 2, 0),
+        ("LDI", 4, n),
+    ]
+    prologue = assemble_risc(source)
+    loop_start = len(prologue)
+    body = [
+        ("LDR", 3, 1, 0),         # scratch = [ptr]
+        ("ADD", 0, 0, 3),         # acc += scratch
+        ("ADDI", 1, 1, WORD),     # ptr += 4
+        ("ADDI", 2, 2, 1),        # i += 1
+        ("CMP", 2, 4),            # i == n ?
+        ("BNE", loop_start),      # loop while not equal
+        ("HALT",),
+    ]
+    return prologue + assemble_risc(body)
+
+
+def sum_array_cisc(n: int, base: int = 256) -> list[Instruction]:
+    """CISC-mini program: a = sum of n words at ``base``.
+
+    Registers: a(0) acc, b(1) pointer, c(2) i, d(3) n.  The loop adds
+    straight from memory (``ADDRM``) — no separate load.
+    """
+    prologue = assemble_cisc([
+        ("MOVI", 0, 0),
+        ("MOVI", 1, base),
+        ("MOVI", 2, 0),
+        ("MOVI", 3, n),
+    ])
+    loop_start = len(prologue)
+    body = assemble_cisc([
+        ("ADDRM", 0, 1, 0),       # acc += [ptr]   (memory operand)
+        ("ADDI", 1, WORD),        # ptr += 4
+        ("ADDI", 2, 1),           # i += 1
+        ("CMPRR", 2, 3),
+        ("JNE", loop_start),
+        ("HALT",),
+    ])
+    return prologue + body
+
+
+@dataclass(frozen=True)
+class ISAComparison:
+    """The four comparison axes of the course task, measured."""
+
+    n_elements: int
+    result_risc: int
+    result_cisc: int
+    risc_instruction_count: int       # static program length
+    cisc_instruction_count: int
+    risc_bytes: int
+    cisc_bytes: int
+    risc_executed: int                # dynamic instruction count
+    cisc_executed: int
+    risc_fixed_width: int
+    cisc_min_width: int
+    cisc_max_width: int
+    risc_loads: int
+    cisc_memory_operand_ops: int
+    risc_max_inline_immediate: int
+    cisc_max_inline_immediate: int
+
+    def render(self) -> str:
+        return "\n".join([
+            f"sum of {self.n_elements} words: RISC={self.result_risc} CISC={self.result_cisc}",
+            f"encoding: RISC {self.risc_instruction_count} instrs x "
+            f"{self.risc_fixed_width} B = {self.risc_bytes} B; "
+            f"CISC {self.cisc_instruction_count} instrs, {self.cisc_min_width}-"
+            f"{self.cisc_max_width} B each = {self.cisc_bytes} B",
+            f"dynamic instructions: RISC {self.risc_executed}, CISC {self.cisc_executed}",
+            f"data movement: RISC explicit loads = {self.risc_loads}; "
+            f"CISC memory-operand ops = {self.cisc_memory_operand_ops}",
+            f"immediates: RISC inline <= {self.risc_max_inline_immediate} "
+            f"(larger needs MOVW/MOVT); CISC inline <= "
+            f"{self.cisc_max_inline_immediate}",
+            "memory layout: both little-endian, byte-addressed, 4-byte words",
+        ])
+
+
+def compare_isas(values: Sequence[int], base: int = 256) -> ISAComparison:
+    """Run the sum-array kernel on both machines and compare the ISAs."""
+    if not values:
+        raise ValueError("need at least one value to sum")
+    n = len(values)
+
+    risc = RISCMachine()
+    risc.load_words(base, values)
+    risc_prog = sum_array_risc(n, base)
+    risc.run(risc_prog)
+
+    cisc = CISCMachine()
+    cisc.load_words(base, values)
+    cisc_prog = sum_array_cisc(n, base)
+    cisc.run(cisc_prog)
+
+    return ISAComparison(
+        n_elements=n,
+        result_risc=risc.registers[0],
+        result_cisc=cisc.registers[0],
+        risc_instruction_count=len(risc_prog),
+        cisc_instruction_count=len(cisc_prog),
+        risc_bytes=sum(i.size for i in risc_prog),
+        cisc_bytes=sum(i.size for i in cisc_prog),
+        risc_executed=risc.instructions_executed,
+        cisc_executed=cisc.instructions_executed,
+        risc_fixed_width=WORD,
+        cisc_min_width=min(i.size for i in cisc_prog),
+        cisc_max_width=max(i.size for i in cisc_prog),
+        risc_loads=risc.loads,
+        cisc_memory_operand_ops=cisc.memory_operand_ops,
+        risc_max_inline_immediate=RISC_IMM_MAX,
+        cisc_max_inline_immediate=2**31 - 1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Disassembly: bytes back to instructions (round-trip property-tested).
+# ---------------------------------------------------------------------------
+
+_RISC_OPCODE_NAMES = {code: name for name, code in _RISC_OPCODES.items()}
+_CISC_OPCODE_NAMES = {code: name for name, code in _CISC_OPCODES.items()}
+
+
+def disassemble_risc(blob: bytes) -> list[Instruction]:
+    """Decode a RISC-mini byte stream (fixed 4-byte instructions)."""
+    if len(blob) % 4:
+        raise ValueError(f"RISC blob length {len(blob)} is not a multiple of 4")
+    out: list[Instruction] = []
+    for offset in range(0, len(blob), 4):
+        (word,) = struct.unpack_from("<I", blob, offset)
+        opcode = word >> 24
+        a = (word >> 20) & 0xF
+        b = (word >> 16) & 0xF
+        imm = word & 0xFFF
+        name = _RISC_OPCODE_NAMES.get(opcode)
+        if name is None:
+            raise ValueError(f"unknown RISC opcode 0x{opcode:02x} at offset {offset}")
+        if name in ("MOVW", "MOVT"):
+            operands: tuple = (a, imm)
+        elif name in ("ADD", "SUB"):
+            # Register-register ops carry rm in the low imm field.
+            operands = (a, b, imm)
+        elif name == "ADDI":
+            operands = (a, b, imm)
+        elif name in ("LDR", "STR"):
+            operands = (a, b, imm)
+        elif name == "CMP":
+            operands = (a, b)
+        elif name == "BNE":
+            operands = (imm,)
+        else:  # HALT
+            operands = ()
+        out.append(Instruction(name, operands, blob[offset:offset + 4]))
+    return out
+
+
+def disassemble_cisc(blob: bytes) -> list[Instruction]:
+    """Decode a CISC-mini byte stream (variable-width instructions)."""
+    out: list[Instruction] = []
+    offset = 0
+    sizes = {"HALT": 1, "JNE": 3, "ADDRR": 2, "SUBRR": 2, "CMPRR": 2,
+             "MOVI": 6, "ADDI": 6, "MOVRM": 6, "MOVMR": 6, "ADDRM": 6}
+    while offset < len(blob):
+        opcode = blob[offset]
+        name = _CISC_OPCODE_NAMES.get(opcode)
+        if name is None:
+            raise ValueError(f"unknown CISC opcode 0x{opcode:02x} at offset {offset}")
+        size = sizes[name]
+        if offset + size > len(blob):
+            raise ValueError(f"truncated CISC instruction at offset {offset}")
+        if name == "HALT":
+            operands: tuple = ()
+        elif name == "JNE":
+            (target,) = struct.unpack_from("<H", blob, offset + 1)
+            operands = (target,)
+        elif name in ("ADDRR", "SUBRR", "CMPRR"):
+            modrm = blob[offset + 1]
+            operands = (modrm >> 3, modrm & 0x7)
+        elif name in ("MOVI", "ADDI"):
+            modrm = blob[offset + 1]
+            (imm,) = struct.unpack_from("<i", blob, offset + 2)
+            operands = (modrm >> 3, imm)
+        else:  # MOVRM / MOVMR / ADDRM
+            modrm = blob[offset + 1]
+            (disp,) = struct.unpack_from("<i", blob, offset + 2)
+            operands = (modrm >> 3, modrm & 0x7, disp)
+        out.append(Instruction(name, operands, blob[offset:offset + size]))
+        offset += size
+    return out
+
+
+def program_bytes(program: list[Instruction]) -> bytes:
+    """Concatenate a program's encodings (what sits in instruction memory)."""
+    return b"".join(instr.encoding for instr in program)

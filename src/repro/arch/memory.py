@@ -1,0 +1,171 @@
+"""Parallel computer memory architectures and programming models.
+
+Assignment 3: "List and briefly describe the types of Parallel Computer
+Memory Architecture.  What type is used by OpenMP and why?  Compare
+Shared Memory Model with Threads Model."
+
+The three architectures are small cost models with an ``access_us(core,
+address)`` method, so their defining property is measurable:
+
+- **UMA** — every core reaches every address at the same latency (the
+  Pi: four cores, one LPDDR2 bank);
+- **NUMA** — each core has a *home* region; remote regions cost a
+  multiplier;
+- **Distributed** — a core can only address its own memory; remote data
+  moves via explicit messages with per-message latency + per-byte cost
+  (the architecture MPI programs against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = [
+    "UMAMemory",
+    "NUMAMemory",
+    "DistributedMemory",
+    "RemoteAccessError",
+    "MEMORY_ARCHITECTURES",
+    "PROGRAMMING_MODELS",
+]
+
+
+class RemoteAccessError(RuntimeError):
+    """A distributed-memory core touched an address it does not own."""
+
+
+@dataclass(frozen=True)
+class UMAMemory:
+    """Uniform memory access: one shared bank, symmetric latency."""
+
+    n_cores: int = 4
+    size: int = 1 << 20
+    latency_us: float = 0.1
+
+    def access_us(self, core: int, address: int) -> float:
+        self._check(core, address)
+        return self.latency_us
+
+    def _check(self, core: int, address: int) -> None:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range")
+        if not 0 <= address < self.size:
+            raise ValueError(f"address {address} out of range")
+
+
+@dataclass(frozen=True)
+class NUMAMemory:
+    """Non-uniform memory access: local fast, remote slower."""
+
+    n_cores: int = 4
+    size: int = 1 << 20
+    local_latency_us: float = 0.1
+    remote_factor: float = 3.0
+
+    def home_of(self, address: int) -> int:
+        """The core whose memory controller owns this address."""
+        if not 0 <= address < self.size:
+            raise ValueError(f"address {address} out of range")
+        region = self.size // self.n_cores
+        return min(address // region, self.n_cores - 1)
+
+    def access_us(self, core: int, address: int) -> float:
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range")
+        if self.home_of(address) == core:
+            return self.local_latency_us
+        return self.local_latency_us * self.remote_factor
+
+
+@dataclass(frozen=True)
+class DistributedMemory:
+    """Separate memories; remote data only via explicit messages."""
+
+    n_nodes: int = 4
+    node_size: int = 1 << 18
+    local_latency_us: float = 0.1
+    message_latency_us: float = 50.0
+    per_byte_us: float = 0.01
+
+    def owner_of(self, address: int) -> int:
+        if not 0 <= address < self.n_nodes * self.node_size:
+            raise ValueError(f"address {address} out of range")
+        return address // self.node_size
+
+    def access_us(self, node: int, address: int) -> float:
+        """Direct load/store: only legal on the owning node."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        if self.owner_of(address) != node:
+            raise RemoteAccessError(
+                f"node {node} cannot address {address} (owned by "
+                f"{self.owner_of(address)}); send a message instead"
+            )
+        return self.local_latency_us
+
+    def message_us(self, n_bytes: int) -> float:
+        """Cost of moving ``n_bytes`` between nodes explicitly."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be >= 0")
+        return self.message_latency_us + self.per_byte_us * n_bytes
+
+
+#: Assignment 3's catalogue answers, as structured data.
+MEMORY_ARCHITECTURES: Mapping[str, str] = MappingProxyType({
+    "shared memory (UMA)": (
+        "all processors address one memory with uniform latency; "
+        "global address space, programmer synchronises access"
+    ),
+    "shared memory (NUMA)": (
+        "physically partitioned but globally addressable memory; access "
+        "time depends on which processor owns the address"
+    ),
+    "distributed memory": (
+        "each processor has private memory; remote data moves by "
+        "explicit messages (no global address space)"
+    ),
+    "hybrid": (
+        "clusters of shared-memory nodes connected by a network — "
+        "OpenMP within a node, MPI between nodes"
+    ),
+})
+
+#: "What are the Parallel Programming Models?" — with the OpenMP answer.
+PROGRAMMING_MODELS: Mapping[str, str] = MappingProxyType({
+    "shared memory (no threads)": (
+        "tasks read/write a common address space with locks/semaphores; "
+        "no explicit data ownership"
+    ),
+    "threads": (
+        "one process forks lightweight execution paths with private "
+        "stacks over shared memory — OpenMP and Pthreads; OpenMP uses "
+        "this model because the Pi's four cores share one memory, so "
+        "compiler directives can parallelise loops without moving data"
+    ),
+    "message passing": (
+        "tasks with private memories exchange send/receive pairs — MPI"
+    ),
+    "data parallel (PGAS)": (
+        "tasks perform the same operation on partitions of a global "
+        "array"
+    ),
+    "hybrid": "MPI across nodes combined with OpenMP/GPU within a node",
+    "SPMD": (
+        "high-level pattern: every task runs the same program on "
+        "different data, branching on its rank/thread id"
+    ),
+})
+
+
+def shared_vs_threads_comparison() -> tuple[tuple[str, str, str], ...]:
+    """'Compare Shared Memory Model with Threads Model' — as rows of
+    (aspect, shared-memory answer, threads answer)."""
+    return (
+        ("unit of execution", "heavyweight processes", "lightweight threads in one process"),
+        ("address space", "one global space attached by tasks", "implicitly shared by all threads"),
+        ("communication", "reads/writes + locks/semaphores", "reads/writes + private stack data"),
+        ("typical API", "SysV shm, POSIX shm_open", "OpenMP directives, Pthreads"),
+        ("data ownership", "none — programmer disciplines access", "none — scope (private/shared) disciplines access"),
+    )

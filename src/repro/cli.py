@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``reproduce [--artifact table1..table6|fig1|fig2|all] [--seed N]`` —
+  run the study and print regenerated artefacts next to the paper's.
+- ``study [--seed N]`` — run the study; print the summary, hypothesis
+  verdicts, and fidelity checklist.
+- ``patternlet <name> [--threads N]`` — run one patternlet and print its
+  output (``--list`` shows the names).
+- ``drugdesign [--threads N] [--max-ligand L] [--ligands K]`` — run the
+  Assignment-5 protocol under one condition.
+- ``experiments [--seed N]`` — generate the paper-vs-ours comparison as
+  markdown (exit code reflects whether everything is within tolerance).
+- ``timeline`` — print the Fig. 1 semester schedule.
+- ``quiz <n>`` — print quiz *n* with its auto-graded answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+__all__ = ["main", "build_parser"]
+
+PATTERNLETS: dict[str, Callable[[int], object]] = {}
+
+
+def _register_patternlets() -> None:
+    if PATTERNLETS:
+        return
+    from repro.patternlets import (
+        run_barrier_demo,
+        run_equal_chunks,
+        run_fork_join,
+        run_race_demo,
+        run_reduction_loop,
+        run_scheduling_demo,
+        run_spmd,
+    )
+    from repro.patternlets.atomic_private import run_atomic_demo, run_scope_demo
+
+    PATTERNLETS.update({
+        "forkjoin": lambda threads: run_fork_join(threads),
+        "spmd": lambda threads: run_spmd(threads),
+        "race": lambda threads: run_race_demo(threads, 200),
+        "equalchunks": lambda threads: run_equal_chunks(threads, 16),
+        "scheduling": lambda threads: run_scheduling_demo(threads, 12),
+        "reduction": lambda threads: run_reduction_loop(threads, 500),
+        "barrier": lambda threads: run_barrier_demo(threads),
+        "atomic": lambda threads: run_atomic_demo(threads, 500),
+        "scope": lambda threads: run_scope_demo(threads),
+    })
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IPPS 2019 PBL parallel-programming "
+                    "case study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate paper artefacts")
+    reproduce.add_argument("--artifact", default="all",
+                           help="table1..table6, fig1, fig2, or all")
+    reproduce.add_argument("--seed", type=int, default=2018)
+
+    study = sub.add_parser("study", help="run the full study")
+    study.add_argument("--seed", type=int, default=2018)
+
+    patternlet = sub.add_parser("patternlet", help="run one patternlet")
+    patternlet.add_argument("name", nargs="?", default=None)
+    patternlet.add_argument("--threads", type=int, default=4)
+    patternlet.add_argument("--list", action="store_true", dest="list_names")
+
+    drugdesign = sub.add_parser("drugdesign", help="run the A5 protocol")
+    drugdesign.add_argument("--threads", type=int, default=4)
+    drugdesign.add_argument("--max-ligand", type=int, default=5)
+    drugdesign.add_argument("--ligands", type=int, default=120)
+
+    experiments = sub.add_parser(
+        "experiments", help="generate the paper-vs-ours comparison as markdown")
+    experiments.add_argument("--seed", type=int, default=2018)
+
+    sub.add_parser("timeline", help="print the Fig. 1 schedule")
+
+    quiz = sub.add_parser("quiz", help="print a quiz with answers")
+    quiz.add_argument("number", type=int, choices=range(1, 6))
+
+    return parser
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.core import PBLStudy, ReproductionReport
+
+    study = PBLStudy(seed=args.seed, execute_programs=False,
+                     simulate_teamwork=False)
+    result = study.run()
+    report = ReproductionReport(analysis=result.analysis, paper=study.paper)
+    if args.artifact == "all":
+        print(report.render_all())
+        return 0
+    try:
+        if args.artifact.startswith("table"):
+            print(report.render_table(args.artifact))
+        elif args.artifact.startswith("fig"):
+            print(report.render_figure(args.artifact))
+        else:
+            raise KeyError(args.artifact)
+    except KeyError:
+        print(f"unknown artifact {args.artifact!r}")
+        return 2
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from repro.core import PBLStudy, ReproductionReport
+
+    study = PBLStudy.default(seed=args.seed)
+    result = study.run()
+    print(f"{result.n_students} students, {len(result.teams)} teams, "
+          f"seed {result.seed}")
+    print(result.calibration)
+    if result.gradebook is not None:
+        print(f"gradebook mean: {result.gradebook.mean_total:.1f}/100")
+    for outcome in result.hypotheses:
+        print(outcome)
+    report = ReproductionReport(analysis=result.analysis, paper=study.paper)
+    checks = report.fidelity_checks()
+    print(f"fidelity: {sum(c.passed for c in checks)}/{len(checks)} checks pass")
+    return 0 if report.all_checks_pass() else 1
+
+
+def _cmd_patternlet(args: argparse.Namespace) -> int:
+    _register_patternlets()
+    if args.list_names or args.name is None:
+        print("available patternlets: " + ", ".join(sorted(PATTERNLETS)))
+        return 0
+    if args.name not in PATTERNLETS:
+        print(f"unknown patternlet {args.name!r}; try --list")
+        return 2
+    demo = PATTERNLETS[args.name](args.threads)
+    print(demo.render())
+    return 0
+
+
+def _cmd_drugdesign(args: argparse.Namespace) -> int:
+    from repro.drugdesign import DrugDesignConfig, run_assignment5
+
+    report = run_assignment5(DrugDesignConfig(
+        n_ligands=args.ligands,
+        max_ligand=args.max_ligand,
+        num_threads=args.threads,
+    ))
+    print(report.render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.core import PBLStudy, build_experiment_summary, render_markdown
+
+    result = PBLStudy(seed=args.seed, execute_programs=False,
+                      simulate_teamwork=False).run()
+    summary = build_experiment_summary(result)
+    print(render_markdown(summary))
+    return 0 if summary.all_within_tolerance else 1
+
+
+def _cmd_timeline(_args: argparse.Namespace) -> int:
+    from repro.reporting import render_fig1_timeline
+
+    print(render_fig1_timeline())
+    return 0
+
+
+def _cmd_quiz(args: argparse.Namespace) -> int:
+    from repro.course import quiz_bank
+
+    quiz = quiz_bank()[args.number - 1]
+    print(f"Quiz {quiz.assignment_number} "
+          f"(after assignment {quiz.assignment_number}):")
+    for i, question in enumerate(quiz.questions, start=1):
+        print(f"  Q{i}. {question.prompt}")
+        print(f"      answer: {question.answer()!r}")
+    return 0
+
+
+_COMMANDS = {
+    "reproduce": _cmd_reproduce,
+    "study": _cmd_study,
+    "patternlet": _cmd_patternlet,
+    "drugdesign": _cmd_drugdesign,
+    "experiments": _cmd_experiments,
+    "timeline": _cmd_timeline,
+    "quiz": _cmd_quiz,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code.
+
+    ``BrokenPipeError`` (output piped into ``head`` etc.) exits quietly
+    with the conventional code 141 instead of a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        import os
+        import sys
+
+        # Point stdout at /dev/null so interpreter shutdown does not
+        # raise again while flushing, then exit with the SIGPIPE code.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141

@@ -1,0 +1,45 @@
+"""Cohort substrate: students, sections, teams.
+
+The paper's study population: 124 computer-science students in two
+sections of CSc 3210 (62 each; 16 women in section one, 10 in section
+two), organised by the instructor into 26 diverse teams of four or five
+using multiple balance criteria (gender, system & programming experience,
+group-work experience, GPA, technical-writing experience).
+
+- :mod:`repro.cohort.students` — student model and the cohort generator
+  matching the paper's exact marginals.
+- :mod:`repro.cohort.sections` — course sections.
+- :mod:`repro.cohort.formation` — the multi-criteria balanced team
+  formation algorithm (instructor-formed teams, per Oakley et al.).
+- :mod:`repro.cohort.teams` — teams and coordinator rotation.
+- :mod:`repro.cohort.peer_rating` — the peer rating form of member
+  contributions used for each assignment.
+"""
+
+from repro.cohort.formation import (
+    FormationCriteria,
+    balance_report,
+    form_teams,
+    random_teams,
+)
+from repro.cohort.peer_rating import PeerRating, PeerRatingForm, contribution_summary
+from repro.cohort.sections import Section, make_paper_sections
+from repro.cohort.students import Gender, Student, generate_cohort
+from repro.cohort.teams import Team, rotate_coordinators
+
+__all__ = [
+    "FormationCriteria",
+    "Gender",
+    "PeerRating",
+    "PeerRatingForm",
+    "Section",
+    "Student",
+    "Team",
+    "balance_report",
+    "contribution_summary",
+    "form_teams",
+    "generate_cohort",
+    "make_paper_sections",
+    "random_teams",
+    "rotate_coordinators",
+]

@@ -1,0 +1,97 @@
+"""Peer rating of team-member contributions.
+
+Every assignment packet includes a "peer rating form of team members'
+contributions to the team".  The grading policy uses it: a member who
+refuses to cooperate on an assignment receives a zero for it (see
+:mod:`repro.course.grading`).
+
+Ratings use the common Oakley et al. adjective scale mapped to numbers so
+they can feed the grading adjustment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cohort.teams import Team
+
+__all__ = ["RATING_SCALE", "PeerRating", "PeerRatingForm", "contribution_summary"]
+
+#: Oakley et al. style adjective scale.
+RATING_SCALE: Mapping[str, float] = {
+    "excellent": 5.0,
+    "very good": 4.5,
+    "satisfactory": 4.0,
+    "ordinary": 3.5,
+    "marginal": 3.0,
+    "deficient": 2.5,
+    "unsatisfactory": 2.0,
+    "superficial": 1.5,
+    "no show": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class PeerRating:
+    """One rater's rating of one teammate for one assignment."""
+
+    rater_id: str
+    ratee_id: str
+    adjective: str
+
+    def __post_init__(self) -> None:
+        if self.adjective not in RATING_SCALE:
+            raise ValueError(
+                f"unknown rating {self.adjective!r}; expected one of {sorted(RATING_SCALE)}"
+            )
+        if self.rater_id == self.ratee_id:
+            raise ValueError("self-ratings are not collected on the peer form")
+
+    @property
+    def value(self) -> float:
+        return RATING_SCALE[self.adjective]
+
+
+@dataclass(frozen=True)
+class PeerRatingForm:
+    """All peer ratings a team submitted for one assignment."""
+
+    team_id: str
+    assignment_number: int
+    ratings: tuple[PeerRating, ...]
+
+    def validate_against(self, team: Team) -> None:
+        """Check completeness: every member rates every other member once."""
+        member_ids = {m.student_id for m in team.members}
+        seen: set[tuple[str, str]] = set()
+        for rating in self.ratings:
+            if rating.rater_id not in member_ids or rating.ratee_id not in member_ids:
+                raise ValueError(
+                    f"rating {rating.rater_id}->{rating.ratee_id} references a "
+                    f"non-member of team {team.team_id}"
+                )
+            key = (rating.rater_id, rating.ratee_id)
+            if key in seen:
+                raise ValueError(f"duplicate rating {key} on form for {team.team_id}")
+            seen.add(key)
+        expected = len(member_ids) * (len(member_ids) - 1)
+        if len(seen) != expected:
+            raise ValueError(
+                f"incomplete form for {team.team_id}: {len(seen)}/{expected} ratings"
+            )
+
+
+def contribution_summary(forms: Iterable[PeerRatingForm]) -> dict[str, float]:
+    """Mean received rating per student across forms.
+
+    This is the number the grading policy thresholds against to decide
+    whether a member "cooperated" on the assignment.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for form in forms:
+        for rating in form.ratings:
+            totals[rating.ratee_id] = totals.get(rating.ratee_id, 0.0) + rating.value
+            counts[rating.ratee_id] = counts.get(rating.ratee_id, 0) + 1
+    return {sid: totals[sid] / counts[sid] for sid in totals}

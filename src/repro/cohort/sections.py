@@ -1,0 +1,54 @@
+"""Course sections.
+
+Two sections of CSc 3210 were used in Fall 2018, 62 students each (16 women
+in the first, 10 in the second), taught by the same instructor with the
+same PBL strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cohort.students import Gender, Student, generate_cohort
+
+__all__ = ["Section", "make_paper_sections"]
+
+
+@dataclass(frozen=True)
+class Section:
+    """One course section."""
+
+    section_id: str
+    students: tuple[Student, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.students)
+
+    @property
+    def n_female(self) -> int:
+        return sum(1 for s in self.students if s.gender is Gender.FEMALE)
+
+    @property
+    def n_male(self) -> int:
+        return self.n - self.n_female
+
+
+def make_paper_sections(seed: int = 2018) -> tuple[Section, Section]:
+    """Split a generated cohort into the paper's two sections.
+
+    Section 1: 62 students, 16 women.  Section 2: 62 students, 10 women.
+    The full cohort has exactly the paper's 98 M / 26 F marginals.
+    """
+    cohort = generate_cohort(seed=seed)
+    females = [s for s in cohort if s.gender is Gender.FEMALE]
+    males = [s for s in cohort if s.gender is Gender.MALE]
+    if len(females) != 26 or len(males) != 98:
+        raise AssertionError("cohort generator violated the paper's gender marginals")
+
+    sec1 = tuple(sorted(females[:16] + males[:46]))
+    sec2 = tuple(sorted(females[16:] + males[46:]))
+    return (
+        Section(section_id="CSc3210-01", students=sec1),
+        Section(section_id="CSc3210-02", students=sec2),
+    )

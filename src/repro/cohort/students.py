@@ -1,0 +1,125 @@
+"""Student model and cohort generation.
+
+The team-formation criteria in the paper are: gender, system and
+programming experience, experience in group work, GPA, and technical
+writing experience.  :class:`Student` carries exactly those attributes.
+
+:func:`generate_cohort` synthesises a cohort with the paper's published
+marginals — 124 students, 98 male / 26 female, split as two sections of
+62 with 16 and 10 women respectively — and plausible attribute
+distributions (GPA on a 0–4.3 scale, experience levels 0–3).  The
+synthetic attributes only drive team formation and the response model;
+no table depends on their exact distribution beyond the marginals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Gender", "Student", "generate_cohort", "PAPER_COHORT"]
+
+
+class Gender(enum.Enum):
+    MALE = "M"
+    FEMALE = "F"
+
+
+#: The paper's §III.A marginals.
+PAPER_COHORT = {
+    "n_total": 124,
+    "n_male": 98,
+    "n_female": 26,
+    "sections": ({"n": 62, "n_female": 16}, {"n": 62, "n_female": 10}),
+}
+
+
+@dataclass(frozen=True, order=True)
+class Student:
+    """A student with the attributes the instructor balances teams on.
+
+    Experience attributes are coarse self-reported levels 0 (none) to
+    3 (extensive), mirroring a typical intake questionnaire.
+    """
+
+    student_id: str
+    gender: Gender
+    gpa: float
+    programming_experience: int
+    system_experience: int
+    group_work_experience: int
+    technical_writing: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gpa <= 4.3:
+            raise ValueError(f"GPA must be in [0, 4.3], got {self.gpa}")
+        for attr in (
+            "programming_experience",
+            "system_experience",
+            "group_work_experience",
+            "technical_writing",
+        ):
+            level = getattr(self, attr)
+            if not 0 <= level <= 3:
+                raise ValueError(f"{attr} must be in [0, 3], got {level}")
+
+    @property
+    def ability_index(self) -> float:
+        """Scalar ability proxy used by the balance objective.
+
+        GPA normalised to [0, 1] plus the mean of the four experience
+        levels normalised to [0, 1], weighted equally.
+        """
+        exp = (
+            self.programming_experience
+            + self.system_experience
+            + self.group_work_experience
+            + self.technical_writing
+        ) / 12.0
+        return 0.5 * (self.gpa / 4.3) + 0.5 * exp
+
+
+def _draw_levels(rng: np.random.Generator, n: int, probs: list[float]) -> np.ndarray:
+    return rng.choice(len(probs), size=n, p=probs)
+
+
+def generate_cohort(
+    seed: int = 2018,
+    n_total: int = PAPER_COHORT["n_total"],
+    n_female: int = PAPER_COHORT["n_female"],
+) -> list[Student]:
+    """Generate a synthetic cohort with the paper's gender marginals.
+
+    Students are ids ``s001`` … ``s124`` (zero-padded to the cohort size).
+    Deterministic for a given seed.
+    """
+    if not 0 <= n_female <= n_total:
+        raise ValueError(f"n_female={n_female} out of range for n_total={n_total}")
+    rng = np.random.default_rng(seed)
+    width = max(3, len(str(n_total)))
+
+    genders = [Gender.FEMALE] * n_female + [Gender.MALE] * (n_total - n_female)
+    rng.shuffle(genders)  # type: ignore[arg-type]
+
+    # GPA: mid-program CS majors; truncated normal around 3.1.
+    gpas = np.clip(rng.normal(3.1, 0.45, size=n_total), 2.0, 4.3)
+    # Experience levels: most students mid-program have taken 2-3 CS courses.
+    prog = _draw_levels(rng, n_total, [0.10, 0.35, 0.40, 0.15])
+    system = _draw_levels(rng, n_total, [0.30, 0.40, 0.22, 0.08])
+    group = _draw_levels(rng, n_total, [0.25, 0.40, 0.25, 0.10])
+    writing = _draw_levels(rng, n_total, [0.20, 0.45, 0.25, 0.10])
+
+    return [
+        Student(
+            student_id=f"s{i + 1:0{width}d}",
+            gender=genders[i],
+            gpa=round(float(gpas[i]), 2),
+            programming_experience=int(prog[i]),
+            system_experience=int(system[i]),
+            group_work_experience=int(group[i]),
+            technical_writing=int(writing[i]),
+        )
+        for i in range(n_total)
+    ]

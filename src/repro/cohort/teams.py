@@ -1,0 +1,69 @@
+"""Teams and the rotating coordinator role.
+
+"Once grouped, each team elects a team coordinator and this role is to be
+rotated among team members for each assignment."  The coordinator
+interfaces with the instructor, turns in documents, reviews returned
+assignments, and identifies/assigns/schedules tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cohort.students import Gender, Student
+
+__all__ = ["Team", "rotate_coordinators"]
+
+MIN_TEAM_SIZE = 4
+MAX_TEAM_SIZE = 5
+
+
+@dataclass(frozen=True)
+class Team:
+    """A project team of four or five students."""
+
+    team_id: str
+    members: tuple[Student, ...]
+
+    def __post_init__(self) -> None:
+        if not MIN_TEAM_SIZE <= len(self.members) <= MAX_TEAM_SIZE:
+            raise ValueError(
+                f"team {self.team_id!r} must have {MIN_TEAM_SIZE}-{MAX_TEAM_SIZE} "
+                f"members, got {len(self.members)}"
+            )
+        ids = [m.student_id for m in self.members]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"team {self.team_id!r} has duplicate members")
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def n_female(self) -> int:
+        return sum(1 for m in self.members if m.gender is Gender.FEMALE)
+
+    @property
+    def mean_gpa(self) -> float:
+        return sum(m.gpa for m in self.members) / self.size
+
+    @property
+    def mean_ability(self) -> float:
+        return sum(m.ability_index for m in self.members) / self.size
+
+    def coordinator_for(self, assignment_number: int) -> Student:
+        """Coordinator for a 1-based assignment number (rotating role)."""
+        if assignment_number < 1:
+            raise ValueError(f"assignment number must be >= 1, got {assignment_number}")
+        return self.members[(assignment_number - 1) % self.size]
+
+
+def rotate_coordinators(team: Team, n_assignments: int) -> list[Student]:
+    """Coordinator schedule across assignments 1..n.
+
+    With five assignments and teams of four or five, every member
+    coordinates at least once (a property the test suite checks).
+    """
+    if n_assignments < 1:
+        raise ValueError(f"n_assignments must be >= 1, got {n_assignments}")
+    return [team.coordinator_for(i) for i in range(1, n_assignments + 1)]

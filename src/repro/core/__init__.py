@@ -1,0 +1,40 @@
+"""Core: the PBL study driver and the paper's published targets.
+
+- :mod:`repro.core.targets` — every number printed in the paper's Tables
+  1–6, stored once as calibration targets and comparison baselines.
+- :mod:`repro.core.study` — :class:`PBLStudy`, the end-to-end driver:
+  cohort → sections → teams → course run (assignments actually execute
+  their parallel programs) → two survey waves → full statistical analysis.
+- :mod:`repro.core.analysis` — the Tables 1–6 computations from raw waves.
+- :mod:`repro.core.hypotheses` — the three hypotheses H1–H3 as executable
+  checks over an analysis result.
+- :mod:`repro.core.report` — the rendered reproduction report.
+"""
+
+from repro.core.analysis import StudyAnalysis, analyze_waves
+from repro.core.experiments import (
+    ComparisonRow,
+    ExperimentSummary,
+    build_experiment_summary,
+    render_markdown,
+)
+from repro.core.hypotheses import HypothesisOutcome, evaluate_hypotheses
+from repro.core.report import ReproductionReport
+from repro.core.study import PBLStudy, StudyResult
+from repro.core.targets import PAPER, PaperTargets
+
+__all__ = [
+    "PAPER",
+    "ComparisonRow",
+    "ExperimentSummary",
+    "HypothesisOutcome",
+    "PBLStudy",
+    "PaperTargets",
+    "ReproductionReport",
+    "StudyAnalysis",
+    "StudyResult",
+    "analyze_waves",
+    "build_experiment_summary",
+    "evaluate_hypotheses",
+    "render_markdown",
+]

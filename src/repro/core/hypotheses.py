@@ -1,0 +1,100 @@
+"""The paper's three hypotheses as executable checks.
+
+- **H1** — "There is a difference in emphasis on parallel programming and
+  soft skills between the first and second parts of the semester."
+  Supported when the paired t-test on Class Emphasis is significant and
+  the effect is at least medium (the paper reports d = 0.50).
+
+- **H2** — "By incorporating project-based learning, the students acquire
+  personal growth and improvement on their parallel programming and soft
+  skills."  Supported when the paired t-test on Personal Growth is
+  significant and the effect is large (the paper reports d = 0.86).
+
+- **H3** — "Students growth in parallel programming and soft skills did
+  increase when greater emphasis is placed on these areas."  Supported
+  when every per-skill emphasis↔growth Pearson correlation is positive
+  and significant at the paper's p < 0.001 level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analysis import StudyAnalysis
+
+__all__ = ["HypothesisOutcome", "evaluate_hypotheses"]
+
+ALPHA = 0.05
+H3_ALPHA = 0.001
+
+
+@dataclass(frozen=True)
+class HypothesisOutcome:
+    """Verdict for one hypothesis."""
+
+    hypothesis: str
+    statement: str
+    supported: bool
+    evidence: str
+
+    def __str__(self) -> str:
+        verdict = "SUPPORTED" if self.supported else "NOT SUPPORTED"
+        return f"{self.hypothesis}: {verdict} — {self.evidence}"
+
+
+def evaluate_hypotheses(analysis: StudyAnalysis) -> tuple[HypothesisOutcome, ...]:
+    """Evaluate H1–H3 against a regenerated analysis."""
+    h1_sig = analysis.ttest_emphasis.significant(ALPHA)
+    h1_dir = analysis.ttest_emphasis.mean_difference < 0  # second half higher
+    h1_size = abs(analysis.cohens_d_emphasis.d) >= 0.5
+    h1 = HypothesisOutcome(
+        hypothesis="H1",
+        statement=(
+            "There is a difference in emphasis on parallel programming and "
+            "soft skills between the first and second parts of the semester."
+        ),
+        supported=h1_sig and h1_dir and h1_size,
+        evidence=(
+            f"paired t({analysis.ttest_emphasis.df:g}) = {analysis.ttest_emphasis.t:.2f}, "
+            f"p = {analysis.ttest_emphasis.p_value:.4g}, "
+            f"d = {analysis.cohens_d_emphasis.d:.2f} "
+            f"({analysis.cohens_d_emphasis.interpretation})"
+        ),
+    )
+
+    h2_sig = analysis.ttest_growth.significant(ALPHA)
+    h2_dir = analysis.ttest_growth.mean_difference < 0
+    h2_size = abs(analysis.cohens_d_growth.d) >= 0.8
+    h2 = HypothesisOutcome(
+        hypothesis="H2",
+        statement=(
+            "By incorporating project-based learning, the students acquire "
+            "personal growth and improvement on their parallel programming "
+            "and soft skills."
+        ),
+        supported=h2_sig and h2_dir and h2_size,
+        evidence=(
+            f"paired t({analysis.ttest_growth.df:g}) = {analysis.ttest_growth.t:.2f}, "
+            f"p = {analysis.ttest_growth.p_value:.4g}, "
+            f"d = {analysis.cohens_d_growth.d:.2f} "
+            f"({analysis.cohens_d_growth.interpretation})"
+        ),
+    )
+
+    all_positive = all(c.r > 0 for c in analysis.pearson.values())
+    all_significant = all(c.p_value < H3_ALPHA for c in analysis.pearson.values())
+    weakest = min(analysis.pearson.values(), key=lambda c: c.r)
+    h3 = HypothesisOutcome(
+        hypothesis="H3",
+        statement=(
+            "Students growth in parallel programming and soft skills did "
+            "increase when greater emphasis is placed on these areas."
+        ),
+        supported=all_positive and all_significant,
+        evidence=(
+            f"all {len(analysis.pearson)} emphasis-growth correlations positive "
+            f"and p < {H3_ALPHA:g}; weakest r = {weakest.r:.2f} "
+            f"({weakest.strength.label})"
+        ),
+    )
+    return (h1, h2, h3)

@@ -1,0 +1,315 @@
+"""The reproduction report: regenerated tables next to the paper's.
+
+:class:`ReproductionReport` turns a :class:`StudyAnalysis` plus the
+published targets into the paper's six tables and two figures, each cell
+showing *paper value* vs *reproduced value*, and computes the fidelity
+checks EXPERIMENTS.md and the benchmarks assert:
+
+- every mean difference has the paper's sign and significance;
+- effect sizes fall in the paper's Cohen bands (medium / large);
+- every correlation is positive, significant, and within tolerance of
+  the paper's r, with the same Guilford band on the named cases;
+- the rankings of Tables 5 and 6 match rank-for-rank (modulo the ties
+  the paper itself prints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.analysis import StudyAnalysis
+from repro.core.targets import EMPHASIS, GROWTH, W1, W2, PaperTargets
+from repro.reporting.figures import render_fig1_timeline, render_fig2_instrument
+from repro.reporting.tables import Table
+from repro.survey.instrument import ELEMENT_NAMES
+
+__all__ = ["FidelityCheck", "ReproductionReport"]
+
+#: Comparison tolerances (publication precision is 2 decimals).
+MEAN_TOL = 0.02
+R_TOL = 0.05
+D_TOL = 0.15
+
+
+@dataclass(frozen=True)
+class FidelityCheck:
+    """One named shape-check against the paper."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{'PASS' if self.passed else 'FAIL'}] {self.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ReproductionReport:
+    """Analysis + targets, renderable as the paper's artefacts."""
+
+    analysis: StudyAnalysis
+    paper: PaperTargets
+
+    # -- tables -------------------------------------------------------------
+
+    def table1(self) -> Table:
+        t = Table(
+            "Table 1. T-test: Class Emphasis and Personal Growth "
+            "(paper p-values are inconsistent with its t at N=124; see EXPERIMENTS.md)",
+            ["variable", "mean diff (paper)", "mean diff (ours)",
+             "t (paper)", "t (ours)", "N", "p (paper)", "p (ours)"],
+        )
+        rows = [
+            ("Class Emphasis", EMPHASIS, self.analysis.ttest_emphasis),
+            ("Personal Growth", GROWTH, self.analysis.ttest_growth),
+        ]
+        for label, key, ours in rows:
+            target = self.paper.table1[key]
+            t.add_row(
+                label,
+                f"{target.mean_difference:+.2f}", f"{ours.mean_difference:+.2f}",
+                f"{target.t:.2f}", f"{ours.t:.2f}",
+                ours.n,
+                f"{target.p_value:.3f}", f"{ours.p_value:.2e}",
+            )
+        return t
+
+    def _cohens_table(self, title: str, target, ours) -> Table:
+        t = Table(title, ["", "First Half Survey", "Second Half Survey"])
+        t.add_row("Mean (paper)", f"{target.mean1:.6f}", f"{target.mean2:.6f}")
+        t.add_row("Mean (ours)", f"{ours.mean1:.6f}", f"{ours.mean2:.6f}")
+        t.add_row("SD (paper)", f"{target.sd1:.6f}", f"{target.sd2:.6f}")
+        t.add_row("SD (ours)", f"{ours.sd1:.6f}", f"{ours.sd2:.6f}")
+        t.add_row("n", str(ours.n1), str(ours.n2))
+        t.add_row(
+            "Cohen's d",
+            f"paper {target.d:.2f} ({target.interpretation})",
+            f"ours {ours.d:.2f} ({ours.interpretation})",
+        )
+        return t
+
+    def table2(self) -> Table:
+        return self._cohens_table(
+            "Table 2. Cohen's d of Course Emphasis",
+            self.paper.table2, self.analysis.cohens_d_emphasis,
+        )
+
+    def table3(self) -> Table:
+        return self._cohens_table(
+            "Table 3. Cohen's d (Effect Size) of Personal Growth",
+            self.paper.table3, self.analysis.cohens_d_growth,
+        )
+
+    def table4(self) -> Table:
+        t = Table(
+            "Table 4. Pearson Correlation Between Class Emphasis and Personal Growth",
+            ["skill", "r w1 (paper)", "r w1 (ours)", "p w1",
+             "r w2 (paper)", "r w2 (ours)", "p w2", "N"],
+        )
+        for skill in ELEMENT_NAMES:
+            ours1 = self.analysis.pearson[(skill, W1)]
+            ours2 = self.analysis.pearson[(skill, W2)]
+            t.add_row(
+                skill,
+                f"{self.paper.table4_r[(skill, W1)]:.2f}", f"{ours1.r:.2f}",
+                ours1.p_report(),
+                f"{self.paper.table4_r[(skill, W2)]:.2f}", f"{ours2.r:.2f}",
+                ours2.p_report(),
+                ours1.n,
+            )
+        return t
+
+    def _ranking_table(self, title: str, paper_means: Mapping[tuple[str, str], float],
+                       ranking: Mapping[str, tuple]) -> Table:
+        t = Table(
+            title,
+            ["rank", "first half (paper)", "first half (ours)",
+             "second half (paper)", "second half (ours)"],
+        )
+        paper_w1 = sorted(
+            ((s, v) for (s, w), v in paper_means.items() if w == W1),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        paper_w2 = sorted(
+            ((s, v) for (s, w), v in paper_means.items() if w == W2),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        ours_w1 = ranking[W1]
+        ours_w2 = ranking[W2]
+        for i in range(len(paper_w1)):
+            t.add_row(
+                i + 1,
+                f"{paper_w1[i][0]}: {paper_w1[i][1]:.2f}",
+                f"{ours_w1[i].name}: {ours_w1[i].score:.2f}",
+                f"{paper_w2[i][0]}: {paper_w2[i][1]:.2f}",
+                f"{ours_w2[i].name}: {ours_w2[i].score:.2f}",
+            )
+        return t
+
+    def table5(self) -> Table:
+        return self._ranking_table(
+            "Table 5. Ranking of Student Perception of the Course Emphasis",
+            self.paper.table5_emphasis, self.analysis.emphasis_ranking,
+        )
+
+    def table6(self) -> Table:
+        return self._ranking_table(
+            "Table 6. Ranking of Student Perception of Personal Growth",
+            self.paper.table6_growth, self.analysis.growth_ranking,
+        )
+
+    def render_table(self, table_id: str) -> str:
+        tables = {
+            "table1": self.table1, "table2": self.table2, "table3": self.table3,
+            "table4": self.table4, "table5": self.table5, "table6": self.table6,
+        }
+        if table_id not in tables:
+            raise KeyError(f"unknown table {table_id!r}; expected {sorted(tables)}")
+        return tables[table_id]().render()
+
+    def render_figure(self, figure_id: str) -> str:
+        figures = {"fig1": render_fig1_timeline, "fig2": render_fig2_instrument}
+        if figure_id not in figures:
+            raise KeyError(f"unknown figure {figure_id!r}; expected {sorted(figures)}")
+        return figures[figure_id]()
+
+    def render_all(self) -> str:
+        parts = [self.render_figure("fig1"), self.render_figure("fig2")]
+        parts += [self.render_table(f"table{i}") for i in range(1, 7)]
+        parts.append("\n".join(str(c) for c in self.fidelity_checks()))
+        return "\n\n".join(parts)
+
+    # -- fidelity -----------------------------------------------------------
+
+    def fidelity_checks(self) -> list[FidelityCheck]:
+        """Every shape-check, named."""
+        a = self.analysis
+        checks: list[FidelityCheck] = []
+
+        for label, ours in (("emphasis", a.ttest_emphasis), ("growth", a.ttest_growth)):
+            checks.append(FidelityCheck(
+                f"table1.{label}.direction",
+                ours.mean_difference < 0,
+                f"second half higher (mean diff {ours.mean_difference:+.3f})",
+            ))
+            checks.append(FidelityCheck(
+                f"table1.{label}.significant",
+                ours.p_value < 0.05,
+                f"p = {ours.p_value:.2e}",
+            ))
+
+        checks.append(FidelityCheck(
+            "table2.effect_band",
+            a.cohens_d_emphasis.interpretation == self.paper.table2.interpretation,
+            f"d = {a.cohens_d_emphasis.d:.2f} ({a.cohens_d_emphasis.interpretation}); "
+            f"paper {self.paper.table2.d:.2f} ({self.paper.table2.interpretation})",
+        ))
+        checks.append(FidelityCheck(
+            "table2.d_close",
+            abs(a.cohens_d_emphasis.d - self.paper.table2.d) <= D_TOL,
+            f"|{a.cohens_d_emphasis.d:.2f} - {self.paper.table2.d:.2f}| <= {D_TOL}",
+        ))
+        checks.append(FidelityCheck(
+            "table3.effect_band",
+            a.cohens_d_growth.interpretation == self.paper.table3.interpretation,
+            f"d = {a.cohens_d_growth.d:.2f} ({a.cohens_d_growth.interpretation}); "
+            f"paper {self.paper.table3.d:.2f} ({self.paper.table3.interpretation})",
+        ))
+        checks.append(FidelityCheck(
+            "table3.d_close",
+            abs(a.cohens_d_growth.d - self.paper.table3.d) <= D_TOL,
+            f"|{a.cohens_d_growth.d:.2f} - {self.paper.table3.d:.2f}| <= {D_TOL}",
+        ))
+
+        worst_r = 0.0
+        all_positive = True
+        all_significant = True
+        for (skill, wave), target_r in self.paper.table4_r.items():
+            ours = a.pearson[(skill, wave)]
+            worst_r = max(worst_r, abs(ours.r - target_r))
+            all_positive &= ours.r > 0
+            all_significant &= ours.p_value < 0.001
+        checks.append(FidelityCheck(
+            "table4.r_within_tolerance", worst_r <= R_TOL,
+            f"max |r - paper r| = {worst_r:.3f} <= {R_TOL}",
+        ))
+        checks.append(FidelityCheck(
+            "table4.all_positive_significant", all_positive and all_significant,
+            "all 14 correlations positive with p < 0.001",
+        ))
+        named = a.pearson[("Evaluation and Decision Making", W2)]
+        checks.append(FidelityCheck(
+            "table4.eval_dm_high_band", named.strength.label == "high",
+            f"Evaluation and Decision Making w2 r = {named.r:.2f} "
+            f"({named.strength.label})",
+        ))
+        teamwork1 = a.pearson[("Teamwork", W1)]
+        checks.append(FidelityCheck(
+            "table4.teamwork_w1_low_band", teamwork1.strength.label == "low",
+            f"Teamwork w1 r = {teamwork1.r:.2f} ({teamwork1.strength.label})",
+        ))
+
+        for table_id, paper_means, ranking in (
+            ("table5", self.paper.table5_emphasis, a.emphasis_ranking),
+            ("table6", self.paper.table6_growth, a.growth_ranking),
+        ):
+            for wave in (W1, W2):
+                paper_order = [
+                    s for s, _v in sorted(
+                        ((s, v) for (s, w), v in paper_means.items() if w == wave),
+                        key=lambda kv: (-kv[1], kv[0]),
+                    )
+                ]
+                ours_order = [item.name for item in ranking[wave]]
+                # Treat adjacent paper ties (equal to 2 decimals) as swappable.
+                agreement = _orders_agree(paper_order, ours_order, paper_means, wave)
+                checks.append(FidelityCheck(
+                    f"{table_id}.{wave}.rank_order", agreement,
+                    f"paper {paper_order} vs ours {ours_order}",
+                ))
+
+        checks.append(FidelityCheck(
+            "table6.teamwork_top_growth",
+            a.growth_ranking[W1][0].name == "Teamwork"
+            and a.growth_ranking[W2][0].name == "Teamwork",
+            "Teamwork is the top-ranked growth item in both waves",
+        ))
+        checks.append(FidelityCheck(
+            "discussion.growth_spread_narrows",
+            a.growth_spread[W1] > a.growth_spread[W2],
+            f"growth spread w1 {a.growth_spread[W1]:.2f} > w2 "
+            f"{a.growth_spread[W2]:.2f} (growth became 'more equal')",
+        ))
+        implementation_gap = a.gaps[W2]["Implementation"][0]
+        checks.append(FidelityCheck(
+            "discussion.implementation_gap_small",
+            abs(implementation_gap) <= 0.1,
+            f"second-half emphasis-growth gap on Implementation = "
+            f"{implementation_gap:+.3f} (paper: 0.03)",
+        ))
+        return checks
+
+    def all_checks_pass(self) -> bool:
+        return all(c.passed for c in self.fidelity_checks())
+
+
+def _orders_agree(
+    paper_order: list[str],
+    ours_order: list[str],
+    paper_means: Mapping[tuple[str, str], float],
+    wave: str,
+) -> bool:
+    """Rank orders agree, allowing swaps among paper-tied adjacent items."""
+    if paper_order == ours_order:
+        return True
+    for i, (p, o) in enumerate(zip(paper_order, ours_order)):
+        if p == o:
+            continue
+        # Allowed only if the two swapped items tie in the paper to 2dp.
+        if o not in paper_order:
+            return False
+        j = paper_order.index(o)
+        if abs(paper_means[(p, wave)] - paper_means[(o, wave)]) > 0.005 or abs(i - j) > 1:
+            return False
+    return True

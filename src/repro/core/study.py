@@ -1,0 +1,194 @@
+"""The end-to-end study driver.
+
+:class:`PBLStudy` runs the whole case study the way the paper did:
+
+1. generate the cohort with the published marginals and split it into
+   the two sections;
+2. form 13 diverse balanced teams per section;
+3. run the course: execute every assignment's parallel programs on the
+   runtime/simulated Pi, and drive each team's teamwork technologies
+   (workspace, repository, report doc, video) so the activity streams
+   exist;
+4. administer the survey at the mid-point and the end (simulated
+   responses from the calibrated latent-trait model);
+5. run the full statistical analysis (Tables 1–6) and evaluate H1–H3.
+
+Everything is seeded and deterministic; ``PBLStudy.default().run()``
+regenerates the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cohort.formation import form_teams
+from repro.cohort.sections import Section, make_paper_sections
+from repro.cohort.teams import Team
+from repro.core.analysis import StudyAnalysis, analyze_waves
+from repro.core.hypotheses import HypothesisOutcome, evaluate_hypotheses
+from repro.core.targets import PAPER, PaperTargets, simulation_targets
+from repro.course.assignments import all_assignments, run_assignment_programs
+from repro.course.simulate import SimulatedGradebook, simulate_gradebook
+from repro.course.timeline import Semester, paper_timeline
+from repro.simulation.assemble import assemble_waves
+from repro.simulation.calibration import CalibrationResult, calibrate
+from repro.simulation.model import ResponseModel
+from repro.survey.instrument import team_design_skills_survey
+from repro.survey.responses import WaveResponses
+from repro.teamtech.docs import CollaborativeDoc
+from repro.teamtech.github import Repository
+from repro.teamtech.slack import Workspace
+from repro.teamtech.youtube import Segment, Video, VideoChannel, REQUIRED_POINTS
+
+__all__ = ["PBLStudy", "StudyResult", "TeamArtifacts"]
+
+N_TEAMS_PER_SECTION = 13
+
+
+@dataclass(frozen=True)
+class TeamArtifacts:
+    """The teamwork-technology footprint of one team for one assignment."""
+
+    team_id: str
+    workspace: Workspace
+    repository: Repository
+    report: CollaborativeDoc
+    channel: VideoChannel
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything a study run produces."""
+
+    seed: int
+    sections: tuple[Section, Section]
+    teams: tuple[Team, ...]
+    timeline: Semester
+    program_outputs: Mapping[int, Mapping[str, Any]]   # assignment -> name -> result
+    artifacts: tuple[TeamArtifacts, ...]
+    gradebook: SimulatedGradebook | None
+    calibration: CalibrationResult
+    waves: Mapping[str, WaveResponses]
+    analysis: StudyAnalysis
+    hypotheses: tuple[HypothesisOutcome, ...]
+
+    @property
+    def n_students(self) -> int:
+        return sum(s.n for s in self.sections)
+
+    @property
+    def all_hypotheses_supported(self) -> bool:
+        return all(h.supported for h in self.hypotheses)
+
+
+@dataclass(frozen=True)
+class PBLStudy:
+    """Study configuration."""
+
+    seed: int = 2018
+    paper: PaperTargets = PAPER
+    execute_programs: bool = True
+    simulate_teamwork: bool = True
+
+    @classmethod
+    def default(cls, seed: int = 2018) -> "PBLStudy":
+        return cls(seed=seed)
+
+    # -- pieces -----------------------------------------------------------
+
+    def _teams(self, sections: tuple[Section, Section]) -> tuple[Team, ...]:
+        teams: list[Team] = []
+        for index, section in enumerate(sections, start=1):
+            teams.extend(
+                form_teams(section.students, N_TEAMS_PER_SECTION,
+                           id_prefix=f"S{index}T")
+            )
+        return tuple(teams)
+
+    def _team_artifacts(self, team: Team) -> TeamArtifacts:
+        """Drive the four required technologies for one team (A1's task)."""
+        members = [m.student_id for m in team.members]
+        workspace = Workspace(team_id=team.team_id)
+        workspace.create_channel("general", set(members))
+        for member in members:
+            workspace.post("general", member, f"{member} checking in for A1")
+
+        repo = Repository(name=f"{team.team_id}-pbl")
+        repo.commit("main", members[0], "initial commit", {"README.md": team.team_id})
+        repo.create_branch("a1")
+        repo.commit("a1", members[1 % len(members)], "ground rules",
+                    {"ground_rules.md": "work norms; meeting norms"})
+        pr = repo.open_pull_request("a1", members[1 % len(members)], "Assignment 1")
+        repo.merge(pr, approver=members[0])
+
+        doc = CollaborativeDoc(title=f"{team.team_id} report")
+        for i, member in enumerate(members):
+            doc.edit(member, f"section-{i + 1}", f"contribution by {member}")
+
+        channel = VideoChannel(team_id=team.team_id)
+        minutes_each = round(7.0 / len(members), 2)
+        video = Video(
+            title=f"{team.team_id} A1 presentation",
+            assignment_number=1,
+            segments=tuple(
+                Segment(speaker=m, minutes=minutes_each,
+                        points_covered=REQUIRED_POINTS)
+                for m in members
+            ),
+        )
+        channel.upload(video, members)
+        return TeamArtifacts(
+            team_id=team.team_id, workspace=workspace, repository=repo,
+            report=doc, channel=channel,
+        )
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> StudyResult:
+        """Execute the full study."""
+        sections = make_paper_sections(seed=self.seed)
+        teams = self._teams(sections)
+        timeline = paper_timeline()
+
+        program_outputs: dict[int, dict[str, Any]] = {}
+        if self.execute_programs:
+            for assignment in all_assignments():
+                program_outputs[assignment.number] = run_assignment_programs(assignment)
+
+        artifacts: tuple[TeamArtifacts, ...] = ()
+        gradebook: SimulatedGradebook | None = None
+        if self.simulate_teamwork:
+            artifacts = tuple(self._team_artifacts(team) for team in teams)
+            gradebook = simulate_gradebook(teams, seed=self.seed)
+
+        # Survey simulation: calibrate the response model to the paper's
+        # published statistics, then generate raw item-level responses.
+        instrument = team_design_skills_survey()
+        targets = simulation_targets(self.paper)
+        model = ResponseModel(
+            skills=targets.skills, n_students=targets.n_students, seed=self.seed
+        )
+        calibration = calibrate(model, targets)
+        raw = model.generate(calibration.knobs)
+        student_ids = sorted(
+            s.student_id for section in sections for s in section.students
+        )
+        waves = assemble_waves(raw, instrument, student_ids)
+
+        analysis = analyze_waves(waves["first_half"], waves["second_half"])
+        hypotheses = evaluate_hypotheses(analysis)
+
+        return StudyResult(
+            seed=self.seed,
+            sections=sections,
+            teams=teams,
+            timeline=timeline,
+            program_outputs=program_outputs,
+            artifacts=artifacts,
+            gradebook=gradebook,
+            calibration=calibration,
+            waves=waves,
+            analysis=analysis,
+            hypotheses=hypotheses,
+        )

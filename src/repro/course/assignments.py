@@ -1,0 +1,227 @@
+"""The five assignments, with executable programming tasks.
+
+Every assignment carries its study questions and deliverables verbatim
+from the paper's §II.A; each *programming* task is wired to the module
+that implements it, so :func:`run_assignment_programs` genuinely executes
+the parallel programs a team would have run on its Pi (the course
+simulator calls this during a study run).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.course.materials import MATERIALS_BY_ASSIGNMENT
+
+__all__ = ["Deliverable", "Assignment", "all_assignments", "run_assignment_programs"]
+
+
+@dataclass(frozen=True)
+class Deliverable:
+    """One required deliverable of every assignment packet."""
+
+    name: str
+    description: str
+
+
+#: Every assignment requires the same four deliverables (§II.A).
+STANDARD_DELIVERABLES: tuple[Deliverable, ...] = (
+    Deliverable(
+        "planning", "work breakdown structure: assignee, email, task, "
+        "duration in hours, dependency, due date, note",
+    ),
+    Deliverable("collaboration", "evidence of collaboration in the team's "
+                "Slack workspace and GitHub repository"),
+    Deliverable("report", "written report with explained screenshots and "
+                "code snippets (unexplained attachments receive no credit)"),
+    Deliverable("video", "5-10 minute YouTube presentation; every member "
+                "introduces their role, tasks, and lessons"),
+)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One two-week assignment."""
+
+    number: int
+    title: str
+    focus: str                                   # "soft skills" / "parallel programming"
+    questions: tuple[str, ...]
+    programs: Mapping[str, Callable[[], Any]] = field(default_factory=dict)
+    deliverables: tuple[Deliverable, ...] = STANDARD_DELIVERABLES
+
+    @property
+    def material_keys(self) -> tuple[str, ...]:
+        return MATERIALS_BY_ASSIGNMENT[self.number]
+
+    @property
+    def duration_weeks(self) -> int:
+        return 2
+
+
+def _assignment1() -> Assignment:
+    return Assignment(
+        number=1,
+        title="Teamwork basics and teamwork technologies",
+        focus="soft skills",
+        questions=(
+            "Establish the team Ground Rules: work norms, facilitator norms, "
+            "communication norms, meeting norms, handling difficult behavior, "
+            "handling group problems.",
+            "Learn, apply and report how to utilize Slack, GitHub, an online "
+            "word processor, and YouTube for the team's workflow.",
+        ),
+        programs={},
+    )
+
+
+def _assignment2() -> Assignment:
+    from repro.patternlets.datarace import run_race_demo
+    from repro.patternlets.forkjoin import run_fork_join
+    from repro.patternlets.spmd import run_spmd
+    from repro.rpi.setup import PiSetup
+
+    return Assignment(
+        number=2,
+        title="Raspberry Pi bring-up and first parallel programs",
+        focus="parallel programming",
+        questions=(
+            "Identify the components on the Raspberry PI B+.",
+            "How many cores does the Raspberry Pi's B+ CPU have?",
+            "What is the difference between sequential and parallel "
+            "computation and identify the practical significance of each?",
+            "Identify the basic form of data and task parallelism in "
+            "computational problems.",
+            "Explain the differences between processes and threads.",
+            "What is OpenMP and what is OpenMP pragmas?",
+            "What applications benefit from multi-core?",
+        ),
+        programs={
+            "pi_setup": lambda: PiSetup.quickstart(),
+            "fork_join": lambda: run_fork_join(num_threads=4),
+            "spmd": lambda: run_spmd(num_threads=4),
+            "shared_memory_race": lambda: run_race_demo(num_threads=4,
+                                                        increments_per_thread=200),
+        },
+    )
+
+
+def _assignment3() -> Assignment:
+    from repro.patternlets.parallel_loop import run_equal_chunks
+    from repro.patternlets.reduction_loop import run_reduction_loop
+    from repro.patternlets.scheduling import run_scheduling_demo
+
+    return Assignment(
+        number=3,
+        title="Loop parallelism, scheduling, and architecture taxonomy",
+        focus="parallel programming",
+        questions=(
+            "What is: Task, Pipelining, Shared Memory, Communications, and "
+            "Synchronization?",
+            "Classify parallel computers based on Flynn's taxonomy.",
+            "What are the Parallel Programming Models?",
+            "List and briefly describe the types of Parallel Computer Memory "
+            "Architecture.  What type is used by OpenMP and why?",
+            "Compare Shared Memory Model with Threads Model.",
+            "What is System On Chip (SOC)?  Does Raspberry PI use SOC?",
+            "What are the advantages of a System on a Chip rather than "
+            "separate CPU, GPU and RAM components?",
+        ),
+        programs={
+            "loops_in_parallel": lambda: run_equal_chunks(num_threads=4, n_iterations=16),
+            "loop_scheduling": lambda: run_scheduling_demo(num_threads=4, n_iterations=12),
+            "loop_reduction": lambda: run_reduction_loop(num_threads=4, n=500),
+        },
+    )
+
+
+def _assignment4() -> Assignment:
+    from repro.patternlets.barrier_sync import run_barrier_demo
+    from repro.patternlets.masterworker import run_master_worker
+    from repro.patternlets.trapezoid import trapezoid_parallel
+
+    return Assignment(
+        number=4,
+        title="Races, synchronisation, and implementation strategies",
+        focus="parallel programming",
+        questions=(
+            "What is the race condition?  Why is a race condition difficult "
+            "to reproduce and debug?  How can it be fixed?  Provide an "
+            "example from your Assignment 2.",
+            "Compare collective synchronization (barrier) with collective "
+            "communication (reduction).",
+            "Compare master-worker with fork-join.",
+        ),
+        programs={
+            "trapezoid_integration": lambda: trapezoid_parallel(
+                math.sin, 0.0, math.pi, n=1 << 12, num_threads=4
+            ),
+            "barrier_coordination": lambda: run_barrier_demo(num_threads=4),
+            "master_worker": lambda: run_master_worker(
+                list(range(24)), lambda x: x * x, num_threads=4
+            ),
+        },
+    )
+
+
+def _assignment5() -> Assignment:
+    from repro.drugdesign.experiment import DrugDesignConfig, run_assignment5
+    from repro.mapreduce.engine import MapReduceEngine
+    from repro.mapreduce.jobs import word_count_job
+
+    def mapreduce_example() -> Any:
+        engine = MapReduceEngine(n_workers=4)
+        docs = [("d1", "map and reduce"), ("d2", "reduce the map"), ("d3", "map map map")]
+        return engine.run(word_count_job(), docs)
+
+    return Assignment(
+        number=5,
+        title="MapReduce and the drug-design exemplar",
+        focus="parallel programming",
+        questions=(
+            "What are the basic steps in building a parallel program?",
+            "What is MapReduce?  What is a map and what is a reduce?",
+            "Why MapReduce?  Explain how the MapReduce model is executed.",
+            "List and describe three examples that are expressed as "
+            "MapReduce computations.",
+            "When do we use OpenMP, MPI and MapReduce (Hadoop), and why?",
+            "Report the Drug Design and DNA problem and its algorithmic "
+            "strategy in sequential, OpenMP, and C++11 Threads solutions.",
+            "Which approach is fastest?  What are the number of lines in "
+            "each file (size of the program vs. performance)?",
+            "Increase the number of threads to 5: what is the run time?",
+            "Increase the maximum ligand length to 7 and rerun: run times?",
+        ),
+        programs={
+            "mapreduce_wordcount": mapreduce_example,
+            "drug_design_baseline": lambda: run_assignment5(DrugDesignConfig()),
+            "drug_design_5_threads": lambda: run_assignment5(
+                DrugDesignConfig(num_threads=5)
+            ),
+            "drug_design_ligand_7": lambda: run_assignment5(
+                DrugDesignConfig(max_ligand=7)
+            ),
+        },
+    )
+
+
+def all_assignments() -> tuple[Assignment, ...]:
+    """The five assignments, in order."""
+    return (
+        _assignment1(),
+        _assignment2(),
+        _assignment3(),
+        _assignment4(),
+        _assignment5(),
+    )
+
+
+def run_assignment_programs(assignment: Assignment) -> dict[str, Any]:
+    """Execute every program of an assignment; returns results by name.
+
+    This is what the study driver calls so a simulated course run
+    actually exercises the parallel substrate end to end.
+    """
+    return {name: program() for name, program in assignment.programs.items()}

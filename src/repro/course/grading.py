@@ -1,0 +1,138 @@
+"""The grading policy.
+
+Paper §II.A: "The PBL module has been assigned 25% of the class overall
+grade … equally distributed across the five assignments.  Each student
+who contributes in the assignment will receive the team assigned grade.
+If a team member refuses to cooperate or partially cooperated on an
+assignment, a zero grade will be assigned for that assignment.  If the
+problem persists … grades of zeroes will be assigned for the remaining
+assignments."  Individual performance is assessed with five quizzes, a
+midterm and a final.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["GradingPolicy", "AssignmentGrade", "StudentRecord", "CourseGrade"]
+
+N_ASSIGNMENTS = 5
+
+#: Peer-rating threshold below which a member "did not cooperate".
+COOPERATION_THRESHOLD = 2.0
+#: Threshold for "partially cooperated" (also zero per the paper).
+PARTIAL_THRESHOLD = 2.5
+
+
+@dataclass(frozen=True)
+class GradingPolicy:
+    """Course grade composition."""
+
+    pbl_weight: float = 0.25
+    quiz_weight: float = 0.15
+    midterm_weight: float = 0.25
+    final_weight: float = 0.35
+    persistence_rule: bool = True   # zeros propagate after repeat offences
+
+    def __post_init__(self) -> None:
+        total = self.pbl_weight + self.quiz_weight + self.midterm_weight + self.final_weight
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"grade weights must sum to 1, got {total}")
+
+    @property
+    def per_assignment_weight(self) -> float:
+        """Equal split of the PBL weight over the five assignments."""
+        return self.pbl_weight / N_ASSIGNMENTS
+
+
+@dataclass(frozen=True)
+class AssignmentGrade:
+    """A team's grade on one assignment plus one member's peer standing."""
+
+    assignment_number: int
+    team_score: float                 # 0-100, what the team earned
+    peer_rating: float                # mean rating this member received
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.assignment_number <= N_ASSIGNMENTS:
+            raise ValueError(f"assignment number {self.assignment_number} out of range")
+        if not 0.0 <= self.team_score <= 100.0:
+            raise ValueError(f"team score {self.team_score} outside [0, 100]")
+        if not 1.0 <= self.peer_rating <= 5.0:
+            raise ValueError(f"peer rating {self.peer_rating} outside [1, 5]")
+
+    @property
+    def cooperated(self) -> bool:
+        return self.peer_rating >= PARTIAL_THRESHOLD
+
+
+@dataclass(frozen=True)
+class StudentRecord:
+    """Everything that goes into one student's course grade."""
+
+    student_id: str
+    assignment_grades: tuple[AssignmentGrade, ...]
+    quiz_scores: tuple[float, ...]        # 5 quizzes, 0-100
+    midterm: float
+    final: float
+
+    def __post_init__(self) -> None:
+        if len(self.assignment_grades) != N_ASSIGNMENTS:
+            raise ValueError(f"need {N_ASSIGNMENTS} assignment grades")
+        if len(self.quiz_scores) != N_ASSIGNMENTS:
+            raise ValueError(f"need {N_ASSIGNMENTS} quiz scores")
+        for score in (*self.quiz_scores, self.midterm, self.final):
+            if not 0.0 <= score <= 100.0:
+                raise ValueError(f"score {score} outside [0, 100]")
+
+
+@dataclass(frozen=True)
+class CourseGrade:
+    """The computed grade with its PBL component broken out."""
+
+    student_id: str
+    pbl_scores: tuple[float, ...]     # per-assignment, zeros applied
+    pbl_component: float
+    quiz_component: float
+    midterm_component: float
+    final_component: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.pbl_component + self.quiz_component
+            + self.midterm_component + self.final_component
+        )
+
+
+def grade_student(record: StudentRecord, policy: GradingPolicy | None = None) -> CourseGrade:
+    """Apply the paper's grading rules to one student.
+
+    Zero rules: an assignment where the member did not cooperate scores
+    zero *for that member*.  Under the persistence rule, once a member has
+    failed to cooperate twice, all remaining assignments are zeroed (the
+    "problem persists" clause).
+    """
+    p = policy or GradingPolicy()
+    pbl_scores: list[float] = []
+    offences = 0
+    for grade in sorted(record.assignment_grades, key=lambda g: g.assignment_number):
+        if p.persistence_rule and offences >= 2:
+            pbl_scores.append(0.0)
+            continue
+        if grade.cooperated:
+            pbl_scores.append(grade.team_score)
+        else:
+            offences += 1
+            pbl_scores.append(0.0)
+    pbl_component = sum(s * p.per_assignment_weight for s in pbl_scores)
+    quiz_component = (sum(record.quiz_scores) / len(record.quiz_scores)) * p.quiz_weight
+    return CourseGrade(
+        student_id=record.student_id,
+        pbl_scores=tuple(pbl_scores),
+        pbl_component=pbl_component,
+        quiz_component=quiz_component,
+        midterm_component=record.midterm * p.midterm_weight,
+        final_component=record.final * p.final_weight,
+    )

@@ -1,0 +1,60 @@
+"""The learning materials catalogue.
+
+The paper hands each assignment one or more of six materials (its
+references [6]–[11]).  The mapping below is the one §II.A specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["Material", "MATERIALS", "MATERIALS_BY_ASSIGNMENT"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """One handout."""
+
+    key: str
+    title: str
+    source: str
+    reference: int   # the paper's bracket number
+
+
+MATERIALS: Mapping[str, Material] = MappingProxyType({
+    "teamwork": Material(
+        "teamwork", "Teamwork Basics",
+        "MIT OpenCourseWare, Sloan Communication Program", 6,
+    ),
+    "rpi": Material(
+        "rpi", "Raspberry PI Multicore architecture",
+        "CSinParallel SIGCSE17 Raspberry Pi workshop", 7,
+    ),
+    "patternlets": Material(
+        "patternlets", "Shared Memory Parallel Patternlets in OpenMP",
+        "CSinParallel", 8,
+    ),
+    "llnl": Material(
+        "llnl", "Introduction to Parallel Computing",
+        "Blaise Barney, Lawrence Livermore National Laboratory", 9,
+    ),
+    "soc": Material(
+        "soc", "CPU vs. SOC - The battle for the future of computing",
+        "N. Zlatanov, International System-on-Chip Conference", 10,
+    ),
+    "mapreduce": Material(
+        "mapreduce", "Introduction to Parallel Programming and MapReduce",
+        "Google (via UW CSE 490h)", 11,
+    ),
+})
+
+#: Which materials each assignment hands out (paper §II.A).
+MATERIALS_BY_ASSIGNMENT: Mapping[int, tuple[str, ...]] = MappingProxyType({
+    1: ("teamwork",),
+    2: ("rpi", "patternlets", "llnl"),
+    3: ("rpi", "patternlets", "llnl", "soc"),
+    4: ("patternlets", "llnl"),
+    5: ("mapreduce", "rpi"),
+})

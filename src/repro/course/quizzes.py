@@ -1,0 +1,137 @@
+"""The five quizzes, auto-graded against the substrate.
+
+"To assess individuals' performance, one quiz after each assignment due
+date is to be taken (five in total)."  Each quiz question here carries a
+checker that computes the correct answer *from the library itself* —
+e.g. the Pi's core count comes from the board model, the reduction answer
+from actually running the reduction — so the quiz bank can never drift
+out of sync with the material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["QuizQuestion", "Quiz", "quiz_bank", "grade_quiz"]
+
+
+@dataclass(frozen=True)
+class QuizQuestion:
+    """One auto-graded question."""
+
+    prompt: str
+    answer: Callable[[], Any]
+    points: float = 1.0
+
+    def check(self, response: Any) -> bool:
+        return response == self.answer()
+
+
+@dataclass(frozen=True)
+class Quiz:
+    """One quiz: follows assignment ``assignment_number``."""
+
+    assignment_number: int
+    questions: tuple[QuizQuestion, ...]
+
+    @property
+    def total_points(self) -> float:
+        return sum(q.points for q in self.questions)
+
+
+def quiz_bank() -> tuple[Quiz, ...]:
+    """The five quizzes, one per assignment."""
+    from repro.arch.flynn import classify
+    from repro.openmp.loops import Schedule, chunk_iterations
+    from repro.rpi.soc import RaspberryPi3BPlus
+    from repro.teamtech.youtube import MAX_MINUTES, MIN_MINUTES
+
+    quiz1 = Quiz(1, (
+        QuizQuestion(
+            "How long must the group video be, in minutes (min, max)?",
+            lambda: (MIN_MINUTES, MAX_MINUTES),
+        ),
+        QuizQuestion(
+            "How many teamwork technologies must every team adopt "
+            "(Slack, GitHub, online docs, YouTube)?",
+            lambda: 4,
+        ),
+    ))
+    quiz2 = Quiz(2, (
+        QuizQuestion(
+            "How many cores does the Raspberry Pi 3 B+'s CPU have?",
+            lambda: RaspberryPi3BPlus().n_cores,
+        ),
+        QuizQuestion(
+            "Does the Raspberry Pi use a System on Chip? (True/False)",
+            lambda: RaspberryPi3BPlus().soc.is_soc,
+        ),
+        QuizQuestion(
+            "In fork-join, how many threads print the 'after' message "
+            "when OMP_NUM_THREADS=4?",
+            lambda: 1,
+        ),
+    ))
+    quiz3 = Quiz(3, (
+        QuizQuestion(
+            "Classify a machine with 1 instruction stream and 8 data "
+            "streams under Flynn's taxonomy.",
+            lambda: classify(1, 8),
+        ),
+        QuizQuestion(
+            "With schedule(static,2), 8 iterations, 2 threads: which "
+            "iterations does thread 0 run?",
+            lambda: chunk_iterations(8, 2, Schedule.static(chunk=2))[0],
+        ),
+        QuizQuestion(
+            "Which memory architecture does OpenMP target?",
+            lambda: "shared memory",
+        ),
+    ))
+    quiz4 = Quiz(4, (
+        QuizQuestion(
+            "A barrier performs collective ___ while a reduction performs "
+            "collective ___ (synchronization/communication).",
+            lambda: ("synchronization", "communication"),
+        ),
+        QuizQuestion(
+            "In the master-worker pattern with 4 threads, how many threads "
+            "act as workers?",
+            lambda: 3,
+        ),
+        QuizQuestion(
+            "sum(0..99) computed with reduction(+) equals?",
+            lambda: sum(range(100)),
+        ),
+    ))
+    quiz5 = Quiz(5, (
+        QuizQuestion(
+            "In MapReduce, which phase groups intermediate values by key?",
+            lambda: "shuffle",
+        ),
+        QuizQuestion(
+            "Word count of 'map reduce map': how many times does 'map' "
+            "appear?",
+            lambda: 2,
+        ),
+        QuizQuestion(
+            "Which of OpenMP / MPI / MapReduce targets distributed "
+            "memory with explicit messages?",
+            lambda: "MPI",
+        ),
+    ))
+    return (quiz1, quiz2, quiz3, quiz4, quiz5)
+
+
+def grade_quiz(quiz: Quiz, responses: tuple[Any, ...]) -> float:
+    """Score a quiz attempt on a 0–100 scale."""
+    if len(responses) != len(quiz.questions):
+        raise ValueError(
+            f"quiz {quiz.assignment_number} has {len(quiz.questions)} "
+            f"questions, got {len(responses)} responses"
+        )
+    earned = sum(
+        q.points for q, r in zip(quiz.questions, responses) if q.check(r)
+    )
+    return round(100.0 * earned / quiz.total_points, 2)

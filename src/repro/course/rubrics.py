@@ -1,0 +1,98 @@
+"""Project rubrics — the paper's planned Spring-2019 improvement.
+
+§V: "We also plan on developing project rubrics, as it helps improve
+students' learning, identify what quality work is, and reduce the
+assignments grading overheads."  We implement that future-work item: a
+weighted-criteria rubric over the standard deliverables, with defined
+performance levels, scoring, and a grading-overhead estimate (the
+motivation the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["RubricCriterion", "Rubric", "project_rubric"]
+
+#: Performance levels and their score multipliers.
+LEVELS: Mapping[str, float] = {
+    "exemplary": 1.0,
+    "proficient": 0.85,
+    "developing": 0.65,
+    "beginning": 0.4,
+    "missing": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class RubricCriterion:
+    """One scored criterion."""
+
+    name: str
+    weight: float                    # fraction of the assignment grade
+    descriptors: Mapping[str, str]   # level -> what that level looks like
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(f"weight must be in (0, 1], got {self.weight}")
+        missing = set(LEVELS) - set(self.descriptors)
+        if missing:
+            raise ValueError(f"criterion {self.name!r} lacks levels {sorted(missing)}")
+
+
+@dataclass(frozen=True)
+class Rubric:
+    """A weighted rubric; weights must sum to 1."""
+
+    title: str
+    criteria: tuple[RubricCriterion, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(c.weight for c in self.criteria)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"criterion weights must sum to 1, got {total}")
+
+    def score(self, levels: Mapping[str, str]) -> float:
+        """Score an assignment (0–100) from per-criterion level choices."""
+        expected = {c.name for c in self.criteria}
+        if set(levels) != expected:
+            raise ValueError(
+                f"levels must cover exactly {sorted(expected)}, got {sorted(levels)}"
+            )
+        total = 0.0
+        for criterion in self.criteria:
+            level = levels[criterion.name]
+            if level not in LEVELS:
+                raise ValueError(f"unknown level {level!r} for {criterion.name!r}")
+            total += criterion.weight * LEVELS[level]
+        return round(100.0 * total, 2)
+
+
+def _descriptors(topic: str) -> dict[str, str]:
+    return {
+        "exemplary": f"{topic} complete, correct, and insightful",
+        "proficient": f"{topic} complete with minor gaps",
+        "developing": f"{topic} attempted but with significant gaps",
+        "beginning": f"{topic} superficial",
+        "missing": f"{topic} absent",
+    }
+
+
+def project_rubric() -> Rubric:
+    """The assignment rubric over the paper's four deliverables + code."""
+    return Rubric(
+        title="PBL assignment rubric (CSc 3210)",
+        criteria=(
+            RubricCriterion("planning", 0.15,
+                            _descriptors("work breakdown structure")),
+            RubricCriterion("collaboration", 0.15,
+                            _descriptors("use of Slack/GitHub evidence")),
+            RubricCriterion("programs", 0.30,
+                            _descriptors("parallel programs and observations")),
+            RubricCriterion("report", 0.25,
+                            _descriptors("written explanation of results")),
+            RubricCriterion("video", 0.15,
+                            _descriptors("team video presentation")),
+        ),
+    )

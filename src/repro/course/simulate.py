@@ -1,0 +1,151 @@
+"""Simulate the gradebook for a full course run.
+
+The paper's grading machinery (team scores, peer ratings with the zero
+rules, five quizzes, midterm, final) needs inputs; this module generates
+them, seeded and ability-linked:
+
+- each team's assignment scores sit near a team-quality baseline (the
+  rubric's realistic range) with per-assignment noise;
+- peer ratings are cooperative for almost everyone; a small number of
+  deterministic "offenders" trigger the paper's zero rules so the policy
+  path is exercised in every study run;
+- individual quiz/exam scores track the student's ability index plus
+  noise.
+
+The output is one :class:`~repro.course.grading.CourseGrade` per student.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cohort.peer_rating import PeerRating, PeerRatingForm
+from repro.cohort.teams import Team
+from repro.course.grading import (
+    AssignmentGrade,
+    CourseGrade,
+    N_ASSIGNMENTS,
+    StudentRecord,
+    grade_student,
+)
+
+__all__ = ["SimulatedGradebook", "simulate_gradebook"]
+
+
+@dataclass(frozen=True)
+class SimulatedGradebook:
+    """Everything the grade simulation produced."""
+
+    grades: dict[str, CourseGrade]
+    peer_forms: tuple[PeerRatingForm, ...]
+    offenders: tuple[str, ...]
+
+    @property
+    def mean_total(self) -> float:
+        totals = [g.total for g in self.grades.values()]
+        return sum(totals) / len(totals)
+
+
+def _clip_score(value: float) -> float:
+    return float(min(100.0, max(0.0, value)))
+
+
+def simulate_gradebook(
+    teams: Sequence[Team],
+    seed: int = 2018,
+    n_offenders: int = 2,
+) -> SimulatedGradebook:
+    """Generate and grade a full semester for every student.
+
+    ``n_offenders`` students (chosen deterministically from the seed) stop
+    cooperating from assignment 2 on — enough to exercise both the
+    single-assignment zero and the persistence rule.
+    """
+    if not teams:
+        raise ValueError("need at least one team")
+    rng = np.random.default_rng(seed + 1)
+
+    all_students = [m for team in teams for m in team.members]
+    offender_ids = {
+        s.student_id
+        for s in rng.choice(np.array(all_students, dtype=object),
+                            size=min(n_offenders, len(all_students)),
+                            replace=False)
+    }
+
+    forms: list[PeerRatingForm] = []
+    grades: dict[str, CourseGrade] = {}
+
+    team_quality = {
+        team.team_id: float(np.clip(rng.normal(82.0 + 14.0 * team.mean_ability, 4.0),
+                                    55.0, 100.0))
+        for team in teams
+    }
+
+    for team in teams:
+        member_ids = [m.student_id for m in team.members]
+        team_scores = [
+            _clip_score(team_quality[team.team_id] + rng.normal(0.0, 3.0))
+            for _ in range(N_ASSIGNMENTS)
+        ]
+        # Peer ratings per assignment.
+        per_member_rating: dict[str, list[float]] = {m: [] for m in member_ids}
+        for assignment_number in range(1, N_ASSIGNMENTS + 1):
+            ratings = []
+            for rater in member_ids:
+                for ratee in member_ids:
+                    if rater == ratee:
+                        continue
+                    offending = (
+                        ratee in offender_ids and assignment_number >= 2
+                    )
+                    adjective = "no show" if offending else rng.choice(
+                        ["excellent", "very good", "satisfactory"],
+                        p=[0.3, 0.5, 0.2],
+                    )
+                    ratings.append(PeerRating(rater, ratee, str(adjective)))
+            form = PeerRatingForm(
+                team_id=team.team_id,
+                assignment_number=assignment_number,
+                ratings=tuple(ratings),
+            )
+            form.validate_against(team)
+            forms.append(form)
+            received: dict[str, list[float]] = {m: [] for m in member_ids}
+            for rating in ratings:
+                received[rating.ratee_id].append(rating.value)
+            for member, values in received.items():
+                per_member_rating[member].append(sum(values) / len(values))
+
+        for member in team.members:
+            ability = member.ability_index
+            assignment_grades = tuple(
+                AssignmentGrade(
+                    assignment_number=a + 1,
+                    team_score=team_scores[a],
+                    peer_rating=float(np.clip(per_member_rating[member.student_id][a],
+                                              1.0, 5.0)),
+                )
+                for a in range(N_ASSIGNMENTS)
+            )
+            quiz_scores = tuple(
+                _clip_score(rng.normal(55.0 + 45.0 * ability, 8.0))
+                for _ in range(N_ASSIGNMENTS)
+            )
+            record = StudentRecord(
+                student_id=member.student_id,
+                assignment_grades=assignment_grades,
+                quiz_scores=quiz_scores,
+                midterm=_clip_score(rng.normal(52.0 + 45.0 * ability, 9.0)),
+                final=_clip_score(rng.normal(52.0 + 46.0 * ability, 9.0)),
+            )
+            grades[member.student_id] = grade_student(record)
+
+    return SimulatedGradebook(
+        grades=grades,
+        peer_forms=tuple(forms),
+        offenders=tuple(sorted(offender_ids)),
+    )

@@ -1,0 +1,117 @@
+"""The semester timeline (the paper's Fig. 1).
+
+A 15-week semester: teams are formed in week 1; the five two-week
+assignments run back-to-back from week 2; a quiz follows each
+assignment's due date; the midterm and the first survey sit at the
+mid-point (week 8); the final exam and the second survey close week 15.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventKind", "SemesterEvent", "Semester", "paper_timeline"]
+
+SEMESTER_WEEKS = 15
+
+
+class EventKind(enum.Enum):
+    TEAM_FORMATION = "team formation"
+    ASSIGNMENT = "assignment"
+    QUIZ = "quiz"
+    SURVEY = "survey"
+    MIDTERM = "midterm exam"
+    FINAL = "final exam"
+
+
+@dataclass(frozen=True)
+class SemesterEvent:
+    """One scheduled event; weeks are inclusive and 1-based."""
+
+    kind: EventKind
+    label: str
+    start_week: int
+    end_week: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.start_week <= self.end_week:
+            raise ValueError(
+                f"{self.label}: bad week range {self.start_week}..{self.end_week}"
+            )
+
+    @property
+    def duration_weeks(self) -> int:
+        return self.end_week - self.start_week + 1
+
+    def overlaps(self, other: "SemesterEvent") -> bool:
+        return not (self.end_week < other.start_week or other.end_week < self.start_week)
+
+
+@dataclass(frozen=True)
+class Semester:
+    """A validated semester schedule."""
+
+    events: tuple[SemesterEvent, ...]
+    n_weeks: int = SEMESTER_WEEKS
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if event.end_week > self.n_weeks:
+                raise ValueError(
+                    f"{event.label} ends week {event.end_week}, past week {self.n_weeks}"
+                )
+        assignments = self.of_kind(EventKind.ASSIGNMENT)
+        for a, b in zip(assignments, assignments[1:]):
+            if a.overlaps(b):
+                raise ValueError(f"assignments overlap: {a.label} and {b.label}")
+
+    def of_kind(self, kind: EventKind) -> tuple[SemesterEvent, ...]:
+        return tuple(
+            sorted(
+                (e for e in self.events if e.kind is kind),
+                key=lambda e: (e.start_week, e.label),
+            )
+        )
+
+    def week_events(self, week: int) -> tuple[SemesterEvent, ...]:
+        if not 1 <= week <= self.n_weeks:
+            raise ValueError(f"week {week} outside semester")
+        return tuple(
+            e for e in self.events if e.start_week <= week <= e.end_week
+        )
+
+    @property
+    def survey_weeks(self) -> tuple[int, ...]:
+        return tuple(e.start_week for e in self.of_kind(EventKind.SURVEY))
+
+    def render(self) -> str:
+        """ASCII Gantt — the regenerated Fig. 1."""
+        width = 3
+        header = "week        " + "".join(f"{w:>{width}}" for w in range(1, self.n_weeks + 1))
+        lines = [header]
+        for event in sorted(self.events, key=lambda e: (e.start_week, e.label)):
+            row = [f"{event.label:<12.12}"]
+            for week in range(1, self.n_weeks + 1):
+                mark = "==" if event.start_week <= week <= event.end_week else "  "
+                row.append(f"{mark:>{width}}")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+def paper_timeline() -> Semester:
+    """The Fig. 1 schedule."""
+    events = [
+        SemesterEvent(EventKind.TEAM_FORMATION, "teams", 1, 1),
+    ]
+    for i in range(5):
+        start = 2 + 2 * i
+        events.append(
+            SemesterEvent(EventKind.ASSIGNMENT, f"assignment {i + 1}", start, start + 1)
+        )
+        events.append(SemesterEvent(EventKind.QUIZ, f"quiz {i + 1}", start + 2, start + 2))
+    events.append(SemesterEvent(EventKind.MIDTERM, "midterm", 8, 8))
+    events.append(SemesterEvent(EventKind.SURVEY, "survey 1", 8, 8))
+    events.append(SemesterEvent(EventKind.FINAL, "final", 15, 15))
+    events.append(SemesterEvent(EventKind.SURVEY, "survey 2", 15, 15))
+    return Semester(events=tuple(events))

@@ -1,0 +1,48 @@
+"""The Drug Design / DNA exemplar (Assignment 5).
+
+The CSinParallel exemplar the paper assigns: a set of candidate *ligands*
+(short character strings standing in for small molecules) is scored
+against a *protein* (a long string); a ligand's score is the length of
+the longest common subsequence between it and the protein, and the task
+is to find the maximal-scoring ligands.  The paper requires "a
+sequential, an OpenMP, and a C++11 Threads solution", timing each, then
+re-running with 5 threads and with maximum ligand length 7.
+
+- :mod:`repro.drugdesign.ligands` — seeded ligand generation.
+- :mod:`repro.drugdesign.scoring` — the LCS dynamic program.
+- :mod:`repro.drugdesign.solvers` — the three solution styles:
+  ``sequential``, ``openmp`` (our work-sharing runtime with a max-
+  reduction), and ``cxx11_threads`` (a thread pool pulling from an
+  atomic task counter — the structure of the C++11 original).
+- :mod:`repro.drugdesign.experiment` — the Assignment-5 measurement
+  protocol: wall-clock *and* simulated-Pi timing, the thread and
+  max-ligand sweeps, and lines-of-code per implementation.
+"""
+
+from repro.drugdesign.experiment import (
+    Assignment5Report,
+    DrugDesignConfig,
+    run_assignment5,
+)
+from repro.drugdesign.ligands import generate_ligands
+from repro.drugdesign.mpi_solver import solve_mpi
+from repro.drugdesign.scoring import lcs_score
+from repro.drugdesign.solvers import (
+    DrugDesignResult,
+    solve_cxx11_threads,
+    solve_openmp,
+    solve_sequential,
+)
+
+__all__ = [
+    "Assignment5Report",
+    "DrugDesignConfig",
+    "DrugDesignResult",
+    "generate_ligands",
+    "lcs_score",
+    "run_assignment5",
+    "solve_cxx11_threads",
+    "solve_mpi",
+    "solve_openmp",
+    "solve_sequential",
+]

@@ -1,0 +1,47 @@
+"""Ligand and protein generation.
+
+Matches the CSinParallel exemplar's conventions: ligands are lowercase
+strings of length 1..max_ligand (shorter strings are far more numerous in
+its random generator — we draw lengths uniformly, which preserves the
+property the sweep depends on: raising ``max_ligand`` adds longer, much
+more expensive ligands).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+__all__ = ["generate_ligands", "generate_protein", "DEFAULT_PROTEIN"]
+
+_ALPHABET = string.ascii_lowercase
+
+#: The protein string used by the CSinParallel exemplar's default run.
+DEFAULT_PROTEIN = (
+    "the quick brown fox jumped over the lazy dog that guarded the gate of "
+    "the ancient citadel whose walls had stood for a thousand years against "
+    "wind rain and the slow siege of ivy"
+).replace(" ", "")
+
+
+def generate_ligands(
+    n_ligands: int, max_ligand: int, seed: int = 500
+) -> list[str]:
+    """Generate ``n_ligands`` random ligands of length 1..max_ligand."""
+    if n_ligands < 1:
+        raise ValueError(f"n_ligands must be >= 1, got {n_ligands}")
+    if max_ligand < 1:
+        raise ValueError(f"max_ligand must be >= 1, got {max_ligand}")
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(_ALPHABET) for _ in range(rng.randint(1, max_ligand)))
+        for _ in range(n_ligands)
+    ]
+
+
+def generate_protein(length: int, seed: int = 501) -> str:
+    """Generate a random protein string of the given length."""
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    rng = random.Random(seed)
+    return "".join(rng.choice(_ALPHABET) for _ in range(length))

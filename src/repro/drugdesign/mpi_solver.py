@@ -1,0 +1,71 @@
+"""A distributed-memory drug-design solver (the paper's §V direction).
+
+The paper's future work moves the course from shared memory (OpenMP) to
+distributed memory (MPI) "to provide students with more flexibility in
+determining the correct memory architecture to use".  This module is that
+exercise applied to the Assignment-5 exemplar: the ligand set is
+scattered across ranks, each rank scores its block locally (no shared
+memory — the candidates never leave the rank except by message), and the
+global winner is found with an allreduce over (score, ligands) pairs.
+"""
+
+from __future__ import annotations
+
+from repro.drugdesign.scoring import dp_cells, lcs_score
+from repro.drugdesign.solvers import DrugDesignResult
+from repro.mpi.comm import Communicator, mpi_run
+
+__all__ = ["solve_mpi"]
+
+
+def _merge(a: tuple[int, tuple[str, ...]], b: tuple[int, tuple[str, ...]]):
+    """Combine two (max score, winning ligands) summaries."""
+    if a[0] > b[0]:
+        return a
+    if b[0] > a[0]:
+        return b
+    return (a[0], tuple(sorted(set(a[1]) | set(b[1]))))
+
+
+def solve_mpi(ligands: list[str], protein: str, n_ranks: int = 4) -> DrugDesignResult:
+    """Find the maximal-scoring ligands with block-scattered ranks.
+
+    Semantically identical to the shared-memory solvers (property-tested);
+    structurally the distributed version: scatter → local compute →
+    allreduce, with per-rank work counts gathered for the load report.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    data = list(ligands)
+
+    def program(comm: Communicator):
+        if comm.rank == 0:
+            block = (len(data) + comm.size - 1) // comm.size
+            blocks = [data[i * block : (i + 1) * block] for i in range(comm.size)]
+        else:
+            blocks = None
+        mine = comm.scatter(blocks, root=0)
+
+        local_best: tuple[int, tuple[str, ...]] = (0, ())
+        local_cells = 0
+        for ligand in mine:
+            score = lcs_score(ligand, protein)
+            local_cells += dp_cells(ligand, protein)
+            local_best = _merge(local_best, (score, (ligand,)))
+
+        global_best = comm.allreduce(local_best, op=_merge)
+        cells = comm.allgather(local_cells)
+        return global_best, cells
+
+    results = mpi_run(n_ranks, program)
+    (max_score, best), cells = results[0]
+    if not ligands:
+        max_score, best = 0, ()
+    return DrugDesignResult(
+        style="mpi",
+        num_threads=n_ranks,
+        max_score=max_score,
+        best_ligands=best,
+        total_cells=sum(cells),
+        per_thread_cells=tuple(cells),
+    )

@@ -1,0 +1,147 @@
+"""The three solution styles the assignment requires.
+
+All three must find the same answer (property-tested); they differ in how
+work is distributed:
+
+- :func:`solve_sequential` — one loop;
+- :func:`solve_openmp` — a work-shared loop on our OpenMP-style runtime
+  with a max-reduction over (score, ligand) pairs — the idiom of the
+  exemplar's ``#pragma omp parallel for`` version;
+- :func:`solve_cxx11_threads` — N explicit threads pulling ligand indices
+  from an atomic counter — the structure of the exemplar's C++11
+  ``std::thread`` version.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.drugdesign.scoring import dp_cells, lcs_score
+from repro.openmp.loops import Schedule, run_parallel_for
+from repro.openmp.reduction import Reduction
+from repro.openmp.runtime import OpenMP
+from repro.openmp.sync import AtomicCounter
+
+__all__ = [
+    "DrugDesignResult",
+    "solve_sequential",
+    "solve_openmp",
+    "solve_cxx11_threads",
+]
+
+
+@dataclass(frozen=True)
+class DrugDesignResult:
+    """Outcome of one solver run."""
+
+    style: str
+    num_threads: int
+    max_score: int
+    best_ligands: tuple[str, ...]    # sorted, deduplicated
+    total_cells: int                 # DP work performed (the cost model)
+    per_thread_cells: tuple[int, ...]
+
+    def same_answer_as(self, other: "DrugDesignResult") -> bool:
+        return (
+            self.max_score == other.max_score
+            and self.best_ligands == other.best_ligands
+        )
+
+
+def _best(scored: list[tuple[int, str]]) -> tuple[int, tuple[str, ...]]:
+    if not scored:
+        return 0, ()
+    max_score = max(score for score, _ in scored)
+    winners = sorted({lig for score, lig in scored if score == max_score})
+    return max_score, tuple(winners)
+
+
+def solve_sequential(ligands: list[str], protein: str) -> DrugDesignResult:
+    """One thread, one loop."""
+    scored = [(lcs_score(lig, protein), lig) for lig in ligands]
+    max_score, best = _best(scored)
+    cells = sum(dp_cells(lig, protein) for lig in ligands)
+    return DrugDesignResult(
+        style="sequential",
+        num_threads=1,
+        max_score=max_score,
+        best_ligands=best,
+        total_cells=cells,
+        per_thread_cells=(cells,),
+    )
+
+
+def solve_openmp(
+    ligands: list[str],
+    protein: str,
+    num_threads: int = 4,
+    schedule: Schedule | None = None,
+) -> DrugDesignResult:
+    """Work-shared loop with a max-reduction over (score, ligand) keys.
+
+    The reduction key is the pair ``(score, ligand)`` so ties resolve
+    deterministically; all tying ligands are recovered afterwards from the
+    per-thread candidate lists.
+    """
+    omp = OpenMP(num_threads)
+    candidates: list[list[tuple[int, str]]] = [[] for _ in range(num_threads)]
+    cells = [0] * num_threads
+
+    def body(i: int, ctx) -> None:
+        score = lcs_score(ligands[i], protein)
+        candidates[ctx.thread_num].append((score, ligands[i]))
+        cells[ctx.thread_num] += dp_cells(ligands[i], protein)
+
+    run_parallel_for(
+        omp, len(ligands), body,
+        schedule or Schedule.dynamic(chunk=1),   # the exemplar uses dynamic:
+        # ligand costs vary with length, so static would load-imbalance.
+    )
+    scored = [pair for lane in candidates for pair in lane]
+    max_score, best = _best(scored)
+    return DrugDesignResult(
+        style="openmp",
+        num_threads=num_threads,
+        max_score=max_score,
+        best_ligands=best,
+        total_cells=sum(cells),
+        per_thread_cells=tuple(cells),
+    )
+
+
+def solve_cxx11_threads(
+    ligands: list[str], protein: str, num_threads: int = 4
+) -> DrugDesignResult:
+    """Explicit threads + an atomic next-task counter (the C++11 shape)."""
+    counter = AtomicCounter(0)
+    candidates: list[list[tuple[int, str]]] = [[] for _ in range(num_threads)]
+    cells = [0] * num_threads
+
+    def worker(tid: int) -> None:
+        while True:
+            i = counter.fetch_add(1)
+            if i >= len(ligands):
+                break
+            score = lcs_score(ligands[i], protein)
+            candidates[tid].append((score, ligands[i]))
+            cells[tid] += dp_cells(ligands[i], protein)
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), name=f"dd-worker-{tid}")
+        for tid in range(num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    scored = [pair for lane in candidates for pair in lane]
+    max_score, best = _best(scored)
+    return DrugDesignResult(
+        style="cxx11_threads",
+        num_threads=num_threads,
+        max_score=max_score,
+        best_ligands=best,
+        total_cells=sum(cells),
+        per_thread_cells=tuple(cells),
+    )

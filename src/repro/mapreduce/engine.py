@@ -1,0 +1,268 @@
+"""The MapReduce runtime.
+
+Execution model (a faithful miniature of the Google paper's):
+
+1. the input is a list of (key, value) records, pre-split into M map
+   tasks;
+2. each map task applies ``mapper(key, value) -> [(k2, v2), ...]``;
+3. an optional ``combiner`` pre-reduces each map task's output locally;
+4. intermediate pairs are hash-partitioned into R reduce buckets
+   (``partition(k2) = hash(k2) % R``) and each bucket is sorted by key;
+5. each reduce task applies ``reducer(k2, [v2, ...]) -> value`` per key;
+6. the job output is the union of reduce outputs, sorted by key —
+   deterministic regardless of worker scheduling.
+
+Map and reduce tasks run on thread pools.  **Fault injection**: the engine
+can be told to kill specific task attempts (``TaskFailure``); failed tasks
+are retried on another "worker" up to ``max_attempts`` — re-execution, the
+paper's fault-tolerance story.  Mappers and reducers must therefore be
+pure (a property the test suite checks by injecting failures everywhere
+and asserting the output is unchanged).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+__all__ = ["MapReduceSpec", "TaskFailure", "JobResult", "MapReduceEngine", "sort_key"]
+
+Pair = tuple[Hashable, Any]
+
+
+def sort_key(key: Hashable) -> tuple:
+    """Deterministic total order over keys: numbers numerically first,
+    everything else by repr.  Gives the distributed-sort job genuine
+    numeric order while keeping mixed-type outputs deterministic."""
+    if isinstance(key, bool) or not isinstance(key, (int, float)):
+        return (1, 0, repr(key))
+    return (0, key, "")
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """A MapReduce job: the two (or three) user functions plus shape."""
+
+    name: str
+    mapper: Callable[[Hashable, Any], Iterable[Pair]]
+    reducer: Callable[[Hashable, list[Any]], Any]
+    combiner: Callable[[Hashable, list[Any]], Any] | None = None
+    n_reduce_tasks: int = 4
+    partitioner: Callable[[Hashable], int] | None = None   # default: hash
+
+    def __post_init__(self) -> None:
+        if self.n_reduce_tasks < 1:
+            raise ValueError(f"n_reduce_tasks must be >= 1, got {self.n_reduce_tasks}")
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Inject a failure: kill attempt ``attempt`` of the given task."""
+
+    phase: str          # "map" or "reduce"
+    task_index: int
+    attempt: int = 0    # which attempt dies (0 = first)
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("map", "reduce"):
+            raise ValueError(f"phase must be 'map' or 'reduce', got {self.phase!r}")
+        if self.task_index < 0 or self.attempt < 0:
+            raise ValueError("task_index and attempt must be >= 0")
+
+
+class _InjectedWorkerDeath(RuntimeError):
+    """Raised inside a task attempt selected by a TaskFailure."""
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Output plus execution statistics."""
+
+    name: str
+    output: tuple[Pair, ...]                 # sorted by key
+    per_reduce_outputs: tuple[tuple[Pair, ...], ...] = ()
+    n_map_tasks: int = 0
+    n_reduce_tasks: int = 0
+    map_attempts: int = 0
+    reduce_attempts: int = 0
+    intermediate_pairs: int = 0
+
+    def as_dict(self) -> dict[Hashable, Any]:
+        return dict(self.output)
+
+    @property
+    def retries(self) -> int:
+        return (self.map_attempts - self.n_map_tasks) + (
+            self.reduce_attempts - self.n_reduce_tasks
+        )
+
+
+class MapReduceEngine:
+    """Runs :class:`MapReduceSpec` jobs on thread pools."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        max_attempts: int = 3,
+        failures: Sequence[TaskFailure] = (),
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.n_workers = n_workers
+        self.max_attempts = max_attempts
+        self._failures = {(f.phase, f.task_index, f.attempt) for f in failures}
+        self._attempt_counts: dict[tuple[str, int], int] = defaultdict(int)
+        self._attempt_lock = threading.Lock()
+
+    # -- internals ----------------------------------------------------------
+
+    def _attempt(self, phase: str, index: int) -> int:
+        with self._attempt_lock:
+            attempt = self._attempt_counts[(phase, index)]
+            self._attempt_counts[(phase, index)] += 1
+            return attempt
+
+    def _run_task(self, phase: str, index: int, fn: Callable[[], Any]) -> Any:
+        last_error: BaseException | None = None
+        for _ in range(self.max_attempts):
+            attempt = self._attempt(phase, index)
+            if (phase, index, attempt) in self._failures:
+                last_error = _InjectedWorkerDeath(
+                    f"{phase} task {index} attempt {attempt} killed"
+                )
+                continue
+            try:
+                return fn()
+            except _InjectedWorkerDeath as exc:  # pragma: no cover - defensive
+                last_error = exc
+        raise RuntimeError(
+            f"{phase} task {index} failed after {self.max_attempts} attempts"
+        ) from last_error
+
+    @staticmethod
+    def _apply_combiner(
+        spec: MapReduceSpec, pairs: Iterable[Pair]
+    ) -> list[Pair]:
+        if spec.combiner is None:
+            return list(pairs)
+        grouped: dict[Hashable, list[Any]] = defaultdict(list)
+        order: list[Hashable] = []
+        for k, v in pairs:
+            if k not in grouped:
+                order.append(k)
+            grouped[k].append(v)
+        return [(k, spec.combiner(k, grouped[k])) for k in order]
+
+    # -- API ----------------------------------------------------------------
+
+    def run(
+        self,
+        spec: MapReduceSpec,
+        records: Sequence[Pair],
+        n_map_tasks: int | None = None,
+    ) -> JobResult:
+        """Execute a job over input records; deterministic sorted output."""
+        m = n_map_tasks if n_map_tasks is not None else min(
+            max(1, len(records)), self.n_workers * 2
+        )
+        if m < 1:
+            raise ValueError(f"n_map_tasks must be >= 1, got {m}")
+        # Contiguous input splits.
+        splits: list[list[Pair]] = [[] for _ in range(m)]
+        for i, record in enumerate(records):
+            splits[i * m // max(1, len(records))].append(record)
+
+        def map_task(split: list[Pair]) -> list[Pair]:
+            out: list[Pair] = []
+            for k, v in split:
+                out.extend(spec.mapper(k, v))
+            return self._apply_combiner(spec, out)
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            map_futures = [
+                pool.submit(self._run_task, "map", i, lambda s=split: map_task(s))
+                for i, split in enumerate(splits)
+            ]
+            map_outputs = [f.result() for f in map_futures]
+
+        # Shuffle: hash-partition and sort each reduce bucket by key.
+        buckets: list[dict[Hashable, list[Any]]] = [
+            defaultdict(list) for _ in range(spec.n_reduce_tasks)
+        ]
+        intermediate = 0
+        for output in map_outputs:
+            for k, v in output:
+                if spec.partitioner is not None:
+                    bucket_index = spec.partitioner(k) % spec.n_reduce_tasks
+                else:
+                    bucket_index = hash(k) % spec.n_reduce_tasks
+                buckets[bucket_index][k].append(v)
+                intermediate += 1
+
+        def reduce_task(bucket: dict[Hashable, list[Any]]) -> list[Pair]:
+            return [
+                (k, spec.reducer(k, bucket[k]))
+                for k in sorted(bucket, key=sort_key)
+            ]
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            reduce_futures = [
+                pool.submit(self._run_task, "reduce", r, lambda b=bucket: reduce_task(b))
+                for r, bucket in enumerate(buckets)
+            ]
+            reduce_outputs = [f.result() for f in reduce_futures]
+
+        output = sorted(
+            (pair for chunk in reduce_outputs for pair in chunk),
+            key=lambda kv: sort_key(kv[0]),
+        )
+        with self._attempt_lock:
+            map_attempts = sum(
+                count for (phase, _i), count in self._attempt_counts.items() if phase == "map"
+            )
+            reduce_attempts = sum(
+                count for (phase, _i), count in self._attempt_counts.items() if phase == "reduce"
+            )
+            self._attempt_counts.clear()
+        return JobResult(
+            name=spec.name,
+            output=tuple(output),
+            per_reduce_outputs=tuple(tuple(chunk) for chunk in reduce_outputs),
+            n_map_tasks=m,
+            n_reduce_tasks=spec.n_reduce_tasks,
+            map_attempts=map_attempts,
+            reduce_attempts=reduce_attempts,
+            intermediate_pairs=intermediate,
+        )
+
+    def run_sequential(self, spec: MapReduceSpec, records: Sequence[Pair]) -> JobResult:
+        """Reference implementation: same semantics, one thread, no shuffle.
+
+        The equivalence ``run(...) == run_sequential(...)`` (on outputs) is
+        the core property test of this package.
+        """
+        grouped: dict[Hashable, list[Any]] = defaultdict(list)
+        intermediate = 0
+        for k, v in records:
+            for k2, v2 in spec.mapper(k, v):
+                grouped[k2].append(v2)
+                intermediate += 1
+        output = sorted(
+            ((k, spec.reducer(k, vs)) for k, vs in grouped.items()),
+            key=lambda kv: sort_key(kv[0]),
+        )
+        return JobResult(
+            name=spec.name,
+            output=tuple(output),
+            per_reduce_outputs=(tuple(output),),
+            n_map_tasks=1,
+            n_reduce_tasks=1,
+            map_attempts=1,
+            reduce_attempts=1,
+            intermediate_pairs=intermediate,
+        )

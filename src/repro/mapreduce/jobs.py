@@ -1,0 +1,196 @@
+"""The canonical MapReduce computations.
+
+Assignment 5: "List and describe three examples that are expressed as
+MapReduce computations."  The Google paper's classics, plus the two the
+course handout walks through:
+
+- word count — mapper emits (word, 1), reducer sums (combiner-safe);
+- distributed grep — mapper emits matching lines, identity reducer;
+- inverted index — mapper emits (word, document id), reducer sorts and
+  dedups the posting list;
+- URL access count — word count over log lines' URL field;
+- per-key mean — shows why a naive mean reducer cannot be its own
+  combiner: the combiner emits (sum, count) pairs instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Hashable, Iterable
+
+from repro.mapreduce.engine import MapReduceSpec
+
+__all__ = [
+    "tokenize",
+    "word_count_job",
+    "grep_job",
+    "inverted_index_job",
+    "url_access_count_job",
+    "mean_by_key_job",
+    "make_range_partitioner",
+    "distributed_sort_job",
+]
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-cased word tokens of a line of text."""
+    return [w.lower() for w in _WORD_RE.findall(text)]
+
+
+def word_count_job(n_reduce_tasks: int = 4) -> MapReduceSpec:
+    """Count occurrences of every word.  Input records: (doc_id, text)."""
+
+    def mapper(_key: Hashable, text: Any) -> Iterable[tuple[str, int]]:
+        return [(word, 1) for word in tokenize(str(text))]
+
+    def reducer(_word: Hashable, counts: list[int]) -> int:
+        return sum(counts)
+
+    return MapReduceSpec(
+        name="word_count",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=reducer,            # sum is associative: safe as a combiner
+        n_reduce_tasks=n_reduce_tasks,
+    )
+
+
+def grep_job(pattern: str, n_reduce_tasks: int = 4) -> MapReduceSpec:
+    """Distributed grep: emit lines matching ``pattern``.
+
+    Input records: (line_number, line).  Output: (line_number, line) for
+    matching lines.
+    """
+    compiled = re.compile(pattern)
+
+    def mapper(line_no: Hashable, line: Any) -> Iterable[tuple[Hashable, str]]:
+        text = str(line)
+        if compiled.search(text):
+            return [(line_no, text)]
+        return []
+
+    def reducer(_line_no: Hashable, lines: list[str]) -> str:
+        return lines[0]
+
+    return MapReduceSpec(
+        name=f"grep({pattern!r})",
+        mapper=mapper,
+        reducer=reducer,
+        n_reduce_tasks=n_reduce_tasks,
+    )
+
+
+def inverted_index_job(n_reduce_tasks: int = 4) -> MapReduceSpec:
+    """Build word -> sorted list of documents containing it."""
+
+    def mapper(doc_id: Hashable, text: Any) -> Iterable[tuple[str, Hashable]]:
+        return [(word, doc_id) for word in set(tokenize(str(text)))]
+
+    def reducer(_word: Hashable, doc_ids: list[Hashable]) -> tuple[Hashable, ...]:
+        return tuple(sorted(set(doc_ids), key=repr))
+
+    return MapReduceSpec(
+        name="inverted_index",
+        mapper=mapper,
+        reducer=reducer,
+        n_reduce_tasks=n_reduce_tasks,
+    )
+
+
+def url_access_count_job(n_reduce_tasks: int = 4) -> MapReduceSpec:
+    """Count accesses per URL from web-server log lines.
+
+    Input records: (line_number, log_line) where the URL is the second
+    whitespace-separated field (``<client> <url> <status>``).
+    """
+
+    def mapper(_line_no: Hashable, line: Any) -> Iterable[tuple[str, int]]:
+        fields = str(line).split()
+        if len(fields) >= 2:
+            return [(fields[1], 1)]
+        return []
+
+    def reducer(_url: Hashable, counts: list[int]) -> int:
+        return sum(counts)
+
+    return MapReduceSpec(
+        name="url_access_count",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=reducer,
+        n_reduce_tasks=n_reduce_tasks,
+    )
+
+
+def mean_by_key_job(n_reduce_tasks: int = 4) -> MapReduceSpec:
+    """Mean value per key, done correctly under combining.
+
+    A mean of means is wrong when group sizes differ, so the mapper emits
+    (key, (value, 1)) pairs, the combiner adds componentwise, and only the
+    reducer divides.  Input records: (key, number).
+    """
+
+    def mapper(key: Hashable, value: Any) -> Iterable[tuple[Hashable, tuple[float, int]]]:
+        return [(key, (float(value), 1))]
+
+    def combiner(_key: Hashable, partials: list[tuple[float, int]]) -> tuple[float, int]:
+        total = sum(p[0] for p in partials)
+        count = sum(p[1] for p in partials)
+        return (total, count)
+
+    def reducer(_key: Hashable, partials: list[tuple[float, int]]) -> float:
+        total = sum(p[0] for p in partials)
+        count = sum(p[1] for p in partials)
+        return total / count
+
+    return MapReduceSpec(
+        name="mean_by_key",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=combiner,
+        n_reduce_tasks=n_reduce_tasks,
+    )
+
+
+def make_range_partitioner(boundaries: list[float]):
+    """Range partitioner: key -> index of the first boundary it is below.
+
+    ``boundaries`` are the R-1 split points of a TeraSort-style job; keys
+    must be comparable to them.
+    """
+    import bisect
+
+    ordered = sorted(boundaries)
+
+    def partition(key) -> int:
+        return bisect.bisect_right(ordered, key)
+
+    return partition
+
+
+def distributed_sort_job(boundaries: list[float]) -> MapReduceSpec:
+    """Distributed sort (the TeraSort shape, Google paper §5.3).
+
+    Input records: (anything, number).  The mapper emits the number as
+    the key; the *range* partitioner sends each key range to one reduce
+    task; each reduce bucket is sorted locally — so concatenating the
+    per-reduce outputs in bucket order yields the globally sorted data
+    (asserted by the tests and bench).  The reducer's value is the
+    multiplicity, preserving duplicates.
+    """
+
+    def mapper(_key: Hashable, value: Any) -> Iterable[tuple[float, int]]:
+        return [(value, 1)]
+
+    def reducer(_key: Hashable, ones: list[int]) -> int:
+        return sum(ones)
+
+    return MapReduceSpec(
+        name="distributed_sort",
+        mapper=mapper,
+        reducer=reducer,
+        n_reduce_tasks=len(boundaries) + 1,
+        partitioner=make_range_partitioner(boundaries),
+    )

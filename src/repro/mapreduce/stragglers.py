@@ -1,0 +1,165 @@
+"""Straggler mitigation: backup tasks (the Google paper's §3.6).
+
+"When a MapReduce operation is close to completion, the master schedules
+backup executions of the remaining in-progress tasks.  The task is marked
+as completed whenever either the primary or the backup execution
+completes."
+
+:class:`SpeculativeEngine` wraps the base engine's map phase: injected
+*slow tasks* sleep; once every task has been dispatched, tasks still
+running after ``straggler_wait_s`` get a backup attempt, and whichever
+attempt finishes first supplies the result.  Because mappers are pure,
+the winner's identity never changes the output — asserted in the tests
+and the bench.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.mapreduce.engine import JobResult, MapReduceEngine, MapReduceSpec, Pair
+
+__all__ = ["SlowTask", "SpeculativeResult", "SpeculativeEngine"]
+
+
+@dataclass(frozen=True)
+class SlowTask:
+    """Inject a straggler: map task ``task_index`` sleeps ``delay_s``
+    on its primary attempt (backups run at full speed)."""
+
+    task_index: int
+    delay_s: float
+
+    def __post_init__(self) -> None:
+        if self.task_index < 0:
+            raise ValueError("task_index must be >= 0")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class SpeculativeResult:
+    """A job result plus speculation accounting."""
+
+    result: JobResult
+    backups_launched: int
+    backups_won: int
+    wall_seconds: float
+
+
+class SpeculativeEngine:
+    """Map-phase speculation on top of :class:`MapReduceEngine`."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        straggler_wait_s: float = 0.05,
+        slow_tasks: Sequence[SlowTask] = (),
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if straggler_wait_s < 0:
+            raise ValueError("straggler_wait_s must be >= 0")
+        self.n_workers = n_workers
+        self.straggler_wait_s = straggler_wait_s
+        self._slow = {s.task_index: s.delay_s for s in slow_tasks}
+
+    def run(
+        self,
+        spec: MapReduceSpec,
+        records: Sequence[Pair],
+        n_map_tasks: int | None = None,
+        speculate: bool = True,
+    ) -> SpeculativeResult:
+        """Run with (or, for the ablation, without) backup tasks."""
+        start = time.perf_counter()
+        base = MapReduceEngine(n_workers=self.n_workers)
+        m = n_map_tasks if n_map_tasks is not None else max(
+            1, min(len(records), self.n_workers * 2)
+        )
+        splits: list[list[Pair]] = [[] for _ in range(m)]
+        for i, record in enumerate(records):
+            splits[i * m // max(1, len(records))].append(record)
+
+        # When a backup wins, the master kills the straggling primary; the
+        # injected slow-down polls this event to emulate that kill.
+        kill_events: dict[int, threading.Event] = {
+            index: threading.Event() for index in range(m)
+        }
+
+        def map_task(index: int, split: list[Pair], primary: bool) -> list[Pair]:
+            if primary and index in self._slow:
+                deadline = time.monotonic() + self._slow[index]
+                while time.monotonic() < deadline:
+                    if kill_events[index].wait(timeout=0.005):
+                        break
+            out: list[Pair] = []
+            for k, v in split:
+                out.extend(spec.mapper(k, v))
+            return MapReduceEngine._apply_combiner(spec, out)
+
+        backups_launched = 0
+        backups_won = 0
+        map_outputs: list[list[Pair] | None] = [None] * m
+        # Double the pool so backups never starve behind stragglers; shut
+        # down without waiting so killed stragglers don't serialize us.
+        pool = ThreadPoolExecutor(max_workers=2 * self.n_workers)
+        try:
+            primaries = {
+                index: pool.submit(map_task, index, split, True)
+                for index, split in enumerate(splits)
+            }
+            if speculate:
+                wait(list(primaries.values()), timeout=self.straggler_wait_s)
+                backups = {}
+                for index, future in primaries.items():
+                    if not future.done():
+                        backups[index] = pool.submit(map_task, index, splits[index], False)
+                        backups_launched += 1
+                for index in primaries:
+                    if index in backups:
+                        done, _pending = wait(
+                            [primaries[index], backups[index]],
+                            return_when=FIRST_COMPLETED,
+                        )
+                        winner = next(iter(done))
+                        if winner is backups[index]:
+                            backups_won += 1
+                            kill_events[index].set()
+                        map_outputs[index] = winner.result()
+                    else:
+                        map_outputs[index] = primaries[index].result()
+            else:
+                for index, future in primaries.items():
+                    map_outputs[index] = future.result()
+        finally:
+            pool.shutdown(wait=False)
+
+        # Reduce phase: reuse the base engine by feeding it pre-mapped pairs
+        # through an identity mapper (the shuffle/reduce path is identical).
+        flat: list[Pair] = [pair for output in map_outputs for pair in output]  # type: ignore[union-attr]
+        identity = MapReduceSpec(
+            name=spec.name + "+speculation",
+            mapper=lambda k, v: [(k, v)],
+            reducer=spec.reducer,
+            n_reduce_tasks=spec.n_reduce_tasks,
+        )
+        result = base.run(identity, flat, n_map_tasks=1)
+        return SpeculativeResult(
+            result=JobResult(
+                name=spec.name,
+                output=result.output,
+                n_map_tasks=m,
+                n_reduce_tasks=spec.n_reduce_tasks,
+                map_attempts=m + backups_launched,
+                reduce_attempts=result.reduce_attempts,
+                intermediate_pairs=len(flat),
+            ),
+            backups_launched=backups_launched,
+            backups_won=backups_won,
+            wall_seconds=time.perf_counter() - start,
+        )

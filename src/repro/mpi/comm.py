@@ -1,0 +1,442 @@
+"""Communicators: point-to-point and collective operations.
+
+Message matching follows MPI: a receive names (source, tag) where either
+may be a wildcard; messages from the same sender are non-overtaking
+(matched in send order).  Values are deep-copied on send — ranks must not
+be able to mutate each other's memory, or it would not be message passing.
+
+Collectives are built from point-to-point against rank 0 (a star
+topology; simple and observable), except ``barrier``, which uses a shared
+:class:`threading.Barrier` (its semantics are exactly a barrier).
+
+Everything blocks with a timeout: a deadlocked program (e.g. two blocking
+sends with no receives) raises :class:`MPIError` instead of hanging the
+test suite.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MPIError", "Request", "Communicator", "mpi_run"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: How long a blocking operation may wait before declaring deadlock.
+DEADLOCK_TIMEOUT_S = 30.0
+
+
+class MPIError(RuntimeError):
+    """Deadlock, bad rank, or a failure in another rank."""
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+    seq: int
+
+
+class _World:
+    """Shared runtime state of one mpi_run invocation."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mailboxes: list[list[_Message]] = [[] for _ in range(size)]
+        self.conditions = [threading.Condition() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.seq = 0
+        self.seq_lock = threading.Lock()
+        self.aborted = threading.Event()
+        # Sub-communicator registry: frozen rank tuple -> (comm id, barrier).
+        self.subcomms: dict[tuple[int, ...], tuple[int, threading.Barrier]] = {}
+        self.subcomm_lock = threading.Lock()
+
+    def subcomm_state(self, ranks: tuple[int, ...]) -> tuple[int, threading.Barrier]:
+        with self.subcomm_lock:
+            if ranks not in self.subcomms:
+                self.subcomms[ranks] = (
+                    len(self.subcomms) + 1, threading.Barrier(len(ranks))
+                )
+            return self.subcomms[ranks]
+
+    def next_seq(self) -> int:
+        with self.seq_lock:
+            self.seq += 1
+            return self.seq
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking operation (isend/irecv)."""
+
+    _result: Callable[[float], Any]
+    _done: threading.Event = field(default_factory=threading.Event)
+    _value: Any = None
+
+    def wait(self, timeout: float = DEADLOCK_TIMEOUT_S) -> Any:
+        """Complete the operation and return its value (None for sends)."""
+        if not self._done.is_set():
+            self._value = self._result(timeout)
+            self._done.set()
+        return self._value
+
+    def test(self) -> bool:
+        """Nonblocking completion probe."""
+        return self._done.is_set()
+
+
+class Communicator:
+    """One rank's view of the world (``COMM_WORLD``)."""
+
+    def __init__(self, world: _World, rank: int) -> None:
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- point-to-point ------------------------------------------------------
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"{what} rank {rank} out of range [0, {self.size})")
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send (buffered: completes immediately, like small-message
+        MPI sends).  The payload is deep-copied."""
+        if self._world.aborted.is_set():
+            raise MPIError("world aborted")
+        self._check_rank(dest, "destination")
+        if tag < 0:
+            raise MPIError(f"send tag must be >= 0, got {tag}")
+        message = _Message(
+            source=self.rank, tag=tag, payload=copy.deepcopy(obj),
+            seq=self._world.next_seq(),
+        )
+        condition = self._world.conditions[dest]
+        with condition:
+            self._world.mailboxes[dest].append(message)
+            condition.notify_all()
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float = DEADLOCK_TIMEOUT_S,
+    ) -> Any:
+        """Blocking receive; wildcards allowed; non-overtaking per sender."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        condition = self._world.conditions[self.rank]
+        box = self._world.mailboxes[self.rank]
+        deadline = threading.Timer  # noqa: F841 - documented timeout below
+        with condition:
+            waited = 0.0
+            step = 0.05
+            while True:
+                if self._world.aborted.is_set():
+                    raise MPIError("world aborted (another rank failed)")
+                candidates = [
+                    m for m in box
+                    if (source in (ANY_SOURCE, m.source)) and (tag in (ANY_TAG, m.tag))
+                ]
+                if candidates:
+                    match = min(candidates, key=lambda m: m.seq)
+                    box.remove(match)
+                    return match.payload
+                if waited >= timeout:
+                    raise MPIError(
+                        f"rank {self.rank}: recv(source={source}, tag={tag}) "
+                        f"timed out after {timeout}s — deadlock?"
+                    )
+                condition.wait(step)
+                waited += step
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (our sends are buffered, so it completes now)."""
+        self.send(obj, dest, tag)
+        request = Request(_result=lambda _t: None)
+        request.wait(0.0)
+        return request
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; completion happens inside ``wait()``."""
+        return Request(_result=lambda t: self.recv(source, tag, timeout=t))
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self, timeout: float = DEADLOCK_TIMEOUT_S) -> None:
+        try:
+            self._world.barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError(f"rank {self.rank}: barrier broken") from exc
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast root's object to every rank (returned everywhere)."""
+        self._check_rank(root, "root")
+        tag_base = 1_000_000
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=tag_base)
+            return copy.deepcopy(obj)
+        return self.recv(source=root, tag=tag_base)
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root distributes one element of ``values`` to each rank."""
+        self._check_rank(root, "root")
+        tag_base = 1_000_001
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise MPIError(
+                    f"scatter at root needs exactly {self.size} values"
+                )
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(values[dest], dest, tag=tag_base)
+            return copy.deepcopy(values[root])
+        return self.recv(source=root, tag=tag_base)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Every rank sends one value to root; root returns the list."""
+        self._check_rank(root, "root")
+        tag_base = 1_000_002
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = copy.deepcopy(value)
+            for source in range(self.size):
+                if source != root:
+                    out[source] = self.recv(source=source, tag=tag_base)
+            return out
+        self.send(value, root, tag=tag_base)
+        return None
+
+    def allgather(self, value: Any) -> list[Any]:
+        gathered = self.gather(value, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(
+        self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
+    ) -> Any | None:
+        """Combine one value per rank at root, folding in rank order."""
+        gathered = self.gather(value, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        reduced = self.reduce(value, op, root=0)
+        return self.bcast(reduced, root=0)
+
+    def scan(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Inclusive prefix reduction: rank i gets fold(values[0..i])."""
+        gathered = self.allgather(value)
+        acc = gathered[0]
+        for item in gathered[1 : self.rank + 1]:
+            acc = op(acc, item)
+        return acc
+
+    def sendrecv(
+        self, obj: Any, dest: int, source: int,
+        sendtag: int = 0, recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send + receive — the deadlock-free shift idiom
+        (every rank sends right and receives from the left in one call)."""
+        self.send(obj, dest, tag=sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Nonblocking check whether a matching message is waiting."""
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        condition = self._world.conditions[self.rank]
+        with condition:
+            return any(
+                (source in (ANY_SOURCE, m.source)) and (tag in (ANY_TAG, m.tag))
+                for m in self._world.mailboxes[self.rank]
+            )
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the world into sub-communicators (``MPI_Comm_split``).
+
+        Ranks passing the same ``color`` land in the same sub-communicator;
+        new ranks are assigned by ascending ``key`` (default: world rank).
+        This is a collective — every rank of the world must call it.
+        """
+        sort_key = self.rank if key is None else key
+        members = self.allgather((color, sort_key, self.rank))
+        mine = sorted(
+            (k, world_rank) for c, k, world_rank in members if c == color
+        )
+        ranks = [world_rank for _k, world_rank in mine]
+        return _SubCommunicator(self._world, self.rank, ranks)
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Rank i sends values[j] to rank j; receives one from everyone."""
+        if len(values) != self.size:
+            raise MPIError(f"alltoall needs exactly {self.size} values")
+        tag_base = 1_000_003
+        for dest in range(self.size):
+            if dest != self.rank:
+                self.send(values[dest], dest, tag=tag_base + self.rank)
+        out: list[Any] = [None] * self.size
+        out[self.rank] = copy.deepcopy(values[self.rank])
+        for source in range(self.size):
+            if source != self.rank:
+                out[source] = self.recv(source=source, tag=tag_base + source)
+        return out
+
+
+def mpi_run(
+    n_ranks: int,
+    program: Callable[[Communicator], Any],
+    timeout: float = DEADLOCK_TIMEOUT_S,
+) -> list[Any]:
+    """Run ``program(comm)`` on ``n_ranks`` ranks; return results by rank.
+
+    Any rank raising aborts the world (sibling blocking calls fail fast
+    with :class:`MPIError`) and the first error is re-raised, wrapped.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    world = _World(n_ranks)
+    results: list[Any] = [None] * n_ranks
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def run(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = program(comm)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with failures_lock:
+                failures.append((rank, exc))
+            world.aborted.set()
+            world.barrier.abort()
+            for condition in world.conditions:
+                with condition:
+                    condition.notify_all()
+
+    threads = [
+        threading.Thread(target=run, args=(rank,), name=f"mpi-rank-{rank}")
+        for rank in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout + 5.0)
+        if t.is_alive():
+            world.aborted.set()
+            raise MPIError(f"{t.name} did not terminate")
+    if failures:
+        rank, error = min(failures, key=lambda f: f[0])
+        primary = [f for f in failures if not isinstance(f[1], MPIError)]
+        if primary:
+            rank, error = min(primary, key=lambda f: f[0])
+        raise MPIError(f"rank {rank} failed: {error!r}") from error
+    return results
+
+
+class _SubCommunicator(Communicator):
+    """A communicator over a subset of the world's ranks.
+
+    Produced by :meth:`Communicator.split`.  Point-to-point traffic is
+    carried on the world's mailboxes with translated ranks and a
+    per-communicator tag offset, so sub-communicator messages never match
+    world-communicator receives; all collectives are inherited (they are
+    written against ``send``/``recv``/``barrier``/``rank``/``size``).
+    """
+
+    #: Tag namespace stride per communicator.
+    _TAG_STRIDE = 10_000_000
+
+    def __init__(self, world: _World, world_rank: int, ranks: list[int]) -> None:
+        self._world = world
+        self._ranks = tuple(ranks)
+        if world_rank not in self._ranks:
+            raise MPIError(f"rank {world_rank} is not a member of this split")
+        self.rank = self._ranks.index(world_rank)
+        self.size = len(self._ranks)
+        self._world_rank = world_rank
+        comm_id, barrier = world.subcomm_state(self._ranks)
+        self._tag_offset = comm_id * self._TAG_STRIDE
+        self._barrier = barrier
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"{what} rank {rank} out of range [0, {self.size})")
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_rank(dest, "destination")
+        if tag < 0:
+            raise MPIError(f"send tag must be >= 0, got {tag}")
+        world_comm = Communicator(self._world, self._world_rank)
+        world_comm.send(obj, self._ranks[dest], tag=self._tag_offset + tag)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float = DEADLOCK_TIMEOUT_S,
+    ) -> Any:
+        world_comm = Communicator(self._world, self._world_rank)
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self._ranks[source]
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        if tag == ANY_TAG:
+            # Match any tag *within this communicator's namespace*: poll
+            # with the namespaced probe, then receive the concrete match.
+            import time as _time
+            deadline = _time.monotonic() + timeout
+            while True:
+                condition = self._world.conditions[self._world_rank]
+                with condition:
+                    match = next(
+                        (m for m in self._world.mailboxes[self._world_rank]
+                         if (world_source in (ANY_SOURCE, m.source))
+                         and self._tag_offset <= m.tag < self._tag_offset + self._TAG_STRIDE),
+                        None,
+                    )
+                    if match is not None:
+                        self._world.mailboxes[self._world_rank].remove(match)
+                        return match.payload
+                    if self._world.aborted.is_set():
+                        raise MPIError("world aborted (another rank failed)")
+                    if _time.monotonic() > deadline:
+                        raise MPIError(
+                            f"subcomm rank {self.rank}: recv timed out — deadlock?"
+                        )
+                    condition.wait(0.05)
+        return world_comm.recv(world_source, self._tag_offset + tag, timeout)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        world_source = ANY_SOURCE if source == ANY_SOURCE else self._ranks[source]
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+        condition = self._world.conditions[self._world_rank]
+        with condition:
+            return any(
+                (world_source in (ANY_SOURCE, m.source))
+                and (
+                    (tag == ANY_TAG and self._tag_offset <= m.tag
+                     < self._tag_offset + self._TAG_STRIDE)
+                    or m.tag == self._tag_offset + tag
+                )
+                for m in self._world.mailboxes[self._world_rank]
+            )
+
+    def barrier(self, timeout: float = DEADLOCK_TIMEOUT_S) -> None:
+        try:
+            self._barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError(f"subcomm rank {self.rank}: barrier broken") from exc
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        raise MPIError("splitting a sub-communicator is not supported")

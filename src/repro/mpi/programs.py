@@ -1,0 +1,100 @@
+"""The Getting-Started-with-MPI programs.
+
+Four small programs in the style of CSinParallel's MPI module (the
+material the paper plans to adopt) and the mpi4py tutorial:
+
+- :func:`hello_world` — every rank reports "rank N of M";
+- :func:`ring_pass` — a token accumulates a visit from every rank around
+  a ring (point-to-point, non-trivial ordering);
+- :func:`pi_integration` — midpoint-rule estimate of pi with a
+  cyclic-distributed loop and an allreduce (the tutorial's cpi.py);
+- :func:`parallel_max` — each rank finds a local max, reduce(max) at root.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpi.comm import Communicator, mpi_run
+
+__all__ = ["hello_world", "ring_pass", "pi_integration", "parallel_max"]
+
+
+def hello_world(n_ranks: int = 4) -> list[str]:
+    """Run the SPMD hello program; returns the greetings by rank."""
+
+    def program(comm: Communicator) -> str:
+        return f"Hello from rank {comm.rank} of {comm.size}"
+
+    return mpi_run(n_ranks, program)
+
+
+def ring_pass(n_ranks: int = 4) -> list[int]:
+    """Pass a token around a ring; each rank adds its rank number.
+
+    Rank 0 starts the token at 0 and receives it back after a full trip;
+    the returned list is the token value each rank observed.  The final
+    value equals ``sum(range(n_ranks))``.
+    """
+
+    def program(comm: Communicator) -> int:
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        if comm.size == 1:
+            return 0
+        if comm.rank == 0:
+            comm.send(0, dest=right, tag=7)
+            token = comm.recv(source=left, tag=7)
+            return token
+        token = comm.recv(source=left, tag=7)
+        token += comm.rank
+        comm.send(token, dest=right, tag=7)
+        return token
+
+    return mpi_run(n_ranks, program)
+
+
+def pi_integration(n_ranks: int = 4, n_intervals: int = 10_000) -> float:
+    """Estimate pi by midpoint integration of 4/(1+x^2) over [0, 1].
+
+    Work is distributed cyclically (``for i in range(rank, N, size)``),
+    exactly as in the mpi4py tutorial's cpi example, and combined with an
+    allreduce so every rank returns the same estimate.
+    """
+    if n_intervals < 1:
+        raise ValueError(f"n_intervals must be >= 1, got {n_intervals}")
+
+    def program(comm: Communicator) -> float:
+        n = comm.bcast(n_intervals, root=0)
+        h = 1.0 / n
+        local = 0.0
+        for i in range(comm.rank, n, comm.size):
+            x = h * (i + 0.5)
+            local += 4.0 / (1.0 + x * x)
+        return comm.allreduce(local * h, op=lambda a, b: a + b)
+
+    results = mpi_run(n_ranks, program)
+    # Every rank holds the same value after the allreduce.
+    return results[0]
+
+
+def parallel_max(values: Sequence[float], n_ranks: int = 4) -> float:
+    """Find the maximum of ``values`` with block distribution + reduce(max)."""
+    if not values:
+        raise ValueError("parallel_max of an empty sequence")
+
+    data = list(values)
+
+    def program(comm: Communicator) -> float:
+        if comm.rank == 0:
+            n = len(data)
+            block = (n + comm.size - 1) // comm.size
+            blocks = [data[i * block : (i + 1) * block] for i in range(comm.size)]
+        else:
+            blocks = None
+        mine = comm.scatter(blocks, root=0)
+        local = max(mine) if mine else float("-inf")
+        result = comm.reduce(local, op=max, root=0)
+        return comm.bcast(result, root=0)
+
+    return mpi_run(n_ranks, program)[0]

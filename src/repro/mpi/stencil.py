@@ -1,0 +1,121 @@
+"""1-D heat diffusion with halo exchange — the canonical MPI stencil.
+
+The distributed-memory counterpart of the shared-memory loops in
+Assignments 3–4, and the program every "getting started with MPI" course
+builds next: the rod is block-decomposed across ranks, each step updates
+``u[i] = u[i] + alpha * (u[i-1] - 2 u[i] + u[i+1])`` locally, and the
+block edges are exchanged with neighbours (the *halo*) before each step
+using ``sendrecv`` so the shift never deadlocks.
+
+:func:`heat_sequential` is the reference; :func:`heat_mpi` must match it
+exactly (float-for-float, since both apply the same update in the same
+order — property-tested).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mpi.comm import Communicator, mpi_run
+
+__all__ = ["heat_sequential", "heat_mpi"]
+
+
+def _validate(u0: Sequence[float], alpha: float, steps: int) -> None:
+    if len(u0) < 3:
+        raise ValueError("need at least 3 cells")
+    if not 0.0 < alpha <= 0.5:
+        raise ValueError(f"alpha must be in (0, 0.5] for stability, got {alpha}")
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+
+
+def heat_sequential(
+    u0: Sequence[float], alpha: float = 0.25, steps: int = 100
+) -> list[float]:
+    """Explicit heat diffusion with fixed (Dirichlet) boundary cells."""
+    _validate(u0, alpha, steps)
+    u = list(map(float, u0))
+    n = len(u)
+    for _ in range(steps):
+        prev = u[:]
+        for i in range(1, n - 1):
+            u[i] = prev[i] + alpha * (prev[i - 1] - 2.0 * prev[i] + prev[i + 1])
+    return u
+
+
+def heat_mpi(
+    u0: Sequence[float],
+    alpha: float = 0.25,
+    steps: int = 100,
+    n_ranks: int = 4,
+) -> list[float]:
+    """The same diffusion, block-decomposed with halo exchange.
+
+    Each rank owns a contiguous block; before every step it trades its
+    edge cells with its neighbours via ``sendrecv`` (ghost cells), then
+    updates its interior.  Rank 0 gathers the blocks back at the end.
+    """
+    _validate(u0, alpha, steps)
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+    data = list(map(float, u0))
+    n = len(data)
+
+    def program(comm: Communicator) -> list[float] | None:
+        size, rank = comm.size, comm.rank
+        # Block bounds (first `remainder` ranks get one extra cell).
+        base, remainder = divmod(n, size)
+        lengths = [base + (1 if r < remainder else 0) for r in range(size)]
+        start = sum(lengths[:rank])
+        block = data[start : start + lengths[rank]]
+
+        # Halo neighbours skip empty blocks (possible when ranks > cells):
+        # the neighbour is the nearest rank that actually owns cells.
+        def nearest(ranks) -> int | None:
+            for r in ranks:
+                if lengths[r] > 0:
+                    return r
+            return None
+
+        left = nearest(range(rank - 1, -1, -1))
+        right = nearest(range(rank + 1, size))
+
+        for _ in range(steps):
+            # Halo exchange.  Two phases of sendrecv (rightward shift then
+            # leftward shift); boundary ranks fall back to plain send/recv.
+            ghost_left: float | None = None
+            ghost_right: float | None = None
+            if block:
+                if left is not None and right is not None:
+                    ghost_left = comm.sendrecv(
+                        block[-1], dest=right, source=left, sendtag=1, recvtag=1
+                    )
+                    ghost_right = comm.sendrecv(
+                        block[0], dest=left, source=right, sendtag=2, recvtag=2
+                    )
+                elif left is not None:       # rightmost non-empty rank
+                    comm.send(block[0], dest=left, tag=2)
+                    ghost_left = comm.recv(source=left, tag=1)
+                elif right is not None:      # leftmost non-empty rank
+                    comm.send(block[-1], dest=right, tag=1)
+                    ghost_right = comm.recv(source=right, tag=2)
+
+            previous = block[:]
+            for i in range(len(block)):
+                global_index = start + i
+                if global_index in (0, n - 1):
+                    continue                 # fixed boundary
+                left_value = previous[i - 1] if i > 0 else ghost_left
+                right_value = previous[i + 1] if i + 1 < len(previous) else ghost_right
+                block[i] = previous[i] + alpha * (
+                    left_value - 2.0 * previous[i] + right_value
+                )
+
+        gathered = comm.gather(block, root=0)
+        if rank == 0:
+            return [cell for chunk in gathered for cell in chunk]
+        return None
+
+    results = mpi_run(n_ranks, program)
+    return results[0]

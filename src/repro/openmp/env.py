@@ -1,0 +1,129 @@
+"""OpenMP environment control (`OMP_*` variables).
+
+Assignment 4 has students "us[e] the commandline to control the number
+of threads" — in OpenMP that is ``OMP_NUM_THREADS``, with
+``OMP_SCHEDULE`` controlling ``schedule(runtime)`` loops.  This module
+parses the standard variables into a runtime configuration::
+
+    env = OMPEnvironment.from_mapping({
+        "OMP_NUM_THREADS": "8",
+        "OMP_SCHEDULE": "dynamic,2",
+    })
+    omp = env.runtime()                 # OpenMP(num_threads=8)
+    schedule = env.schedule             # Schedule.dynamic(chunk=2)
+
+plus ``omp_get_wtime``-style timing via :class:`WallClock` (monotonic,
+mockable for tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.openmp.loops import Schedule, ScheduleKind
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["OMPEnvironment", "WallClock", "parse_schedule"]
+
+DEFAULT_NUM_THREADS = 4   # the Pi's core count
+
+
+def parse_schedule(text: str) -> Schedule:
+    """Parse an ``OMP_SCHEDULE`` value: ``kind[,chunk]``."""
+    parts = [p.strip() for p in text.split(",")]
+    if not 1 <= len(parts) <= 2 or not parts[0]:
+        raise ValueError(f"bad OMP_SCHEDULE value {text!r}")
+    try:
+        kind = ScheduleKind(parts[0].lower())
+    except ValueError:
+        raise ValueError(
+            f"unknown schedule kind {parts[0]!r}; expected one of "
+            f"{[k.value for k in ScheduleKind]}"
+        ) from None
+    chunk: int | None = None
+    if len(parts) == 2:
+        try:
+            chunk = int(parts[1])
+        except ValueError:
+            raise ValueError(f"bad chunk size {parts[1]!r}") from None
+        if chunk < 1:
+            raise ValueError(f"chunk size must be >= 1, got {chunk}")
+    if kind is ScheduleKind.STATIC:
+        return Schedule.static(chunk=chunk)
+    if kind is ScheduleKind.DYNAMIC:
+        return Schedule.dynamic(chunk=chunk or 1)
+    return Schedule.guided(chunk=chunk or 1)
+
+
+@dataclass(frozen=True)
+class OMPEnvironment:
+    """Parsed OpenMP environment."""
+
+    num_threads: int = DEFAULT_NUM_THREADS
+    schedule: Schedule = field(default_factory=Schedule.static)
+    dynamic_adjustment: bool = False
+    nested: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_threads < 1:
+            raise ValueError(f"OMP_NUM_THREADS must be >= 1, got {self.num_threads}")
+
+    @classmethod
+    def from_mapping(cls, env: Mapping[str, str]) -> "OMPEnvironment":
+        """Build from an environ-like mapping; unknown OMP_* keys raise
+        (typos in environment variables are silent misery otherwise)."""
+        known = {"OMP_NUM_THREADS", "OMP_SCHEDULE", "OMP_DYNAMIC", "OMP_NESTED"}
+        unknown = {k for k in env if k.startswith("OMP_")} - known
+        if unknown:
+            raise ValueError(f"unrecognised OpenMP variables: {sorted(unknown)}")
+
+        num_threads = DEFAULT_NUM_THREADS
+        if "OMP_NUM_THREADS" in env:
+            try:
+                num_threads = int(env["OMP_NUM_THREADS"])
+            except ValueError:
+                raise ValueError(
+                    f"OMP_NUM_THREADS={env['OMP_NUM_THREADS']!r} is not an integer"
+                ) from None
+        schedule = Schedule.static()
+        if "OMP_SCHEDULE" in env:
+            schedule = parse_schedule(env["OMP_SCHEDULE"])
+
+        def boolean(key: str) -> bool:
+            value = env.get(key, "false").strip().lower()
+            if value in ("true", "1", "yes"):
+                return True
+            if value in ("false", "0", "no"):
+                return False
+            raise ValueError(f"{key}={env[key]!r} is not a boolean")
+
+        return cls(
+            num_threads=num_threads,
+            schedule=schedule,
+            dynamic_adjustment=boolean("OMP_DYNAMIC"),
+            nested=boolean("OMP_NESTED"),
+        )
+
+    def runtime(self) -> OpenMP:
+        """An :class:`OpenMP` runtime configured from this environment."""
+        return OpenMP(num_threads=self.num_threads)
+
+
+class WallClock:
+    """``omp_get_wtime``: seconds from an arbitrary fixed origin.
+
+    The time source is injectable so tests can use a deterministic clock.
+    """
+
+    def __init__(self, source: Callable[[], float] | None = None) -> None:
+        self._source = source or time.monotonic
+        self._origin = self._source()
+
+    def wtime(self) -> float:
+        return self._source() - self._origin
+
+    def elapsed(self, start: float) -> float:
+        """Convenience: ``wtime() - start``."""
+        return self.wtime() - start

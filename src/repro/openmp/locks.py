@@ -1,0 +1,103 @@
+"""The OpenMP lock API (``omp_init_lock`` family).
+
+Critical sections serialize by *name at the source level*; locks are
+first-class objects a program can store in data structures — e.g. one
+lock per hash-table bucket.  Both the simple and the nestable (recursive)
+variants are modelled, with the same semantics the spec gives them:
+setting a simple lock you already hold deadlocks (we detect and raise
+instead), while a nestable lock counts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["OMPLock", "OMPNestLock", "LockError"]
+
+
+class LockError(RuntimeError):
+    """Misuse of a lock (self-deadlock, unsetting an unheld lock)."""
+
+
+class OMPLock:
+    """A simple OpenMP lock (``omp_set_lock`` / ``omp_unset_lock``)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+        self._meta = threading.Lock()
+
+    def set(self, timeout: float = 30.0) -> None:
+        """Acquire; raises :class:`LockError` on self-deadlock or timeout."""
+        me = threading.get_ident()
+        with self._meta:
+            if self._owner == me:
+                raise LockError(
+                    "setting a simple lock already held by this thread "
+                    "(deadlock in real OpenMP)"
+                )
+        if not self._lock.acquire(timeout=timeout):
+            raise LockError(f"lock not acquired within {timeout}s")
+        with self._meta:
+            self._owner = me
+
+    def unset(self) -> None:
+        me = threading.get_ident()
+        with self._meta:
+            if self._owner != me:
+                raise LockError("unsetting a lock this thread does not hold")
+            self._owner = None
+        self._lock.release()
+
+    def test(self) -> bool:
+        """Nonblocking acquire attempt (``omp_test_lock``)."""
+        me = threading.get_ident()
+        with self._meta:
+            if self._owner == me:
+                return False
+        if self._lock.acquire(blocking=False):
+            with self._meta:
+                self._owner = me
+            return True
+        return False
+
+    def __enter__(self) -> "OMPLock":
+        self.set()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unset()
+
+
+class OMPNestLock:
+    """A nestable OpenMP lock: re-acquisition by the owner counts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._depth = 0
+        self._meta = threading.Lock()
+
+    def set(self, timeout: float = 30.0) -> int:
+        """Acquire (recursively); returns the new nesting depth."""
+        if not self._lock.acquire(timeout=timeout):
+            raise LockError(f"nest lock not acquired within {timeout}s")
+        with self._meta:
+            self._depth += 1
+            return self._depth
+
+    def unset(self) -> int:
+        """Release one level; returns the remaining depth."""
+        with self._meta:
+            if self._depth == 0:
+                raise LockError("unsetting a nest lock that is not held")
+            self._depth -= 1
+            remaining = self._depth
+        self._lock.release()
+        return remaining
+
+    def __enter__(self) -> "OMPNestLock":
+        self.set()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unset()

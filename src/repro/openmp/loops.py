@@ -1,0 +1,251 @@
+"""Work-sharing loops: ``#pragma omp parallel for``.
+
+Assignment 3 has students observe how OpenMP "maps threads to parallel
+loop iterations in chunks of size one, two, and three" under static and
+dynamic schedules, and Assignment 4 adds the ``reduction`` clause.  This
+module implements those semantics:
+
+- **static** — iterations are divided into chunks of ``chunk`` size and
+  assigned round-robin to threads *before* the loop runs; with no chunk
+  given, each thread gets one contiguous block (OpenMP's default).
+- **dynamic** — chunks are handed to threads on demand from a shared
+  atomic counter; the mapping depends on timing.
+- **guided** — like dynamic but the chunk size starts large and decays
+  (``max(remaining / num_threads, chunk)``).
+
+:func:`chunk_iterations` exposes the static mapping as a pure function so
+its coverage/disjointness invariants are property-testable without
+threads; the runtime path uses the same function.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.openmp.reduction import Reduction
+from repro.openmp.runtime import OpenMP, ParallelContext
+
+__all__ = ["ScheduleKind", "Schedule", "LoopTrace", "OrderedRegion", "chunk_iterations", "run_parallel_for"]
+
+
+class ScheduleKind(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An OpenMP loop schedule clause."""
+
+    kind: ScheduleKind
+    chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk is not None and self.chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {self.chunk}")
+
+    @classmethod
+    def static(cls, chunk: int | None = None) -> "Schedule":
+        return cls(ScheduleKind.STATIC, chunk)
+
+    @classmethod
+    def dynamic(cls, chunk: int = 1) -> "Schedule":
+        return cls(ScheduleKind.DYNAMIC, chunk)
+
+    @classmethod
+    def guided(cls, chunk: int = 1) -> "Schedule":
+        return cls(ScheduleKind.GUIDED, chunk)
+
+    def __str__(self) -> str:
+        if self.chunk is None:
+            return f"schedule({self.kind.value})"
+        return f"schedule({self.kind.value}, {self.chunk})"
+
+
+def chunk_iterations(
+    n_iterations: int, num_threads: int, schedule: Schedule
+) -> list[list[int]]:
+    """Static mapping: iteration indices assigned to each thread.
+
+    Only defined for static schedules (dynamic/guided mappings are made at
+    run time).  Invariants (property-tested): the per-thread lists are
+    disjoint, cover ``range(n_iterations)`` exactly, and are increasing.
+    """
+    if schedule.kind is not ScheduleKind.STATIC:
+        raise ValueError(f"{schedule} has no compile-time mapping")
+    if n_iterations < 0:
+        raise ValueError(f"n_iterations must be >= 0, got {n_iterations}")
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+
+    assigned: list[list[int]] = [[] for _ in range(num_threads)]
+    if schedule.chunk is None:
+        # Default static: one near-equal contiguous block per thread
+        # (the first ``remainder`` threads get one extra iteration).
+        base = n_iterations // num_threads
+        remainder = n_iterations % num_threads
+        start = 0
+        for tid in range(num_threads):
+            size = base + (1 if tid < remainder else 0)
+            assigned[tid] = list(range(start, start + size))
+            start += size
+    else:
+        # Chunked static: chunks dealt round-robin.
+        chunk = schedule.chunk
+        for chunk_index, start in enumerate(range(0, n_iterations, chunk)):
+            tid = chunk_index % num_threads
+            assigned[tid].extend(range(start, min(start + chunk, n_iterations)))
+    return assigned
+
+
+@dataclass
+class LoopTrace:
+    """Who executed what: per-thread iteration lists, in execution order.
+
+    The patternlets print exactly this to let students *see* the schedule.
+    """
+
+    schedule: Schedule
+    num_threads: int
+    per_thread: list[list[int]] = field(default_factory=list)
+
+    def iterations_of(self, thread_num: int) -> list[int]:
+        return self.per_thread[thread_num]
+
+    def all_iterations(self) -> list[int]:
+        return sorted(i for iterations in self.per_thread for i in iterations)
+
+    def render(self) -> str:
+        lines = [f"{self.schedule} with {self.num_threads} threads:"]
+        for tid, iterations in enumerate(self.per_thread):
+            lines.append(f"  thread {tid}: {iterations}")
+        return "\n".join(lines)
+
+
+def run_parallel_for(
+    omp: OpenMP,
+    n_iterations: int,
+    body: Callable[[int, ParallelContext], Any],
+    schedule: Schedule | None = None,
+    reduction: Reduction | None = None,
+    value: Callable[[int], Any] | None = None,
+    num_threads: int | None = None,
+) -> tuple[Any, LoopTrace]:
+    """Execute a work-shared loop; returns (reduction result, trace).
+
+    ``body(i, ctx)`` runs for every iteration ``i`` exactly once.  With a
+    ``reduction`` and ``value``, each thread folds ``value(i)`` into a
+    private accumulator seeded with the identity, and the partials are
+    combined in thread order after the join (deterministic).
+    """
+    if schedule is None:
+        schedule = Schedule.static()
+    n_threads = num_threads if num_threads is not None else omp.num_threads
+    if reduction is not None and value is None:
+        raise ValueError("a reduction requires a value() function")
+
+    trace = LoopTrace(schedule=schedule, num_threads=n_threads,
+                      per_thread=[[] for _ in range(n_threads)])
+    partials: list[Any] = [reduction.identity if reduction else None] * n_threads
+
+    if schedule.kind is ScheduleKind.STATIC:
+        mapping = chunk_iterations(n_iterations, n_threads, schedule)
+
+        def static_body(ctx: ParallelContext) -> None:
+            acc = reduction.identity if reduction else None
+            for i in mapping[ctx.thread_num]:
+                body(i, ctx)
+                if reduction:
+                    acc = reduction.op(acc, value(i))
+                trace.per_thread[ctx.thread_num].append(i)
+            partials[ctx.thread_num] = acc
+
+        omp.parallel(static_body, num_threads=n_threads)
+    else:
+        next_start = [0]
+        grab = threading.Lock()
+        min_chunk = schedule.chunk or 1
+
+        def take() -> range | None:
+            with grab:
+                start = next_start[0]
+                if start >= n_iterations:
+                    return None
+                if schedule.kind is ScheduleKind.GUIDED:
+                    remaining = n_iterations - start
+                    size = max(remaining // n_threads, min_chunk)
+                else:
+                    size = min_chunk
+                end = min(start + size, n_iterations)
+                next_start[0] = end
+                return range(start, end)
+
+        def dynamic_body(ctx: ParallelContext) -> None:
+            acc = reduction.identity if reduction else None
+            while (chunk := take()) is not None:
+                for i in chunk:
+                    body(i, ctx)
+                    if reduction:
+                        acc = reduction.op(acc, value(i))
+                    trace.per_thread[ctx.thread_num].append(i)
+            partials[ctx.thread_num] = acc
+
+        omp.parallel(dynamic_body, num_threads=n_threads)
+
+    result = reduction.combine(partials) if reduction else None
+    return result, trace
+
+
+class OrderedRegion:
+    """``#pragma omp ordered``: a section inside a work-shared loop whose
+    executions happen in *iteration order*, whatever the schedule.
+
+    The loop body calls ``ordered.wait_turn(i)`` before its ordered part
+    and ``ordered.done(i)`` after (or uses the context manager)::
+
+        ordered = OrderedRegion()
+        def body(i, ctx):
+            compute(i)                   # runs in parallel, any order
+            with ordered.turn(i):
+                emit(i)                  # strictly i = 0, 1, 2, ...
+
+    The tests assert the emission order is exactly ``range(n)`` even
+    under ``schedule(dynamic, 1)``.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._condition = threading.Condition()
+
+    def wait_turn(self, iteration: int, timeout: float = 60.0) -> None:
+        with self._condition:
+            if not self._condition.wait_for(
+                lambda: self._next == iteration, timeout=timeout
+            ):
+                raise TimeoutError(
+                    f"ordered region: iteration {iteration} never became "
+                    f"current (stuck at {self._next})"
+                )
+
+    def done(self, iteration: int) -> None:
+        with self._condition:
+            if iteration != self._next:
+                raise RuntimeError(
+                    f"ordered region: done({iteration}) out of order "
+                    f"(current is {self._next})"
+                )
+            self._next += 1
+            self._condition.notify_all()
+
+    @contextlib.contextmanager
+    def turn(self, iteration: int):
+        self.wait_turn(iteration)
+        try:
+            yield
+        finally:
+            self.done(iteration)

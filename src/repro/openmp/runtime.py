@@ -1,0 +1,196 @@
+"""The fork-join runtime: parallel regions and per-thread contexts.
+
+``OpenMP(num_threads=4).parallel(body)`` forks a team of real threads,
+runs ``body(ctx)`` on each, joins them, and returns the per-thread return
+values in thread order — OpenMP's fork-join model (the first patternlet of
+Assignment 2).
+
+The :class:`ParallelContext` passed to the body exposes the constructs the
+assignments use::
+
+    ctx.thread_num          # omp_get_thread_num()
+    ctx.num_threads         # omp_get_num_threads()
+    ctx.barrier()           # #pragma omp barrier
+    with ctx.critical():    # #pragma omp critical [name]
+    ctx.single(fn)          # #pragma omp single  (one thread runs fn)
+    ctx.master(fn)          # #pragma omp master  (thread 0 runs fn)
+
+Exceptions raised inside a team are collected and re-raised as
+:class:`ParallelError` on the forking thread, after the team is joined —
+so a failing body can never leak daemonised threads or deadlock a barrier
+(the barrier is aborted when any worker dies).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = ["OpenMP", "ParallelContext", "ParallelError", "TeamWorker"]
+
+#: Upper bound on how long a join may take before we declare a deadlock.
+JOIN_TIMEOUT_S = 60.0
+
+
+class ParallelError(RuntimeError):
+    """One or more team members raised; carries every failure."""
+
+    def __init__(self, failures: Sequence[tuple[int, BaseException]]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(f"thread {tid}: {exc!r}" for tid, exc in self.failures)
+        super().__init__(f"{len(self.failures)} team member(s) failed: {detail}")
+
+
+class _Team:
+    """Shared state of one parallel region."""
+
+    def __init__(self, num_threads: int) -> None:
+        self.num_threads = num_threads
+        self.barrier = threading.Barrier(num_threads)
+        self.criticals: dict[str, threading.Lock] = {}
+        self.criticals_guard = threading.Lock()
+        self.single_counters: dict[str, int] = {}
+        self.single_guard = threading.Lock()
+        self.results: list[Any] = [None] * num_threads
+        self.failures: list[tuple[int, BaseException]] = []
+        self.failures_guard = threading.Lock()
+
+    def critical_lock(self, name: str) -> threading.Lock:
+        with self.criticals_guard:
+            if name not in self.criticals:
+                self.criticals[name] = threading.Lock()
+            return self.criticals[name]
+
+
+@dataclass(frozen=True)
+class TeamWorker:
+    """Identity of one member of a team (thread number + team size)."""
+
+    thread_num: int
+    num_threads: int
+
+
+class ParallelContext:
+    """Per-thread view of a parallel region."""
+
+    def __init__(self, team: _Team, thread_num: int) -> None:
+        self._team = team
+        self.thread_num = thread_num
+        self.num_threads = team.num_threads
+
+    def barrier(self, timeout: float = JOIN_TIMEOUT_S) -> None:
+        """Block until every team member reaches the barrier."""
+        self._team.barrier.wait(timeout=timeout)
+
+    @contextlib.contextmanager
+    def critical(self, name: str = "") -> Iterator[None]:
+        """Named critical section; same name ⇒ same lock (OpenMP semantics)."""
+        lock = self._team.critical_lock(name)
+        with lock:
+            yield
+
+    def single(self, fn: Callable[[], Any], name: str = "", nowait: bool = False) -> Any:
+        """First thread to arrive runs ``fn``; others skip.
+
+        With ``nowait=False`` (the default, as in OpenMP) an implicit
+        barrier follows, so every thread observes ``fn``'s effects.
+        Returns ``fn``'s result on the thread that ran it, None elsewhere.
+        """
+        ran = False
+        result = None
+        with self._team.single_guard:
+            count = self._team.single_counters.get(name, 0)
+            self._team.single_counters[name] = count + 1
+            if count % self.num_threads == 0:
+                ran = True
+        if ran:
+            result = fn()
+        if not nowait:
+            self.barrier()
+        return result
+
+    def master(self, fn: Callable[[], Any]) -> Any:
+        """Thread 0 runs ``fn``; no implied barrier (OpenMP master)."""
+        if self.thread_num == 0:
+            return fn()
+        return None
+
+    @property
+    def worker(self) -> TeamWorker:
+        return TeamWorker(thread_num=self.thread_num, num_threads=self.num_threads)
+
+
+class OpenMP:
+    """The runtime facade.
+
+    ``num_threads`` defaults to 4 — the core count of the Raspberry Pi 3B+
+    the paper hands each team.
+    """
+
+    def __init__(self, num_threads: int = 4) -> None:
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+
+    def parallel(
+        self,
+        body: Callable[[ParallelContext], Any],
+        num_threads: int | None = None,
+    ) -> list[Any]:
+        """Fork a team, run ``body(ctx)`` on every member, join, and return
+        the per-thread results in thread order."""
+        n = num_threads if num_threads is not None else self.num_threads
+        if n < 1:
+            raise ValueError(f"num_threads must be >= 1, got {n}")
+        team = _Team(n)
+
+        def run(tid: int) -> None:
+            ctx = ParallelContext(team, tid)
+            try:
+                team.results[tid] = body(ctx)
+            except BaseException as exc:  # noqa: BLE001 - reported to forker
+                with team.failures_guard:
+                    team.failures.append((tid, exc))
+                # Abort the barrier so siblings blocked on it wake up with
+                # BrokenBarrierError instead of deadlocking.
+                team.barrier.abort()
+
+        threads = [
+            threading.Thread(target=run, args=(tid,), name=f"omp-worker-{tid}")
+            for tid in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=JOIN_TIMEOUT_S)
+            if t.is_alive():
+                team.barrier.abort()
+                raise ParallelError([(-1, TimeoutError(f"{t.name} did not join"))])
+        if team.failures:
+            # Deterministic order: report by thread id.  Barrier aborts in
+            # sibling threads are a consequence of the primary failure, so
+            # surface real exceptions first.
+            primary = sorted(
+                (f for f in team.failures if not isinstance(f[1], threading.BrokenBarrierError)),
+                key=lambda f: f[0],
+            ) or sorted(team.failures, key=lambda f: f[0])
+            raise ParallelError(primary)
+        return list(team.results)
+
+    def parallel_sections(
+        self, sections: Sequence[Callable[[ParallelContext], Any]]
+    ) -> list[Any]:
+        """OpenMP ``sections``: each section runs exactly once, distributed
+        round-robin over the team.  Returns results in section order."""
+        if not sections:
+            return []
+        results: list[Any] = [None] * len(sections)
+
+        def body(ctx: ParallelContext) -> None:
+            for idx in range(ctx.thread_num, len(sections), ctx.num_threads):
+                results[idx] = sections[idx](ctx)
+
+        self.parallel(body)
+        return results

@@ -1,0 +1,91 @@
+"""Shared-state helpers: atomic counter and shared array.
+
+These model what OpenMP programs get from ``#pragma omp atomic`` and from
+plain shared C arrays.  :class:`AtomicCounter` is also the work-stealing
+heart of the dynamic loop scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Sequence
+
+__all__ = ["AtomicCounter", "SharedArray"]
+
+
+class AtomicCounter:
+    """A lock-protected integer counter (``#pragma omp atomic``)."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; return the value *before* the add."""
+        with self._lock:
+            old = self._value
+            self._value += delta
+            return old
+
+    def add(self, delta: int = 1) -> int:
+        """Atomically add ``delta``; return the value *after* the add."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class SharedArray:
+    """A fixed-size shared array with optional per-element locking.
+
+    With ``locked=False`` it behaves like a plain C array shared among
+    threads — element accesses are *not* synchronised, which is exactly
+    what the data-race patternlet needs.  With ``locked=True`` every
+    read-modify-write helper takes the array lock.
+    """
+
+    def __init__(self, size: int, fill: float = 0.0, locked: bool = True) -> None:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        self._data = [fill] * size
+        self._locked = locked
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index: int) -> float:
+        return self._data[index]
+
+    def __setitem__(self, index: int, value: float) -> None:
+        self._data[index] = value
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(list(self._data))
+
+    def accumulate(self, index: int, delta: float) -> None:
+        """Read-modify-write add; atomic only when the array is locked."""
+        if self._locked:
+            with self._lock:
+                self._data[index] += delta
+        else:
+            self._data[index] += delta
+
+    def snapshot(self) -> list[float]:
+        """Copy of the contents (thread-safe when locked)."""
+        if self._locked:
+            with self._lock:
+                return list(self._data)
+        return list(self._data)
+
+    def fill_from(self, values: Sequence[float]) -> None:
+        if len(values) != len(self._data):
+            raise ValueError(
+                f"expected {len(self._data)} values, got {len(values)}"
+            )
+        with self._lock:
+            self._data[:] = list(values)

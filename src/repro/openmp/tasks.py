@@ -1,0 +1,166 @@
+"""OpenMP-style explicit tasks (``#pragma omp task`` / ``taskwait``).
+
+Work-sharing loops cover regular iteration spaces; irregular work
+(recursive decomposition, trees, task graphs) is what OpenMP 3.0 tasks
+are for.  :class:`TaskGroup` gives a parallel region a shared task deque:
+any thread may ``submit`` tasks (including from inside a task), and
+``taskwait`` blocks until every task submitted so far has finished.
+
+Scheduling note: a blocked ``result()`` helps by executing **its own
+task** inline if that task is still queued (targeted help).  This keeps
+the Python stack bounded by the *depth* of the task tree rather than the
+*number* of tasks — indiscriminate work-first helping overflows the
+recursion limit on trees with thousands of tasks — while still making
+``parent waits on child`` deadlock-free: the child is either queued (run
+it now) or already running on some thread (wait briefly).
+
+The canonical example (tested and used by the examples)::
+
+    omp = OpenMP(4)
+    group = TaskGroup(omp)
+
+    def fib(n):
+        if n < 2:
+            return n
+        a = group.submit(fib, n - 1)   # child task, any thread may run it
+        b = fib(n - 2)                 # run inline
+        return a.result() + b
+    print(group.run(fib, 20))
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["TaskHandle", "TaskGroup"]
+
+
+@dataclass
+class TaskHandle:
+    """A submitted task's future."""
+
+    _group: "TaskGroup"
+    _done: threading.Event = field(default_factory=threading.Event)
+    _value: Any = None
+    _error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float = 60.0) -> Any:
+        """Return the task's result.
+
+        If the task is still queued, the calling thread executes it
+        inline (targeted help); if it is running on another thread, wait.
+        """
+        deadline = time.monotonic() + timeout
+        while not self._done.is_set():
+            if self._group._run_specific(self):
+                break
+            if time.monotonic() > deadline:
+                raise TimeoutError("task result not available in time")
+            self._done.wait(timeout=0.001)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class TaskGroup:
+    """A shared task pool bound to an :class:`OpenMP` runtime."""
+
+    def __init__(self, omp: OpenMP) -> None:
+        self._omp = omp
+        self._deque: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._outstanding = 0
+        self._shutdown = False
+
+    # -- internals ----------------------------------------------------------
+
+    def _execute(self, entry: tuple) -> None:
+        handle, fn, args, kwargs = entry
+        try:
+            handle._value = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - stored on the handle
+            handle._error = exc
+        handle._done.set()
+        with self._lock:
+            self._outstanding -= 1
+
+    def _run_one(self) -> bool:
+        """Pop and execute one queued task; False if the queue was empty."""
+        with self._lock:
+            if not self._deque:
+                return False
+            entry = self._deque.popleft()
+        self._execute(entry)
+        return True
+
+    def _run_specific(self, handle: "TaskHandle") -> bool:
+        """Execute ``handle``'s task inline if it is still queued."""
+        with self._lock:
+            entry = next((e for e in self._deque if e[0] is handle), None)
+            if entry is None:
+                return False
+            self._deque.remove(entry)
+        self._execute(entry)
+        return True
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> TaskHandle:
+        """Queue a task for any team member to execute."""
+        handle = TaskHandle(_group=self)
+        with self._lock:
+            self._deque.append((handle, fn, args, kwargs))
+            self._outstanding += 1
+        return handle
+
+    def taskwait(self, timeout: float = 60.0) -> None:
+        """Execute queued tasks until every submitted task has completed."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._run_one():
+                continue
+            with self._lock:
+                if self._outstanding == 0:
+                    return
+            if time.monotonic() > deadline:
+                raise TimeoutError("taskwait exceeded its timeout")
+            time.sleep(0.0005)
+
+    def run(self, root: Callable, *args: Any, **kwargs: Any) -> Any:
+        """Fork the team; thread 0 runs ``root`` while the others execute
+        tasks; returns ``root``'s result after a full taskwait.
+
+        ``root``'s exception (if any) propagates as a
+        :class:`~repro.openmp.runtime.ParallelError`; the workers are
+        always shut down, even then.
+        """
+        result_box: list[Any] = [None]
+
+        def body(ctx) -> None:
+            if ctx.thread_num == 0:
+                try:
+                    result_box[0] = root(*args, **kwargs)
+                    self.taskwait()
+                finally:
+                    with self._lock:
+                        self._shutdown = True
+            else:
+                while True:
+                    if not self._run_one():
+                        with self._lock:
+                            if self._shutdown and not self._deque:
+                                return
+                        time.sleep(0.0005)
+
+        self._shutdown = False
+        self._omp.parallel(body)
+        return result_box[0]

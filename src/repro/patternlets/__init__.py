@@ -1,0 +1,55 @@
+"""The CSinParallel *patternlets* used by Assignments 2–4.
+
+Each module is one of the small illustrative programs the paper has
+students "create, compile, run, and modify" on the Pi, rebuilt on our
+OpenMP-style runtime.  Every patternlet exposes a ``run(...)`` entry point
+returning structured results (so tests can assert semantics) and a
+rendered trace (so examples can show students what the paper's C programs
+print).
+
+Assignment 2: :mod:`forkjoin`, :mod:`spmd`, :mod:`datarace`.
+Assignment 3: :mod:`parallel_loop`, :mod:`scheduling`, :mod:`reduction_loop`.
+Assignment 4: :mod:`trapezoid`, :mod:`barrier_sync`, :mod:`masterworker`.
+"""
+
+from repro.patternlets.atomic_private import (
+    AtomicDemo,
+    ScopeDemo,
+    run_atomic_demo,
+    run_scope_demo,
+)
+from repro.patternlets.barrier_sync import BarrierDemo, run_barrier_demo
+from repro.patternlets.datarace import RaceDemo, run_race_demo
+from repro.patternlets.forkjoin import ForkJoinDemo, run_fork_join
+from repro.patternlets.masterworker import MasterWorkerDemo, run_master_worker
+from repro.patternlets.parallel_loop import EqualChunksDemo, run_equal_chunks
+from repro.patternlets.reduction_loop import ReductionDemo, run_reduction_loop
+from repro.patternlets.scheduling import SchedulingDemo, run_scheduling_demo
+from repro.patternlets.spmd import SPMDDemo, run_spmd
+from repro.patternlets.trapezoid import TrapezoidResult, trapezoid_parallel, trapezoid_sequential
+
+__all__ = [
+    "AtomicDemo",
+    "BarrierDemo",
+    "EqualChunksDemo",
+    "ForkJoinDemo",
+    "MasterWorkerDemo",
+    "RaceDemo",
+    "ScopeDemo",
+    "ReductionDemo",
+    "SPMDDemo",
+    "SchedulingDemo",
+    "TrapezoidResult",
+    "run_atomic_demo",
+    "run_barrier_demo",
+    "run_equal_chunks",
+    "run_fork_join",
+    "run_master_worker",
+    "run_race_demo",
+    "run_reduction_loop",
+    "run_scope_demo",
+    "run_scheduling_demo",
+    "run_spmd",
+    "trapezoid_parallel",
+    "trapezoid_sequential",
+]

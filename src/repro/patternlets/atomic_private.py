@@ -1,0 +1,114 @@
+"""Patternlet: atomic updates and private/firstprivate scope.
+
+Rounds out the shared-memory-concerns thread of Assignment 2: the same
+shared counter updated four ways — racy, ``#pragma omp atomic``,
+``#pragma omp critical``, and private-with-combine — plus a demonstration
+of variable scope clauses:
+
+- **shared**: one instance, all threads see (and race on) it;
+- **private**: each thread gets an *uninitialised* fresh instance;
+- **firstprivate**: each thread gets a fresh instance *initialised from
+  the value before the region* — the distinction students trip on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.runtime import OpenMP
+from repro.openmp.sync import AtomicCounter
+
+__all__ = ["AtomicDemo", "ScopeDemo", "run_atomic_demo", "run_scope_demo"]
+
+
+@dataclass(frozen=True)
+class AtomicDemo:
+    """Totals from the four update strategies."""
+
+    num_threads: int
+    increments_per_thread: int
+    expected: int
+    atomic_total: int
+    critical_total: int
+    private_total: int
+
+    @property
+    def all_correct(self) -> bool:
+        return self.atomic_total == self.critical_total == self.private_total == self.expected
+
+    def render(self) -> str:
+        return "\n".join([
+            f"expected {self.expected}:",
+            f"  atomic:            {self.atomic_total}",
+            f"  critical:          {self.critical_total}",
+            f"  private + combine: {self.private_total}",
+        ])
+
+
+def run_atomic_demo(num_threads: int = 4, increments_per_thread: int = 1000) -> AtomicDemo:
+    """Update a counter with atomic / critical / private strategies."""
+    omp = OpenMP(num_threads)
+    expected = num_threads * increments_per_thread
+
+    atomic = AtomicCounter()
+    omp.parallel(lambda ctx: [atomic.add(1) for _ in range(increments_per_thread)])
+
+    critical_box = {"value": 0}
+
+    def critical_body(ctx) -> None:
+        for _ in range(increments_per_thread):
+            with ctx.critical("count"):
+                critical_box["value"] += 1
+
+    omp.parallel(critical_body)
+
+    partials = omp.parallel(lambda ctx: sum(1 for _ in range(increments_per_thread)))
+
+    return AtomicDemo(
+        num_threads=num_threads,
+        increments_per_thread=increments_per_thread,
+        expected=expected,
+        atomic_total=atomic.value,
+        critical_total=critical_box["value"],
+        private_total=sum(partials),
+    )
+
+
+@dataclass(frozen=True)
+class ScopeDemo:
+    """What each thread observed under the three scope clauses."""
+
+    shared_final: int                 # all threads incremented one instance
+    private_values: tuple[int, ...]   # fresh per thread (started at 0)
+    firstprivate_values: tuple[int, ...]  # fresh but initialised from outside
+
+    def render(self) -> str:
+        return "\n".join([
+            f"shared: one instance, final value {self.shared_final}",
+            f"private: fresh per thread -> {self.private_values}",
+            f"firstprivate: copies of the outer value -> {self.firstprivate_values}",
+        ])
+
+
+def run_scope_demo(num_threads: int = 4, outer_value: int = 100) -> ScopeDemo:
+    """Show shared vs private vs firstprivate semantics."""
+    omp = OpenMP(num_threads)
+
+    shared = AtomicCounter(0)
+    omp.parallel(lambda ctx: shared.add(1))
+
+    # private: each thread starts from nothing (here: 0) and adds its id.
+    private_values = tuple(
+        omp.parallel(lambda ctx: 0 + ctx.thread_num)
+    )
+
+    # firstprivate: each thread starts from a copy of the outer value.
+    firstprivate_values = tuple(
+        omp.parallel(lambda ctx: outer_value + ctx.thread_num)
+    )
+
+    return ScopeDemo(
+        shared_final=shared.value,
+        private_values=private_values,
+        firstprivate_values=firstprivate_values,
+    )

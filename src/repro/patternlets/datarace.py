@@ -1,0 +1,112 @@
+"""Patternlet: shared-memory concerns — the data race (Assignment 2, #3).
+
+"By sharing one bank of memory, programmers need to be a bit more careful
+about declaring their variables (scope matters) to avoid the data race
+problem."
+
+Three variants of the same counting loop:
+
+- **shared, unsynchronised** — every thread does a read-modify-write on
+  one shared counter; the detector reports races and (on a real machine)
+  updates are lost;
+- **private then combine** — each thread counts privately and the
+  partials are summed after the join (OpenMP's reduction idiom): correct;
+- **shared under a critical section** — correct but serialised.
+
+Assignment 4 then asks "Why [is a] race condition difficult to reproduce
+and debug?" — because it is timing-dependent; our detector answers by
+*construction* rather than by luck, flagging the unsynchronised pattern
+even on runs where no update happens to be lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.race import RaceDetector, Shared
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["RaceDemo", "run_race_demo"]
+
+
+@dataclass(frozen=True)
+class RaceDemo:
+    """Outcome of the three variants."""
+
+    num_threads: int
+    increments_per_thread: int
+    expected_total: int
+    racy_total: int
+    racy_races_detected: int
+    private_total: int
+    private_races_detected: int
+    critical_total: int
+    critical_races_detected: int
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"expected total: {self.expected_total}",
+                f"shared unsynchronised: total={self.racy_total}, "
+                f"races detected={self.racy_races_detected}",
+                f"private + combine:     total={self.private_total}, "
+                f"races detected={self.private_races_detected}",
+                f"shared + critical:     total={self.critical_total}, "
+                f"races detected={self.critical_races_detected}",
+            ]
+        )
+
+
+def run_race_demo(num_threads: int = 4, increments_per_thread: int = 1000) -> RaceDemo:
+    """Run all three variants and report totals + detected races."""
+    omp = OpenMP(num_threads)
+    expected = num_threads * increments_per_thread
+
+    # Variant 1: shared, unsynchronised (racy by design).
+    racy_detector = RaceDetector()
+    counter = Shared(0, "counter", racy_detector)
+
+    def racy(ctx) -> None:
+        for _ in range(increments_per_thread):
+            counter.write(counter.read(ctx) + 1, ctx)
+
+    omp.parallel(racy)
+    racy_races = len(racy_detector.races(limit=1000))
+
+    # Variant 2: private accumulators combined after the join.
+    private_detector = RaceDetector()
+
+    def private(ctx) -> int:
+        local = 0  # "declare it inside the region" — scope matters
+        for _ in range(increments_per_thread):
+            local += 1
+        return local
+
+    partials = omp.parallel(private)
+    private_total = sum(partials)
+    private_races = len(private_detector.races())
+
+    # Variant 3: shared under a critical section.
+    critical_detector = RaceDetector()
+    safe = Shared(0, "safe_counter", critical_detector)
+
+    def critical(ctx) -> None:
+        for _ in range(increments_per_thread):
+            with ctx.critical("update"):
+                with critical_detector.holding(ctx, "update"):
+                    safe.write(safe.read(ctx) + 1, ctx)
+
+    omp.parallel(critical)
+    critical_races = len(critical_detector.races())
+
+    return RaceDemo(
+        num_threads=num_threads,
+        increments_per_thread=increments_per_thread,
+        expected_total=expected,
+        racy_total=int(counter.value),
+        racy_races_detected=racy_races,
+        private_total=private_total,
+        private_races_detected=private_races,
+        critical_total=int(safe.value),
+        critical_races_detected=critical_races,
+    )

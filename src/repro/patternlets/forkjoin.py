@@ -1,0 +1,47 @@
+"""Patternlet: the fork-join programming pattern (Assignment 2, program 1).
+
+The C original prints "before", forks a team that each print "during",
+then joins and prints "after".  The observable semantics students are
+meant to notice: the *before* and *after* lines run once on the initial
+thread; the *during* lines run once per team member, in nondeterministic
+order; *after* never precedes any *during*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["ForkJoinDemo", "run_fork_join"]
+
+
+@dataclass(frozen=True)
+class ForkJoinDemo:
+    """Captured output of the fork-join patternlet."""
+
+    num_threads: int
+    before: str
+    during: tuple[str, ...]   # in thread order (the runtime returns by id)
+    after: str
+
+    def render(self) -> str:
+        lines = [self.before]
+        lines += list(self.during)
+        lines.append(self.after)
+        return "\n".join(lines)
+
+
+def run_fork_join(num_threads: int = 4) -> ForkJoinDemo:
+    """Run the fork-join patternlet on ``num_threads`` threads."""
+    omp = OpenMP(num_threads)
+    during = omp.parallel(
+        lambda ctx: f"During the parallel region: thread {ctx.thread_num} of "
+        f"{ctx.num_threads}"
+    )
+    return ForkJoinDemo(
+        num_threads=num_threads,
+        before="Before the parallel region (sequential, one thread)",
+        during=tuple(during),
+        after="After the parallel region (joined, one thread again)",
+    )

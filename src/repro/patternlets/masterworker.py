@@ -1,0 +1,101 @@
+"""Patternlet: The Master-Worker Implementation Strategy (A4, #3).
+
+"illustrates the master-worker pattern in OpenMP."
+
+Thread 0 (the master) fills a shared work queue and collects results;
+the workers repeatedly take tasks until the queue is drained.  Assignment
+4 asks students to compare "master-worker with fork-join": in fork-join
+all threads are peers executing the same region; in master-worker one
+thread coordinates and the others serve — the demo records who did what
+so the asymmetry is assertable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["MasterWorkerDemo", "run_master_worker"]
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class MasterWorkerDemo:
+    """Outcome of a master-worker run."""
+
+    num_threads: int
+    n_tasks: int
+    results: tuple[object, ...]           # in task order
+    tasks_by_thread: tuple[int, ...]      # tasks completed per thread
+    master_thread: int = 0
+
+    @property
+    def master_did_no_tasks(self) -> bool:
+        return self.tasks_by_thread[self.master_thread] == 0
+
+    def render(self) -> str:
+        lines = [f"master-worker: {self.n_tasks} tasks, "
+                 f"{self.num_threads} threads (thread {self.master_thread} is master)"]
+        for tid, count in enumerate(self.tasks_by_thread):
+            role = "master" if tid == self.master_thread else "worker"
+            lines.append(f"  thread {tid} ({role}): {count} tasks")
+        return "\n".join(lines)
+
+
+def run_master_worker(
+    tasks: Sequence[object],
+    work: Callable[[object], object],
+    num_threads: int = 4,
+) -> MasterWorkerDemo:
+    """Process ``tasks`` with one master and ``num_threads - 1`` workers.
+
+    Degenerate case: with one thread the "master" does everything itself
+    (matching how an OpenMP master-worker program behaves at
+    ``OMP_NUM_THREADS=1``).
+    """
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    n = len(tasks)
+    results: list[object] = [None] * n
+    done_by: list[int] = [0] * num_threads
+    work_queue: queue.Queue = queue.Queue()
+    counts_lock = threading.Lock()
+
+    if num_threads == 1:
+        for idx, task in enumerate(tasks):
+            results[idx] = work(task)
+            done_by[0] += 1
+        return MasterWorkerDemo(
+            num_threads=1, n_tasks=n, results=tuple(results),
+            tasks_by_thread=tuple(done_by),
+        )
+
+    def body(ctx) -> None:
+        if ctx.thread_num == 0:
+            # Master: publish all tasks, then one stop token per worker.
+            for idx, task in enumerate(tasks):
+                work_queue.put((idx, task))
+            for _ in range(ctx.num_threads - 1):
+                work_queue.put(_STOP)
+        else:
+            while True:
+                item = work_queue.get()
+                if item is _STOP:
+                    break
+                idx, task = item
+                results[idx] = work(task)
+                with counts_lock:
+                    done_by[ctx.thread_num] += 1
+
+    OpenMP(num_threads).parallel(body)
+    return MasterWorkerDemo(
+        num_threads=num_threads,
+        n_tasks=n,
+        results=tuple(results),
+        tasks_by_thread=tuple(done_by),
+    )

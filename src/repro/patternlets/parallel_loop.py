@@ -1,0 +1,68 @@
+"""Patternlet: Running Loops in Parallel — equal chunks (Assignment 3, #1).
+
+"illustrates the use of OpenMP's default parallel for loop in which
+threads iterate through equal sized chunks of the index range."
+
+The demo fills an array in parallel with the default static schedule and
+records which thread wrote each slot, so the contiguous equal-chunk
+mapping is visible and assertable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.loops import Schedule, run_parallel_for
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["EqualChunksDemo", "run_equal_chunks"]
+
+
+@dataclass(frozen=True)
+class EqualChunksDemo:
+    """Which thread handled which index under the default static schedule."""
+
+    num_threads: int
+    n_iterations: int
+    owner: tuple[int, ...]           # owner[i] = thread that executed i
+    values: tuple[float, ...]        # the computed array
+
+    def chunk_bounds(self) -> list[tuple[int, int]]:
+        """(first, last) iteration per thread, in thread order."""
+        bounds = []
+        for tid in range(self.num_threads):
+            mine = [i for i, owner in enumerate(self.owner) if owner == tid]
+            if mine:
+                bounds.append((mine[0], mine[-1]))
+            else:
+                bounds.append((-1, -1))
+        return bounds
+
+    def render(self) -> str:
+        lines = [f"parallel for, {self.n_iterations} iterations on "
+                 f"{self.num_threads} threads (default static):"]
+        for tid, (lo, hi) in enumerate(self.chunk_bounds()):
+            if lo < 0:
+                lines.append(f"  thread {tid}: (no iterations)")
+            else:
+                lines.append(f"  thread {tid}: iterations {lo}..{hi}")
+        return "\n".join(lines)
+
+
+def run_equal_chunks(num_threads: int = 4, n_iterations: int = 16) -> EqualChunksDemo:
+    """Fill ``a[i] = i * i`` in parallel, recording ownership."""
+    omp = OpenMP(num_threads)
+    owner = [-1] * n_iterations
+    values = [0.0] * n_iterations
+
+    def body(i: int, ctx) -> None:
+        owner[i] = ctx.thread_num        # each slot written exactly once: no race
+        values[i] = float(i * i)
+
+    run_parallel_for(omp, n_iterations, body, Schedule.static())
+    return EqualChunksDemo(
+        num_threads=num_threads,
+        n_iterations=n_iterations,
+        owner=tuple(owner),
+        values=tuple(values),
+    )

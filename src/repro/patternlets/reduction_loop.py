@@ -1,0 +1,81 @@
+"""Patternlet: When Loops Have Dependencies — reduction (Assignment 3, #3).
+
+"illustrates the OpenMP parallel-for loop's reduction clause."
+
+A sum over the index range has a loop-carried dependency on the
+accumulator.  The demo shows the three ways students try it:
+
+1. naive shared accumulator → data race (detected);
+2. the reduction clause → correct, and bit-identical to sequential for
+   integer sums (and deterministic for floats, since we combine partials
+   in thread order);
+3. the sequential reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.loops import Schedule, run_parallel_for
+from repro.openmp.race import RaceDetector, Shared
+from repro.openmp.reduction import Reduction
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["ReductionDemo", "run_reduction_loop"]
+
+
+@dataclass(frozen=True)
+class ReductionDemo:
+    """Results of the dependency-loop variants."""
+
+    num_threads: int
+    n: int
+    sequential_sum: int
+    naive_shared_sum: int
+    naive_races_detected: int
+    reduction_sum: int
+
+    @property
+    def reduction_matches_sequential(self) -> bool:
+        return self.reduction_sum == self.sequential_sum
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"sum of 0..{self.n - 1} on {self.num_threads} threads",
+                f"sequential:      {self.sequential_sum}",
+                f"naive shared:    {self.naive_shared_sum} "
+                f"({self.naive_races_detected} races detected)",
+                f"reduction(+):    {self.reduction_sum} "
+                f"({'matches' if self.reduction_matches_sequential else 'DIFFERS FROM'} sequential)",
+            ]
+        )
+
+
+def run_reduction_loop(num_threads: int = 4, n: int = 1000) -> ReductionDemo:
+    """Sum 0..n-1 three ways."""
+    omp = OpenMP(num_threads)
+    sequential = sum(range(n))
+
+    detector = RaceDetector()
+    acc = Shared(0, "acc", detector)
+
+    def naive(i: int, ctx) -> None:
+        acc.write(acc.read(ctx) + i, ctx)    # loop-carried dependency, shared
+
+    run_parallel_for(omp, n, naive, Schedule.static())
+    races = len(detector.races(limit=1000))
+
+    reduced, _trace = run_parallel_for(
+        omp, n, lambda i, ctx: None, Schedule.static(),
+        reduction=Reduction.SUM, value=lambda i: i,
+    )
+
+    return ReductionDemo(
+        num_threads=num_threads,
+        n=n,
+        sequential_sum=sequential,
+        naive_shared_sum=int(acc.value),
+        naive_races_detected=races,
+        reduction_sum=int(reduced),
+    )

@@ -1,0 +1,40 @@
+"""Patternlet: Single Program Multiple Data (Assignment 2, program 2).
+
+Every thread runs the *same* program text; behaviour differs only through
+``omp_get_thread_num()`` / ``omp_get_num_threads()`` — the two calls this
+patternlet introduces.  The classic output is "Hello from thread N of M".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["SPMDDemo", "run_spmd"]
+
+
+@dataclass(frozen=True)
+class SPMDDemo:
+    """Captured output of the SPMD patternlet."""
+
+    num_threads: int
+    greetings: tuple[str, ...]
+    thread_ids: tuple[int, ...]
+
+    def render(self) -> str:
+        return "\n".join(self.greetings)
+
+
+def run_spmd(num_threads: int = 4) -> SPMDDemo:
+    """Run the SPMD hello patternlet."""
+
+    def body(ctx) -> tuple[int, str]:
+        return ctx.thread_num, f"Hello from thread {ctx.thread_num} of {ctx.num_threads}"
+
+    results = OpenMP(num_threads).parallel(body)
+    return SPMDDemo(
+        num_threads=num_threads,
+        greetings=tuple(msg for _tid, msg in results),
+        thread_ids=tuple(tid for tid, _msg in results),
+    )

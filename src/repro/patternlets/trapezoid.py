@@ -1,0 +1,88 @@
+"""Patternlet: Integration Using the Trapezoidal Rule (Assignment 4, #1).
+
+"illustrates the use of parallel for loop, private, shared, and reduction
+clauses."
+
+Numerically integrate f over [a, b] with n trapezoids.  The parallel
+version work-shares the interior sum with ``reduction(+)``; because the
+runtime combines partials in thread order the parallel result is
+deterministic, and because addition of the same chunks in a different
+association differs only by float rounding, sequential and parallel agree
+to ~1e-12 relative — both are asserted in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.openmp.loops import Schedule, run_parallel_for
+from repro.openmp.reduction import Reduction
+from repro.openmp.runtime import OpenMP
+
+__all__ = ["TrapezoidResult", "trapezoid_sequential", "trapezoid_parallel"]
+
+
+@dataclass(frozen=True)
+class TrapezoidResult:
+    """An integral estimate and how it was computed."""
+
+    value: float
+    n_trapezoids: int
+    num_threads: int
+    a: float
+    b: float
+
+    def error_against(self, exact: float) -> float:
+        return abs(self.value - exact)
+
+
+def _check(a: float, b: float, n: int) -> None:
+    if n < 1:
+        raise ValueError(f"need at least 1 trapezoid, got {n}")
+    if not b > a:
+        raise ValueError(f"need b > a, got [{a}, {b}]")
+
+
+def trapezoid_sequential(
+    f: Callable[[float], float], a: float, b: float, n: int = 1 << 16
+) -> TrapezoidResult:
+    """Sequential trapezoidal rule with n panels."""
+    _check(a, b, n)
+    h = (b - a) / n
+    total = (f(a) + f(b)) / 2.0
+    for i in range(1, n):
+        total += f(a + i * h)
+    return TrapezoidResult(value=total * h, n_trapezoids=n, num_threads=1, a=a, b=b)
+
+
+def trapezoid_parallel(
+    f: Callable[[float], float],
+    a: float,
+    b: float,
+    n: int = 1 << 16,
+    num_threads: int = 4,
+    schedule: Schedule | None = None,
+) -> TrapezoidResult:
+    """Parallel trapezoidal rule: the interior sum is a reduction.
+
+    ``h`` and the endpoints are shared read-only; the loop variable and
+    each thread's partial sum are private — the clause structure the
+    assignment teaches.
+    """
+    _check(a, b, n)
+    omp = OpenMP(num_threads)
+    h = (b - a) / n
+
+    interior, _trace = run_parallel_for(
+        omp,
+        n - 1,
+        lambda i, ctx: None,
+        schedule or Schedule.static(),
+        reduction=Reduction.SUM,
+        value=lambda i: f(a + (i + 1) * h),
+    )
+    total = (f(a) + f(b)) / 2.0 + interior
+    return TrapezoidResult(
+        value=total * h, n_trapezoids=n, num_threads=num_threads, a=a, b=b
+    )

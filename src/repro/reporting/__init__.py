@@ -1,0 +1,13 @@
+"""Rendering: ASCII tables and figures.
+
+- :mod:`repro.reporting.tables` — a small column-aligned table renderer
+  used by every benchmark to print paper-style tables.
+- :mod:`repro.reporting.figures` — the two figures: the semester timeline
+  (Fig. 1, rendered by :mod:`repro.course.timeline`) and the survey
+  instrument sheet (Fig. 2).
+"""
+
+from repro.reporting.figures import render_fig1_timeline, render_fig2_instrument
+from repro.reporting.tables import Table
+
+__all__ = ["Table", "render_fig1_timeline", "render_fig2_instrument"]

@@ -1,0 +1,45 @@
+"""The paper's two figures, regenerated as text.
+
+- **Fig. 1** — the semester timeline (delegates to
+  :meth:`repro.course.timeline.Semester.render`).
+- **Fig. 2** — one element of the Team Design Skills Growth Survey as the
+  students saw it: the definition item and its components, with both
+  rating scales.
+"""
+
+from __future__ import annotations
+
+from repro.course.timeline import Semester, paper_timeline
+from repro.survey.instrument import Instrument, team_design_skills_survey
+from repro.survey.scales import CLASS_EMPHASIS_SCALE, PERSONAL_GROWTH_SCALE
+
+__all__ = ["render_fig1_timeline", "render_fig2_instrument"]
+
+
+def render_fig1_timeline(semester: Semester | None = None) -> str:
+    """Fig. 1: the 15-week schedule with assignments and surveys."""
+    sem = semester or paper_timeline()
+    return (
+        "Fig. 1 — semester timeline (15 weeks)\n" + sem.render()
+    )
+
+
+def render_fig2_instrument(
+    instrument: Instrument | None = None, element_name: str = "Teamwork"
+) -> str:
+    """Fig. 2: one survey element as administered (definition + components,
+    rated on both scales)."""
+    inst = instrument or team_design_skills_survey()
+    element = inst.element(element_name)
+    lines = [
+        f"Fig. 2 — {inst.title}",
+        f"Element: {element.name}",
+        "",
+        f"Scales:  CE = {CLASS_EMPHASIS_SCALE}",
+        f"         PG = {PERSONAL_GROWTH_SCALE}",
+        "",
+        f"  [CE 1-5] [PG 1-5]  {element.definition.text}   (definition)",
+    ]
+    for item in element.components:
+        lines.append(f"  [CE 1-5] [PG 1-5]  {item.text}")
+    return "\n".join(lines)

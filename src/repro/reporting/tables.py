@@ -1,0 +1,43 @@
+"""A small column-aligned ASCII table renderer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """Rows of strings rendered with aligned columns and a rule line."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        row = tuple(str(c) for c in cells)
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, rule, line(list(self.headers)), rule]
+        out += [line(list(row)) for row in self.rows]
+        out.append(rule)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,183 @@
+"""Deterministic multicore timing model.
+
+Python threads cannot show real speedup under the GIL, so — per the
+substitution rule — performance-shaped experiments are *costed* on a model
+of the Pi's four cores instead of wall-clocked.  The model is the standard
+one for work-sharing loops:
+
+- a parallel region costs ``fork + max(core busy time) + join``;
+- a core's busy time is the sum of its iterations' costs plus a per-chunk
+  scheduling overhead (higher for dynamic than static — each dynamic
+  chunk is a trip to a shared counter);
+- concurrent cores contend for the shared memory system: iteration costs
+  are inflated by ``1 + beta * (active_cores - 1)``, the usual linear
+  contention approximation;
+- dynamic/guided chunks are dispatched by list scheduling (next chunk to
+  the earliest-free core), which is what an OpenMP runtime's work queue
+  converges to.
+
+The shapes this produces — near-linear speedup for balanced loops, static
+losing to dynamic on imbalanced loops, small chunks paying more overhead —
+are the phenomena Assignments 3–5 have students observe.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.openmp.loops import Schedule, ScheduleKind, chunk_iterations
+
+__all__ = ["TimingModel", "CostedLoop", "SimulatedPi"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Cost parameters, in microseconds (us)."""
+
+    fork_us: float = 5.0
+    join_us: float = 3.0
+    static_chunk_us: float = 0.05
+    dynamic_chunk_us: float = 0.8    # a fetch-add on a shared counter
+    barrier_us: float = 2.0
+    contention_beta: float = 0.03    # memory-system slowdown per extra core
+
+    def __post_init__(self) -> None:
+        for name in ("fork_us", "join_us", "static_chunk_us", "dynamic_chunk_us",
+                     "barrier_us", "contention_beta"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def contention_factor(self, active_cores: int) -> float:
+        return 1.0 + self.contention_beta * max(0, active_cores - 1)
+
+
+@dataclass(frozen=True)
+class CostedLoop:
+    """Cost breakdown of one work-shared loop on the model."""
+
+    schedule: Schedule
+    num_threads: int
+    elapsed_us: float
+    per_core_busy_us: tuple[float, ...]
+    sequential_us: float
+    n_chunks: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_us / self.elapsed_us
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.num_threads
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean core busy time − 1 (0 = perfectly balanced)."""
+        mean = sum(self.per_core_busy_us) / len(self.per_core_busy_us)
+        if mean == 0:
+            return 0.0
+        return max(self.per_core_busy_us) / mean - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.schedule} x{self.num_threads}: {self.elapsed_us:.1f} us "
+            f"(speedup {self.speedup:.2f}, efficiency {self.efficiency:.2f}, "
+            f"imbalance {self.load_imbalance:.2f})"
+        )
+
+
+def _chunks_in_order(n: int, chunk: int) -> list[range]:
+    return [range(s, min(s + chunk, n)) for s in range(0, n, chunk)]
+
+
+@dataclass(frozen=True)
+class SimulatedPi:
+    """Four Cortex-A53 cores with a shared memory system."""
+
+    n_cores: int = 4
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    def sequential_us(self, costs: Sequence[float]) -> float:
+        """Cost of the sequential loop (no overheads, no contention)."""
+        return float(sum(costs))
+
+    def cost_loop(
+        self,
+        costs: Sequence[float],
+        schedule: Schedule | None = None,
+        num_threads: int | None = None,
+    ) -> CostedLoop:
+        """Cost a work-shared loop whose iteration *i* takes ``costs[i]`` us."""
+        if any(c < 0 for c in costs):
+            raise ValueError("iteration costs must be >= 0")
+        if schedule is None:
+            schedule = Schedule.static()
+        n_threads = num_threads if num_threads is not None else self.n_cores
+        if n_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {n_threads}")
+        n = len(costs)
+        sequential = self.sequential_us(costs)
+        if n == 0:
+            return CostedLoop(schedule, n_threads, self.timing.fork_us + self.timing.join_us,
+                              tuple([0.0] * n_threads), 0.0, 0)
+
+        active = min(n_threads, n)
+        factor = self.timing.contention_factor(active)
+
+        if schedule.kind is ScheduleKind.STATIC:
+            mapping = chunk_iterations(n, n_threads, schedule)
+            busy = []
+            n_chunks = 0
+            chunk = schedule.chunk
+            for iterations in mapping:
+                work = factor * sum(costs[i] for i in iterations)
+                if chunk is None:
+                    my_chunks = 1 if iterations else 0
+                else:
+                    my_chunks = (len(iterations) + chunk - 1) // chunk
+                n_chunks += my_chunks
+                busy.append(work + my_chunks * self.timing.static_chunk_us)
+        else:
+            min_chunk = schedule.chunk or 1
+            busy = [0.0] * n_threads
+            # List scheduling: a heap of (free-at time, core id).
+            heap = [(0.0, core) for core in range(n_threads)]
+            heapq.heapify(heap)
+            start = 0
+            n_chunks = 0
+            remaining = n
+            while start < n:
+                if schedule.kind is ScheduleKind.GUIDED:
+                    size = max(remaining // n_threads, min_chunk)
+                else:
+                    size = min_chunk
+                end = min(start + size, n)
+                work = factor * sum(costs[start:end]) + self.timing.dynamic_chunk_us
+                free_at, core = heapq.heappop(heap)
+                heapq.heappush(heap, (free_at + work, core))
+                busy[core] += work
+                n_chunks += 1
+                remaining -= end - start
+                start = end
+
+        elapsed = self.timing.fork_us + max(busy) + self.timing.join_us
+        return CostedLoop(
+            schedule=schedule,
+            num_threads=n_threads,
+            elapsed_us=elapsed,
+            per_core_busy_us=tuple(busy),
+            sequential_us=sequential,
+            n_chunks=n_chunks,
+        )
+
+    def speedup_curve(
+        self,
+        costs: Sequence[float],
+        schedule: Schedule | None = None,
+        max_threads: int | None = None,
+    ) -> list[CostedLoop]:
+        """Cost the loop at 1..max_threads threads (default: core count)."""
+        top = max_threads if max_threads is not None else self.n_cores
+        return [self.cost_loop(costs, schedule, t) for t in range(1, top + 1)]

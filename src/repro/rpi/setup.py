@@ -1,0 +1,95 @@
+"""The Assignment-2 bring-up procedure as a checked state machine.
+
+"The groups are required to 1) download and install the Operating System
+(RASPBIAN) Images on MicroSD, and 2) setup the Raspberry PI to connect
+with a monitor or a laptop."
+
+:class:`PiSetup` enforces the real ordering constraints (you cannot boot
+an unflashed card; you cannot see a desktop without a display) and raises
+:class:`BootError` with the same failure modes students hit in the lab.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["SetupStep", "BootError", "PiSetup"]
+
+
+class SetupStep(enum.Enum):
+    DOWNLOAD_IMAGE = "download RASPBIAN image"
+    FLASH_SD = "flash image to microSD"
+    INSERT_SD = "insert microSD into the Pi"
+    CONNECT_DISPLAY = "connect HDMI monitor (or laptop over SSH)"
+    CONNECT_KEYBOARD = "connect keyboard and mouse"
+    POWER_ON = "connect 5V power"
+
+
+class BootError(RuntimeError):
+    """The Pi failed to boot; the message says what the student forgot."""
+
+
+#: Steps that must precede POWER_ON for a successful boot to desktop.
+_REQUIRED_BEFORE_BOOT = (
+    SetupStep.DOWNLOAD_IMAGE,
+    SetupStep.FLASH_SD,
+    SetupStep.INSERT_SD,
+)
+
+#: Order constraints: step -> steps that must already be done.
+_PREREQS: dict[SetupStep, tuple[SetupStep, ...]] = {
+    SetupStep.FLASH_SD: (SetupStep.DOWNLOAD_IMAGE,),
+    SetupStep.INSERT_SD: (SetupStep.FLASH_SD,),
+}
+
+
+@dataclass
+class PiSetup:
+    """Tracks the bring-up of one team's Pi."""
+
+    completed: list[SetupStep] = field(default_factory=list)
+    booted: bool = False
+
+    def perform(self, step: SetupStep) -> None:
+        """Perform a setup step, enforcing its prerequisites."""
+        if self.booted:
+            raise BootError("the Pi is already running; power off before re-imaging")
+        for prereq in _PREREQS.get(step, ()):
+            if prereq not in self.completed:
+                raise BootError(
+                    f"cannot {step.value!r} before {prereq.value!r}"
+                )
+        if step is SetupStep.POWER_ON:
+            missing = [s for s in _REQUIRED_BEFORE_BOOT if s not in self.completed]
+            if missing:
+                raise BootError(
+                    "rainbow splash / no boot: missing "
+                    + ", ".join(s.value for s in missing)
+                )
+            self.booted = True
+        if step not in self.completed:
+            self.completed.append(step)
+
+    @property
+    def has_display(self) -> bool:
+        return SetupStep.CONNECT_DISPLAY in self.completed
+
+    def desktop_visible(self) -> bool:
+        """True when the team can actually see the RASPBIAN desktop."""
+        return self.booted and self.has_display
+
+    @classmethod
+    def quickstart(cls) -> "PiSetup":
+        """Run the full happy path, returning a booted setup."""
+        setup = cls()
+        for step in (
+            SetupStep.DOWNLOAD_IMAGE,
+            SetupStep.FLASH_SD,
+            SetupStep.INSERT_SD,
+            SetupStep.CONNECT_DISPLAY,
+            SetupStep.CONNECT_KEYBOARD,
+            SetupStep.POWER_ON,
+        ):
+            setup.perform(step)
+        return setup

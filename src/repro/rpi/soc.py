@@ -1,0 +1,106 @@
+"""The BCM2837B0 SoC and the Raspberry Pi 3 Model B+ board.
+
+Assignment 2 asks: "Identify the components on the Raspberry PI B+.  How
+many cores does the Raspberry Pi's B+ CPU have?"  Assignment 3 asks:
+"What is System On Chip (SOC)?  Does Raspberry PI use SOC?  Explain what
+the advantages are of having a System on a Chip rather than separate CPU,
+GPU and RAM components?"  This module is the data those answers come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Component", "BCM2837B0", "RaspberryPi3BPlus", "soc_advantages"]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One identifiable component of the board or SoC."""
+
+    name: str
+    kind: str
+    description: str
+    on_soc: bool
+
+
+@dataclass(frozen=True)
+class BCM2837B0:
+    """Broadcom BCM2837B0 — the Pi 3 B+'s system-on-chip."""
+
+    name: str = "Broadcom BCM2837B0"
+    cpu: str = "ARM Cortex-A53 (ARMv8-A, 64-bit)"
+    n_cores: int = 4
+    clock_ghz: float = 1.4
+    l1_icache_kib: int = 32
+    l1_dcache_kib: int = 32
+    l2_cache_kib: int = 512          # shared by all four cores
+    gpu: str = "Broadcom VideoCore IV @ 400 MHz"
+    isa_family: str = "RISC (ARM)"
+
+    @property
+    def is_soc(self) -> bool:
+        """Yes — CPU, GPU and peripherals share one die; RAM is stacked
+        package-on-package next to it."""
+        return True
+
+    def components(self) -> tuple[Component, ...]:
+        return (
+            Component("CPU cluster", "processor",
+                      f"{self.n_cores}x {self.cpu} @ {self.clock_ghz} GHz", True),
+            Component("L1 caches", "memory",
+                      f"{self.l1_icache_kib} KiB I + {self.l1_dcache_kib} KiB D per core", True),
+            Component("L2 cache", "memory",
+                      f"{self.l2_cache_kib} KiB shared by all cores", True),
+            Component("GPU", "processor", self.gpu, True),
+            Component("Interconnect", "bus", "AMBA AXI on-die fabric", True),
+        )
+
+
+@dataclass(frozen=True)
+class RaspberryPi3BPlus:
+    """The full board, as the students unbox it ($59 kit)."""
+
+    soc: BCM2837B0 = field(default_factory=BCM2837B0)
+    ram_mib: int = 1024              # 1 GiB LPDDR2, package-on-package
+    storage: str = "microSD card slot (boot + filesystem)"
+
+    @property
+    def n_cores(self) -> int:
+        """The answer to Assignment 2's first question: four."""
+        return self.soc.n_cores
+
+    def components(self) -> tuple[Component, ...]:
+        board = (
+            Component("RAM", "memory", f"{self.ram_mib} MiB LPDDR2 SDRAM (PoP)", False),
+            Component("microSD slot", "storage", self.storage, False),
+            Component("Ethernet", "network", "Gigabit Ethernet over USB 2.0 (LAN7515)", False),
+            Component("Wireless", "network", "2.4/5 GHz 802.11ac Wi-Fi + Bluetooth 4.2", False),
+            Component("USB", "io", "4x USB 2.0 ports", False),
+            Component("HDMI", "io", "full-size HDMI display output", False),
+            Component("GPIO", "io", "40-pin general-purpose header", False),
+            Component("Power", "power", "5 V / 2.5 A via micro-USB", False),
+        )
+        return self.soc.components() + board
+
+    def component_names(self) -> list[str]:
+        return [c.name for c in self.components()]
+
+
+def soc_advantages() -> tuple[str, ...]:
+    """The Assignment-3 answer: why SoC beats separate CPU/GPU/RAM.
+
+    Returned as structured content so examples and tests can consume it.
+    """
+    return (
+        "shorter interconnects: on-die communication is faster and uses "
+        "less energy than traversing a motherboard bus",
+        "lower power: one die, one supply domain, aggressive power gating "
+        "— essential for phones and embedded boards",
+        "smaller and cheaper: one package replaces several chips and "
+        "their sockets and routing",
+        "higher integration reliability: fewer discrete parts and "
+        "solder joints to fail",
+        "trade-off: fixed configuration — you cannot upgrade the GPU or "
+        "RAM of an SoC independently",
+    )

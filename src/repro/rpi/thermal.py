@@ -1,0 +1,133 @@
+"""Thermal throttling of the Pi under sustained load.
+
+Every lab that runs all four Pi cores flat out discovers this: the
+BCM2837 soft-throttles from 1.4 GHz to 1.2 GHz at 60 °C and clamps
+harder approaching 80 °C.  The model is a standard lumped-thermal RC:
+
+    T' = T + dt * (P(load, f) / C  -  (T - T_ambient) / (R * C))
+
+with power split into idle and per-core dynamic components, and a
+throttle curve mapping temperature to allowed clock.  Deterministic and
+dimensionally honest (parameters in K, W, s), so the shapes — sustained
+4-core load throttles, a heatsink (smaller R) delays it, idling cools —
+are assertable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ThermalConfig", "ThermalSample", "ThermalModel"]
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Thermal and power parameters (Pi-3B+-shaped defaults)."""
+
+    ambient_c: float = 25.0
+    thermal_resistance: float = 8.0       # K/W junction->ambient (no heatsink)
+    thermal_capacitance: float = 6.0      # J/K
+    idle_power_w: float = 1.0
+    per_core_power_w: float = 1.0         # at full clock
+    base_clock_ghz: float = 1.4
+    soft_throttle_c: float = 60.0         # drop to 1.2 GHz
+    hard_throttle_c: float = 80.0         # clamp toward 0.6 GHz
+    soft_clock_ghz: float = 1.2
+    hard_clock_ghz: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.thermal_resistance <= 0 or self.thermal_capacitance <= 0:
+            raise ValueError("thermal constants must be positive")
+        if not self.soft_throttle_c < self.hard_throttle_c:
+            raise ValueError("soft throttle must trip below hard throttle")
+
+
+@dataclass(frozen=True)
+class ThermalSample:
+    """One simulation step's output."""
+
+    t_seconds: float
+    temperature_c: float
+    clock_ghz: float
+    throttled: bool
+
+
+@dataclass
+class ThermalModel:
+    """Integrates die temperature and applies the throttle curve."""
+
+    config: ThermalConfig = field(default_factory=ThermalConfig)
+    temperature_c: float = field(default=None)  # type: ignore[assignment]
+    _time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.temperature_c is None:
+            self.temperature_c = self.config.ambient_c
+
+    def clock_ghz(self) -> float:
+        """Allowed clock at the current temperature."""
+        c = self.config
+        if self.temperature_c >= c.hard_throttle_c:
+            return c.hard_clock_ghz
+        if self.temperature_c >= c.soft_throttle_c:
+            return c.soft_clock_ghz
+        return c.base_clock_ghz
+
+    @property
+    def throttled(self) -> bool:
+        return self.clock_ghz() < self.config.base_clock_ghz
+
+    def step(self, active_cores: int, dt_s: float = 1.0) -> ThermalSample:
+        """Advance ``dt_s`` seconds with ``active_cores`` busy cores.
+
+        Dynamic power scales with the *throttled* clock — throttling is
+        what keeps the model stable instead of running away.
+        """
+        if not 0 <= active_cores <= 4:
+            raise ValueError(f"active_cores must be 0..4, got {active_cores}")
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be positive, got {dt_s}")
+        c = self.config
+        clock = self.clock_ghz()
+        power = c.idle_power_w + active_cores * c.per_core_power_w * (
+            clock / c.base_clock_ghz
+        )
+        dT = dt_s * (
+            power / c.thermal_capacitance
+            - (self.temperature_c - c.ambient_c)
+            / (c.thermal_resistance * c.thermal_capacitance)
+        )
+        self.temperature_c += dT
+        self._time_s += dt_s
+        return ThermalSample(
+            t_seconds=self._time_s,
+            temperature_c=self.temperature_c,
+            clock_ghz=self.clock_ghz(),
+            throttled=self.throttled,
+        )
+
+    def run(self, active_cores: int, seconds: float, dt_s: float = 1.0
+            ) -> list[ThermalSample]:
+        """Simulate a sustained load; returns the full trace."""
+        steps = int(round(seconds / dt_s))
+        return [self.step(active_cores, dt_s) for _ in range(steps)]
+
+    def steady_state_c(self, active_cores: int) -> float:
+        """Analytic steady-state temperature at the (possibly throttled)
+        operating point — found by iterating the throttle fixed point."""
+        c = self.config
+        clock = c.base_clock_ghz
+        for _ in range(8):
+            power = c.idle_power_w + active_cores * c.per_core_power_w * (
+                clock / c.base_clock_ghz
+            )
+            temp = c.ambient_c + power * c.thermal_resistance
+            new_clock = (
+                c.hard_clock_ghz if temp >= c.hard_throttle_c
+                else c.soft_clock_ghz if temp >= c.soft_throttle_c
+                else c.base_clock_ghz
+            )
+            if new_clock == clock:
+                return temp
+            clock = new_clock
+        return temp

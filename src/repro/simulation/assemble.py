@@ -1,0 +1,73 @@
+"""Convert raw generated score arrays into survey response objects.
+
+The generator works on numpy arrays; the analysis pipeline works on the
+typed objects of :mod:`repro.survey`.  This module is the bridge: it maps
+the (N, K, category, wave, item) integer array onto per-student
+:class:`~repro.survey.responses.StudentResponse` sheets for both waves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulation.model import CATEGORIES, WAVES, RawScores
+from repro.survey.instrument import Instrument
+from repro.survey.responses import ElementResponse, StudentResponse, WaveResponses
+from repro.survey.scales import Category
+
+__all__ = ["assemble_waves"]
+
+
+def assemble_waves(
+    raw: RawScores,
+    instrument: Instrument,
+    student_ids: Sequence[str],
+) -> dict[str, WaveResponses]:
+    """Build both waves' :class:`WaveResponses` from a raw score array.
+
+    ``student_ids`` fixes row order; the instrument's element order must
+    match the generator's skill order (validated).
+    """
+    if tuple(instrument.element_names) != tuple(raw.skills):
+        raise ValueError(
+            "instrument elements and generated skills differ: "
+            f"{instrument.element_names} vs {raw.skills}"
+        )
+    n, k, n_cat, n_wave, n_items = raw.scores.shape
+    if len(student_ids) != n:
+        raise ValueError(f"{len(student_ids)} ids for {n} generated students")
+    if len(set(student_ids)) != n:
+        raise ValueError("duplicate student ids")
+    if n_cat != len(CATEGORIES) or n_wave != len(WAVES):
+        raise ValueError("raw scores have unexpected category/wave dimensions")
+    for element in instrument.elements:
+        if element.n_items != n_items:
+            raise ValueError(
+                f"element {element.name!r} has {element.n_items} items, "
+                f"generator produced {n_items}"
+            )
+
+    category_enum = {"class_emphasis": Category.CLASS_EMPHASIS,
+                     "personal_growth": Category.PERSONAL_GROWTH}
+
+    waves: dict[str, WaveResponses] = {}
+    for wi, wave_name in enumerate(WAVES):
+        responses = []
+        for si in range(n):
+            ratings: dict[tuple[str, Category], ElementResponse] = {}
+            for ki, skill in enumerate(raw.skills):
+                for ci, cat_name in enumerate(CATEGORIES):
+                    scores = raw.scores[si, ki, ci, wi]
+                    ratings[(skill, category_enum[cat_name])] = ElementResponse(
+                        element=skill,
+                        category=category_enum[cat_name],
+                        definition=int(scores[0]),
+                        components=tuple(int(x) for x in scores[1:]),
+                    )
+            responses.append(
+                StudentResponse(student_id=str(student_ids[si]), ratings=ratings)
+            )
+        waves[wave_name] = WaveResponses(
+            wave_name=wave_name, instrument=instrument, responses=tuple(responses)
+        )
+    return waves

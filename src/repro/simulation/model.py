@@ -1,0 +1,245 @@
+"""Latent-trait Likert response model.
+
+Per student *i*, skill *k*, category *c* (emphasis/growth) and wave *w*,
+the model posits a latent trait
+
+    theta[i,k,c,w] = mu[k,c,w] + s * (alpha[c,w] * p[i,c,w]
+                                       + sqrt(1 - alpha^2) * q[i,k,c,w])
+
+where ``p`` is a student-level factor shared across skills (it creates the
+between-student variance that the wave-level SDs in Tables 2–3 measure)
+and ``q`` is a skill-specific residual.  The emphasis/growth pairs are
+coupled two ways: the student factors ``(p_E, p_G)`` share a global copula
+correlation ``rho_p``, and the residual pairs ``(q_E, q_G)`` share a
+per-skill, per-wave correlation ``c_q[k,w]`` — the knob that calibration
+uses to hit Table 4's Pearson values.
+
+Each of the skill's items is then an independent noisy read of the trait,
+
+    item = clip(round(theta + sigma_item * e), 1, 5)
+
+which is exactly a Gaussian-copula discretisation with thresholds at the
+half-integers.  Skill scores / overall averages are computed downstream by
+:mod:`repro.survey.scoring` from these raw integer items.
+
+Waves are drawn independently (no cross-wave student correlation).  This
+is a documented choice: the paper's reported t statistics are *not*
+jointly consistent with its reported wave means/SDs under any
+non-negative cross-wave correlation (see EXPERIMENTS.md), so we match the
+means/SDs exactly and report the recomputed t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SimulationTargets", "ModelKnobs", "ResponseModel", "CATEGORIES", "WAVES"]
+
+CATEGORIES: tuple[str, str] = ("class_emphasis", "personal_growth")
+WAVES: tuple[str, str] = ("first_half", "second_half")
+
+#: Latent skill-trait scale (before the student/residual split).  Fixed by
+#: design; calibration moves the other knobs around it.  The value trades
+#: off two constraints: the skill-residual variance floor ``s^2 / 7`` must
+#: sit below the smallest published wave SD (0.1721), while ``s^2`` must
+#: dominate the per-skill item-noise variance so the largest published
+#: Pearson r (0.73) stays reachable after discretisation attenuation.
+LATENT_SCALE = 0.38
+
+#: SD of the per-item read noise around the trait (small, for the same
+#: attenuation reason; rounding to the Likert grid adds ~1/12 on its own).
+ITEM_NOISE = 0.22
+
+
+@dataclass(frozen=True)
+class SimulationTargets:
+    """Published statistics the generator must reproduce.
+
+    - ``skill_means[(skill, category, wave)]`` — Tables 5 and 6.
+    - ``overall_sd[(category, wave)]`` — the SDs in Tables 2 and 3.
+    - ``pearson_r[(skill, wave)]`` — Table 4 (emphasis↔growth).
+    """
+
+    skills: tuple[str, ...]
+    n_students: int
+    skill_means: Mapping[tuple[str, str, str], float]
+    overall_sd: Mapping[tuple[str, str], float]
+    pearson_r: Mapping[tuple[str, str], float]
+
+    def __post_init__(self) -> None:
+        for (skill, cat, wave), m in self.skill_means.items():
+            if skill not in self.skills or cat not in CATEGORIES or wave not in WAVES:
+                raise ValueError(f"bad skill-mean key {(skill, cat, wave)}")
+            if not 1.0 <= m <= 5.0:
+                raise ValueError(f"skill mean {m} outside Likert range")
+        expected = {(s, c, w) for s in self.skills for c in CATEGORIES for w in WAVES}
+        if set(self.skill_means) != expected:
+            raise ValueError("skill_means must cover every (skill, category, wave)")
+        if set(self.overall_sd) != {(c, w) for c in CATEGORIES for w in WAVES}:
+            raise ValueError("overall_sd must cover every (category, wave)")
+        if set(self.pearson_r) != {(s, w) for s in self.skills for w in WAVES}:
+            raise ValueError("pearson_r must cover every (skill, wave)")
+
+
+@dataclass
+class ModelKnobs:
+    """Free parameters the calibration adjusts.
+
+    Arrays are indexed ``[skill, category, wave]`` / ``[category, wave]`` /
+    ``[skill, wave]`` in the order of ``SimulationTargets.skills``,
+    :data:`CATEGORIES` and :data:`WAVES`.
+    """
+
+    mu: np.ndarray          # (K, 2, 2) latent trait means
+    alpha: np.ndarray       # (2, 2)    student-factor share, in [0, 1)
+    c_q: np.ndarray         # (K, 2)    residual emphasis<->growth correlation
+    rho_p: float = 0.90     # student-factor emphasis<->growth correlation
+
+    def copy(self) -> "ModelKnobs":
+        return ModelKnobs(
+            mu=self.mu.copy(), alpha=self.alpha.copy(), c_q=self.c_q.copy(),
+            rho_p=self.rho_p,
+        )
+
+    @classmethod
+    def initial(cls, targets: SimulationTargets) -> "ModelKnobs":
+        """Naive starting point: latent mean = target mean, mid-range shares."""
+        k = len(targets.skills)
+        mu = np.empty((k, 2, 2))
+        for ki, skill in enumerate(targets.skills):
+            for ci, cat in enumerate(CATEGORIES):
+                for wi, wave in enumerate(WAVES):
+                    mu[ki, ci, wi] = targets.skill_means[(skill, cat, wave)]
+        alpha = np.full((2, 2), 0.4)
+        c_q = np.empty((k, 2))
+        for ki, skill in enumerate(targets.skills):
+            for wi, wave in enumerate(WAVES):
+                c_q[ki, wi] = min(0.95, targets.pearson_r[(skill, wave)] * 1.2)
+        return cls(mu=mu, alpha=alpha, c_q=c_q)
+
+
+@dataclass(frozen=True)
+class RawScores:
+    """Generated item scores: int array (N, K, 2 categories, 2 waves, items)."""
+
+    skills: tuple[str, ...]
+    items_per_skill: int
+    scores: np.ndarray
+
+    def skill_score(self) -> np.ndarray:
+        """Per-student skill scores (N, K, 2, 2): mean over items."""
+        return self.scores.mean(axis=-1)
+
+    def composite_score(self) -> np.ndarray:
+        """Per-student Beyerlein composite scores (N, K, 2, 2).
+
+        Item 0 of every skill is the definition item; the composite is
+        ``(definition + mean(components)) / 2`` — the quantity Tables 5
+        and 6 rank, and therefore the quantity calibration targets.
+        """
+        definition = self.scores[..., 0]
+        components = self.scores[..., 1:].mean(axis=-1)
+        return (definition + components) / 2.0
+
+    def overall(self) -> np.ndarray:
+        """Per-student overall average (N, 2, 2): mean over skills & items."""
+        return self.scores.mean(axis=(1, 4))
+
+
+class ResponseModel:
+    """The generator.  Standard-normal draws are made once per instance so
+    that regenerating with different knobs is a smooth deterministic map —
+    which is what lets calibration use simple monotone root finding."""
+
+    def __init__(
+        self,
+        skills: Sequence[str],
+        n_students: int,
+        items_per_skill: int = 5,
+        seed: int = 2018,
+        latent_scale: float = LATENT_SCALE,
+        item_noise: float = ITEM_NOISE,
+    ) -> None:
+        if n_students < 2:
+            raise ValueError("need at least 2 students")
+        if items_per_skill < 1:
+            raise ValueError("need at least 1 item per skill")
+        self.skills = tuple(skills)
+        self.n_students = n_students
+        self.items_per_skill = items_per_skill
+        self.latent_scale = latent_scale
+        self.item_noise = item_noise
+        rng = np.random.default_rng(seed)
+        k = len(self.skills)
+        n = n_students
+        # Independent standard-normal building blocks, drawn once.
+        self._p_raw = rng.standard_normal((n, 2, 2, 2))       # (N, pair, cat-mix, wave) -> see _factors
+        self._q_raw = rng.standard_normal((n, k, 2, 2, 2))    # (N, K, pair, mix, wave)
+        self._e = rng.standard_normal((n, k, 2, 2, items_per_skill))
+
+    def _student_factors(self, rho_p: float) -> np.ndarray:
+        """Correlated student factors (N, 2 categories, 2 waves)."""
+        a = self._p_raw[:, 0]            # (N, 2mix, W) base
+        b = self._p_raw[:, 1]
+        out = np.empty((self.n_students, 2, 2))
+        out[:, 0, :] = a[:, 0, :]
+        out[:, 1, :] = rho_p * a[:, 0, :] + np.sqrt(max(0.0, 1 - rho_p**2)) * b[:, 0, :]
+        return out
+
+    def _residuals(self, c_q: np.ndarray) -> np.ndarray:
+        """Correlated skill residuals (N, K, 2 categories, 2 waves)."""
+        a = self._q_raw[:, :, 0]         # (N, K, mix, W)
+        b = self._q_raw[:, :, 1]
+        out = np.empty((self.n_students, len(self.skills), 2, 2))
+        out[:, :, 0, :] = a[:, :, 0, :]
+        c = c_q[None, :, :]              # (1, K, W)
+        out[:, :, 1, :] = c * a[:, :, 0, :] + np.sqrt(np.maximum(0.0, 1 - c**2)) * b[:, :, 0, :]
+        return out
+
+    def generate(self, knobs: ModelKnobs) -> RawScores:
+        """Generate the full raw item-score array for these knobs."""
+        if knobs.mu.shape != (len(self.skills), 2, 2):
+            raise ValueError(f"mu has shape {knobs.mu.shape}, expected {(len(self.skills), 2, 2)}")
+        if np.any((knobs.alpha < 0) | (knobs.alpha >= 1)):
+            raise ValueError("alpha must be in [0, 1)")
+        if np.any(np.abs(knobs.c_q) > 1):
+            raise ValueError("c_q must be in [-1, 1]")
+        p = self._student_factors(knobs.rho_p)          # (N, C, W)
+        q = self._residuals(knobs.c_q)                  # (N, K, C, W)
+        alpha = knobs.alpha[None, None, :, :]           # (1, 1, C, W)
+        theta = knobs.mu[None, :, :, :] + self.latent_scale * (
+            alpha * p[:, None, :, :] + np.sqrt(1 - alpha**2) * q
+        )                                               # (N, K, C, W)
+        latent_items = theta[..., None] + self.item_noise * self._e
+        scores = np.clip(np.rint(latent_items), 1, 5).astype(np.int64)
+        return RawScores(
+            skills=self.skills, items_per_skill=self.items_per_skill, scores=scores
+        )
+
+    # --- observed statistics used by calibration -------------------------
+
+    def observed(self, knobs: ModelKnobs) -> dict[str, np.ndarray]:
+        """Observed statistics for the current knobs.
+
+        Returns ``skill_mean`` (K, C, W), ``overall_sd`` (C, W) and
+        ``pearson_r`` (K, W) computed from a fresh generation with the
+        fixed underlying draws.
+        """
+        raw = self.generate(knobs)
+        skill = raw.skill_score()                       # (N, K, C, W)
+        overall = raw.overall()                         # (N, C, W)
+        # Mean targets are the published Tables 5/6 values, which are
+        # cohort-mean *composite* scores.
+        skill_mean = raw.composite_score().mean(axis=0)  # (K, C, W)
+        overall_sd = overall.std(axis=0, ddof=1)        # (C, W)
+        k = len(self.skills)
+        r = np.empty((k, 2))
+        for ki in range(k):
+            for wi in range(2):
+                e = skill[:, ki, 0, wi]
+                g = skill[:, ki, 1, wi]
+                r[ki, wi] = np.corrcoef(e, g)[0, 1]
+        return {"skill_mean": skill_mean, "overall_sd": overall_sd, "pearson_r": r}

@@ -1,0 +1,114 @@
+"""Statistics substrate.
+
+Everything the paper's evaluation section uses, implemented from scratch
+(no scipy at runtime; scipy is only used in the test suite to cross-check):
+
+- :mod:`repro.stats.distributions` — normal / Student-t distribution
+  functions built on our own incomplete-beta and error-function
+  implementations.
+- :mod:`repro.stats.descriptive` — descriptive statistics.
+- :mod:`repro.stats.ttest` — one-sample, paired, pooled and Welch
+  two-sample t-tests (Table 1).
+- :mod:`repro.stats.effectsize` — Cohen's d family, including the exact
+  pooled-SD formula printed in the paper (Tables 2 and 3), and the
+  small/medium/large interpretation bands.
+- :mod:`repro.stats.correlation` — Pearson and Spearman correlation with
+  p-values and Fisher confidence intervals (Table 4).
+- :mod:`repro.stats.guilford` — Guilford (1956) correlation-strength bands
+  used by the paper to describe Table 4.
+- :mod:`repro.stats.composite` — the Beyerlein composite score.
+- :mod:`repro.stats.ranking` — ranking helpers for Tables 5 and 6.
+"""
+
+from repro.stats.anova import AnovaResult, f_sf, one_way_anova
+from repro.stats.bootstrap import BootstrapCI, bootstrap_ci, bootstrap_paired_ci
+from repro.stats.composite import composite_score
+from repro.stats.correlation import (
+    CorrelationResult,
+    fisher_confidence_interval,
+    pearson,
+    spearman,
+)
+from repro.stats.descriptive import Summary, describe
+from repro.stats.distributions import (
+    betainc,
+    erf,
+    erfc,
+    normal_cdf,
+    normal_ppf,
+    normal_sf,
+    t_cdf,
+    t_ppf,
+    t_sf,
+)
+from repro.stats.effectsize import (
+    CohensDResult,
+    cohens_d_av,
+    cohens_d_interpretation,
+    cohens_d_paired,
+    cohens_d_paper,
+    cohens_d_pooled,
+    hedges_g,
+)
+from repro.stats.guilford import GuilfordBand, guilford_band
+from repro.stats.power import PowerResult, paired_t_power, required_n_paired_t
+from repro.stats.reliability import (
+    CronbachResult,
+    alpha_interpretation,
+    cronbach_alpha,
+)
+from repro.stats.ranking import rank_by_score, rank_table
+from repro.stats.ttest import (
+    TTestResult,
+    ttest_independent,
+    ttest_one_sample,
+    ttest_paired,
+    ttest_welch,
+)
+
+__all__ = [
+    "AnovaResult",
+    "BootstrapCI",
+    "CohensDResult",
+    "CorrelationResult",
+    "CronbachResult",
+    "GuilfordBand",
+    "PowerResult",
+    "Summary",
+    "TTestResult",
+    "alpha_interpretation",
+    "betainc",
+    "bootstrap_ci",
+    "bootstrap_paired_ci",
+    "cohens_d_av",
+    "cohens_d_interpretation",
+    "cohens_d_paired",
+    "cohens_d_paper",
+    "cohens_d_pooled",
+    "composite_score",
+    "cronbach_alpha",
+    "describe",
+    "f_sf",
+    "erf",
+    "erfc",
+    "fisher_confidence_interval",
+    "guilford_band",
+    "hedges_g",
+    "normal_cdf",
+    "normal_ppf",
+    "normal_sf",
+    "paired_t_power",
+    "one_way_anova",
+    "pearson",
+    "rank_by_score",
+    "required_n_paired_t",
+    "rank_table",
+    "spearman",
+    "t_cdf",
+    "t_ppf",
+    "t_sf",
+    "ttest_independent",
+    "ttest_one_sample",
+    "ttest_paired",
+    "ttest_welch",
+]

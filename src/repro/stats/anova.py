@@ -1,0 +1,94 @@
+"""One-way ANOVA with eta-squared effect size.
+
+The paper's statistics reference (Lakens 2013) is "a practical primer for
+t-tests and ANOVAs"; the course simulation uses ANOVA for the natural
+multi-group questions the two-section design invites (does any team /
+section differ?).  The F survival function is built on our own
+incomplete-beta, like the t distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.stats.descriptive import mean
+from repro.stats.distributions import betainc
+
+__all__ = ["AnovaResult", "f_sf", "one_way_anova"]
+
+
+def f_sf(f: float, dfn: float, dfd: float) -> float:
+    """Survival function of the F distribution.
+
+    ``P(F > f) = I_{dfd/(dfd + dfn f)}(dfd/2, dfn/2)`` for f >= 0.
+    """
+    if dfn <= 0 or dfd <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if f < 0:
+        return 1.0
+    if f == 0.0:
+        return 1.0
+    return betainc(dfd / 2.0, dfn / 2.0, dfd / (dfd + dfn * f))
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """One-way ANOVA table row."""
+
+    f: float
+    df_between: int
+    df_within: int
+    p_value: float
+    ss_between: float
+    ss_within: float
+
+    @property
+    def eta_squared(self) -> float:
+        """Proportion of variance explained by group membership."""
+        total = self.ss_between + self.ss_within
+        if total == 0.0:
+            return 0.0
+        return self.ss_between / total
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        return (
+            f"F({self.df_between}, {self.df_within}) = {self.f:.3f}, "
+            f"p = {self.p_value:.4g}, eta^2 = {self.eta_squared:.3f}"
+        )
+
+
+def one_way_anova(groups: Sequence[Sequence[float]]) -> AnovaResult:
+    """One-way fixed-effects ANOVA over two or more groups."""
+    if len(groups) < 2:
+        raise ValueError("ANOVA requires at least 2 groups")
+    if any(len(g) < 2 for g in groups):
+        raise ValueError("every group needs at least 2 observations")
+
+    all_values = [x for g in groups for x in g]
+    grand = mean(all_values)
+    n_total = len(all_values)
+    k = len(groups)
+
+    ss_between = math.fsum(len(g) * (mean(g) - grand) ** 2 for g in groups)
+    ss_within = math.fsum(
+        math.fsum((x - mean(g)) ** 2 for x in g) for g in groups
+    )
+    df_between = k - 1
+    df_within = n_total - k
+    if ss_within == 0.0:
+        raise ValueError("ANOVA undefined: zero within-group variance")
+
+    f = (ss_between / df_between) / (ss_within / df_within)
+    return AnovaResult(
+        f=f,
+        df_between=df_between,
+        df_within=df_within,
+        p_value=f_sf(f, df_between, df_within),
+        ss_between=ss_between,
+        ss_within=ss_within,
+    )

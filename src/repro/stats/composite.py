@@ -1,0 +1,37 @@
+"""Beyerlein composite score.
+
+The survey's scoring scheme (Beyerlein et al. 2005, adopted by the paper)
+computes, for each element (e.g. Teamwork), a *Composite Score* defined as
+"averaging the 'definition' and the overall performance average of
+individual components":
+
+    composite = (definition_score + mean(component_scores)) / 2
+
+The paper motivates this as combining a *global* judgement (the definition
+item) with a *focused* one (the component items).  Tables 5 and 6 rank the
+seven elements by this score.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.stats.descriptive import mean
+
+__all__ = ["composite_score"]
+
+
+def composite_score(definition: float, components: Sequence[float]) -> float:
+    """Composite score of one element for one respondent (or one cohort mean).
+
+    Parameters
+    ----------
+    definition:
+        Score on the element's definition item (the "global" view).
+    components:
+        Scores on the element's component / performance-indicator items
+        (the "focused" view).  Must be non-empty.
+    """
+    if not components:
+        raise ValueError("composite score requires at least one component item")
+    return (definition + mean(components)) / 2.0

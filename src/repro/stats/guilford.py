@@ -1,0 +1,57 @@
+"""Guilford (1956) correlation-strength bands.
+
+The paper interprets Table 4 with Guilford's verbal labels:
+
+- |r| < 0.20          slight; almost negligible relationship
+- 0.20 <= |r| < 0.40  low; definite but small relationship
+- 0.40 <= |r| < 0.70  moderate; substantial relationship
+- 0.70 <= |r| < 0.90  high; marked relationship
+- 0.90 <= |r|         very high; very dependable relationship
+
+e.g. "Evaluation and Decision Making ... fall[s] within the high range at
+r = 0.73 (+/- 0.70 - +/- 0.90) and Teamwork at only the first half of the
+semester ... within the low range at r = 0.38 (+/- 0.20 - +/- 0.40)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GuilfordBand", "guilford_band", "GUILFORD_BANDS"]
+
+
+@dataclass(frozen=True)
+class GuilfordBand:
+    """One row of Guilford's interpretation table."""
+
+    label: str
+    description: str
+    low: float
+    high: float
+
+    def contains(self, r: float) -> bool:
+        """Whether ``|r|`` falls in this band (lower bound inclusive)."""
+        return self.low <= abs(r) < self.high
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.low:.2f}-{self.high:.2f}): {self.description}"
+
+
+GUILFORD_BANDS: tuple[GuilfordBand, ...] = (
+    GuilfordBand("slight", "almost negligible relationship", 0.0, 0.20),
+    GuilfordBand("low", "definite but small relationship", 0.20, 0.40),
+    GuilfordBand("moderate", "substantial relationship", 0.40, 0.70),
+    GuilfordBand("high", "marked relationship", 0.70, 0.90),
+    GuilfordBand("very high", "very dependable relationship", 0.90, 1.0 + 1e-12),
+)
+
+
+def guilford_band(r: float) -> GuilfordBand:
+    """Classify a correlation coefficient into its Guilford band."""
+    if not -1.0 <= r <= 1.0:
+        raise ValueError(f"correlation must be in [-1, 1], got {r}")
+    for band in GUILFORD_BANDS:
+        if band.contains(r):
+            return band
+    # |r| == 1.0 exactly lands here only if floating point misbehaves.
+    return GUILFORD_BANDS[-1]

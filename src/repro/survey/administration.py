@@ -1,0 +1,59 @@
+"""Survey administration schedule.
+
+Fig. 1 of the paper places the two administrations at the mid-point of the
+semester (after Assignments 1–2, around week 8) and at the end of the term
+(week 15).  :class:`SurveyAdministration` binds the instrument to those
+two wave dates so the course simulator knows when to collect responses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.survey.instrument import Instrument
+
+__all__ = ["Wave", "SurveyAdministration"]
+
+
+class Wave(enum.Enum):
+    """The two administrations of the survey."""
+
+    FIRST_HALF = "first_half"    # mid-semester: covers the first half
+    SECOND_HALF = "second_half"  # end of term: covers the second half
+
+    @property
+    def display_name(self) -> str:
+        return {
+            Wave.FIRST_HALF: "First Half Survey",
+            Wave.SECOND_HALF: "Second Half Survey",
+        }[self]
+
+
+# Default schedule from Fig. 1 (15-week semester, survey at midpoint + end).
+DEFAULT_WAVE_WEEKS: dict[Wave, int] = {Wave.FIRST_HALF: 8, Wave.SECOND_HALF: 15}
+
+
+@dataclass(frozen=True)
+class SurveyAdministration:
+    """When each survey wave is administered, in semester weeks."""
+
+    instrument: Instrument
+    wave_weeks: dict[Wave, int]
+
+    @classmethod
+    def default(cls, instrument: Instrument) -> "SurveyAdministration":
+        return cls(instrument=instrument, wave_weeks=dict(DEFAULT_WAVE_WEEKS))
+
+    def __post_init__(self) -> None:
+        if set(self.wave_weeks) != set(Wave):
+            raise ValueError("administration must schedule both waves")
+        first = self.wave_weeks[Wave.FIRST_HALF]
+        second = self.wave_weeks[Wave.SECOND_HALF]
+        if not 1 <= first < second:
+            raise ValueError(
+                f"first wave (week {first}) must precede second wave (week {second})"
+            )
+
+    def week_of(self, wave: Wave) -> int:
+        return self.wave_weeks[wave]

@@ -1,0 +1,221 @@
+"""The survey instrument: elements, items, and the full survey.
+
+Structure (paper §II.B): "The first item in each of the categories in the
+survey is the basic definition of that element … The next items in that
+category are components or performance indicators of that element."
+
+The Teamwork element is transcribed verbatim from the paper's Fig. 2.  The
+other six elements are reconstructed from the Beyerlein et al. (2005)
+team-design-skills framework; their exact wording is not printed in the
+paper, so the component texts below are faithful paraphrases of that
+framework (this substitution only affects display strings — every number in
+Tables 1–6 depends on the *structure*, which is exact: one definition item
+plus the component items per element, scored on both scales).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Item",
+    "Element",
+    "Instrument",
+    "ELEMENT_NAMES",
+    "team_design_skills_survey",
+]
+
+# Canonical element order — the order the paper's tables list them in.
+ELEMENT_NAMES: tuple[str, ...] = (
+    "Teamwork",
+    "Information Gathering",
+    "Problem Definition",
+    "Idea Generation",
+    "Evaluation and Decision Making",
+    "Implementation",
+    "Communication",
+)
+
+
+@dataclass(frozen=True)
+class Item:
+    """One survey item (statement rated on both scales)."""
+
+    item_id: str
+    text: str
+    is_definition: bool = False
+
+    def __str__(self) -> str:
+        marker = " [definition]" if self.is_definition else ""
+        return f"{self.item_id}{marker}: {self.text}"
+
+
+@dataclass(frozen=True)
+class Element:
+    """One of the seven skill elements: a definition item + components."""
+
+    name: str
+    definition: Item
+    components: tuple[Item, ...]
+
+    def __post_init__(self) -> None:
+        if not self.definition.is_definition:
+            raise ValueError(f"element {self.name!r}: definition item not flagged")
+        if not self.components:
+            raise ValueError(f"element {self.name!r} needs at least one component item")
+        if any(c.is_definition for c in self.components):
+            raise ValueError(f"element {self.name!r}: component flagged as definition")
+
+    @property
+    def items(self) -> tuple[Item, ...]:
+        """Definition first, then components — presentation order."""
+        return (self.definition, *self.components)
+
+    @property
+    def n_items(self) -> int:
+        return 1 + len(self.components)
+
+
+@dataclass(frozen=True)
+class Instrument:
+    """A complete survey instrument."""
+
+    title: str
+    elements: tuple[Element, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [e.name for e in self.elements]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate element names in instrument")
+        ids = [i.item_id for i in self.all_items()]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate item ids in instrument")
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        for e in self.elements:
+            if e.name == name:
+                return e
+        raise KeyError(f"no element named {name!r}")
+
+    def all_items(self) -> Iterator[Item]:
+        for e in self.elements:
+            yield from e.items
+
+    @property
+    def n_items(self) -> int:
+        return sum(e.n_items for e in self.elements)
+
+    @property
+    def element_names(self) -> tuple[str, ...]:
+        return tuple(e.name for e in self.elements)
+
+
+def _element(name: str, prefix: str, definition: str, components: Sequence[str]) -> Element:
+    return Element(
+        name=name,
+        definition=Item(item_id=f"{prefix}0", text=definition, is_definition=True),
+        components=tuple(
+            Item(item_id=f"{prefix}{i + 1}", text=text) for i, text in enumerate(components)
+        ),
+    )
+
+
+def team_design_skills_survey() -> Instrument:
+    """Build the Team Design Skills Growth Survey used by the paper.
+
+    Seven elements; Teamwork's wording is verbatim from the paper's Fig. 2
+    (definition + four performance indicators).  29 items total, each rated
+    on both the Class-Emphasis and Personal-Growth scales.
+    """
+    return Instrument(
+        title="Team Design Skills Growth Survey (Beyerlein et al. 2005)",
+        elements=(
+            _element(
+                "Teamwork",
+                "TW",
+                "Individuals participate effectively in groups or teams.",
+                (
+                    "Individuals understand their own and other member's styles of "
+                    "thinking and how they affect teamwork.",
+                    "Individuals understand the different roles included in effective "
+                    "teamwork and responsibilities of each role.",
+                    "Individuals use effective group communication skills: listening, "
+                    "speaking, visual communication.",
+                    "Individuals cooperate to support effective teamwork.",
+                ),
+            ),
+            _element(
+                "Information Gathering",
+                "IG",
+                "Individuals locate, evaluate, and use information needed for the task.",
+                (
+                    "Individuals identify what information is needed to make progress.",
+                    "Individuals search multiple sources (documentation, references, "
+                    "measurements) for relevant information.",
+                    "Individuals judge the quality and credibility of gathered information.",
+                    "Individuals organize and share gathered information with the team.",
+                ),
+            ),
+            _element(
+                "Problem Definition",
+                "PD",
+                "Individuals formulate the problem to be solved, its requirements and "
+                "constraints.",
+                (
+                    "Individuals identify the customer needs or assignment goals behind "
+                    "a task.",
+                    "Individuals state requirements and constraints explicitly.",
+                    "Individuals decompose a complex problem into tractable sub-problems.",
+                    "Individuals recognize when a problem statement must be revised.",
+                ),
+            ),
+            _element(
+                "Idea Generation",
+                "IDG",
+                "Individuals generate a variety of candidate solutions or approaches.",
+                (
+                    "Individuals brainstorm multiple alternative approaches before "
+                    "committing.",
+                    "Individuals build on and combine the ideas of others.",
+                    "Individuals use analogy and prior patterns to propose solutions.",
+                    "Individuals defer judgement while generating ideas.",
+                ),
+            ),
+            _element(
+                "Evaluation and Decision Making",
+                "ED",
+                "Individuals evaluate alternatives and make supportable decisions.",
+                (
+                    "Individuals define criteria before comparing alternatives.",
+                    "Individuals weigh trade-offs among competing alternatives.",
+                    "Individuals use evidence (measurements, tests) to support decisions.",
+                    "Individuals reach team decisions that members accept and act on.",
+                ),
+            ),
+            _element(
+                "Implementation",
+                "IM",
+                "Individuals carry a chosen solution through to a working result.",
+                (
+                    "Individuals plan and schedule the work needed to realize a solution.",
+                    "Individuals build, code, or assemble the designed solution.",
+                    "Individuals test the realized solution against its requirements.",
+                    "Individuals iterate on the solution when tests reveal problems.",
+                ),
+            ),
+            _element(
+                "Communication",
+                "CM",
+                "Individuals communicate ideas and results effectively in written, oral, "
+                "and visual form.",
+                (
+                    "Individuals produce clear written reports of methods and results.",
+                    "Individuals present results orally to an audience.",
+                    "Individuals use figures, code listings, and screenshots effectively.",
+                    "Individuals tailor communication to the audience and medium.",
+                ),
+            ),
+        ),
+    )

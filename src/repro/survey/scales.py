@@ -1,0 +1,92 @@
+"""The two 5-point rating scales of the survey.
+
+Anchor labels are verbatim from the paper's §II.B ("Class Emphasis scores
+are described as 1: Did not discuss, …" / "Personal Growth scores are
+described as 1: I did not use this skill within this class, …").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "Category",
+    "Scale",
+    "CLASS_EMPHASIS_SCALE",
+    "PERSONAL_GROWTH_SCALE",
+    "SCALE_FOR_CATEGORY",
+    "validate_likert",
+]
+
+LIKERT_MIN = 1
+LIKERT_MAX = 5
+
+
+class Category(enum.Enum):
+    """The two question categories the instrument pairs for every item."""
+
+    CLASS_EMPHASIS = "class_emphasis"
+    PERSONAL_GROWTH = "personal_growth"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """A 5-point Likert scale with verbal anchors."""
+
+    name: str
+    anchors: Mapping[int, str]
+
+    def __post_init__(self) -> None:
+        expected = set(range(LIKERT_MIN, LIKERT_MAX + 1))
+        if set(self.anchors) != expected:
+            raise ValueError(
+                f"scale {self.name!r} must anchor exactly points {sorted(expected)}"
+            )
+
+    def label(self, score: int) -> str:
+        """Verbal anchor for a score."""
+        validate_likert(score)
+        return self.anchors[score]
+
+    def __str__(self) -> str:
+        rows = ", ".join(f"{k}: {v}" for k, v in sorted(self.anchors.items()))
+        return f"{self.name} [{rows}]"
+
+
+def validate_likert(score: int) -> int:
+    """Check that a raw item score is an integer on the 1–5 grid."""
+    if isinstance(score, bool) or not isinstance(score, int):
+        raise TypeError(f"Likert score must be an int, got {type(score).__name__}")
+    if not LIKERT_MIN <= score <= LIKERT_MAX:
+        raise ValueError(f"Likert score must be in [{LIKERT_MIN}, {LIKERT_MAX}], got {score}")
+    return score
+
+
+CLASS_EMPHASIS_SCALE = Scale(
+    name="Class Emphasis",
+    anchors={
+        1: "Did not discuss",
+        2: "Minor emphasis",
+        3: "Some emphasis",
+        4: "Significant emphasis",
+        5: "Major emphasis",
+    },
+)
+
+PERSONAL_GROWTH_SCALE = Scale(
+    name="Personal Growth",
+    anchors={
+        1: "I did not use this skill within this class",
+        2: "I used previous skills and had little growth",
+        3: "I grew some and gained a few new skills",
+        4: "I experienced a significant growth and added several skills",
+        5: "I experienced a tremendous growth and added many new skills",
+    },
+)
+
+SCALE_FOR_CATEGORY: Mapping[Category, Scale] = {
+    Category.CLASS_EMPHASIS: CLASS_EMPHASIS_SCALE,
+    Category.PERSONAL_GROWTH: PERSONAL_GROWTH_SCALE,
+}

@@ -1,0 +1,75 @@
+"""A Google-Docs-like collaborative document.
+
+The report deliverable is written collaboratively.  The model is
+revision-based: the document is a list of named sections; each revision
+replaces one section's text.  Concurrent edits to *different* sections
+merge cleanly; concurrent edits to the same section keep both, flagged
+for reconciliation (the behaviour students actually see in suggestion
+mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Revision", "CollaborativeDoc"]
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One edit: author replaces a section's content."""
+
+    revision_id: int
+    author: str
+    section: str
+    content: str
+    based_on: int           # revision id the author had seen (0 = initial)
+
+
+@dataclass
+class CollaborativeDoc:
+    """A revision-history document with section-level merging."""
+
+    title: str
+    sections: dict[str, str] = field(default_factory=dict)
+    revisions: list[Revision] = field(default_factory=list)
+    conflicts: list[tuple[Revision, Revision]] = field(default_factory=list)
+
+    @property
+    def head(self) -> int:
+        return self.revisions[-1].revision_id if self.revisions else 0
+
+    def edit(self, author: str, section: str, content: str, based_on: int | None = None) -> Revision:
+        """Apply an edit.  ``based_on`` is the revision the author saw;
+        a stale base touching an intervening edit to the same section is
+        recorded as a conflict (both versions kept, newest wins the text)."""
+        base = self.head if based_on is None else based_on
+        if base > self.head or base < 0:
+            raise ValueError(f"based_on {base} is not a known revision")
+        revision = Revision(
+            revision_id=self.head + 1,
+            author=author,
+            section=section,
+            content=content,
+            based_on=base,
+        )
+        intervening = [
+            r for r in self.revisions
+            if r.revision_id > base and r.section == section
+        ]
+        if intervening:
+            self.conflicts.append((intervening[-1], revision))
+        self.revisions.append(revision)
+        self.sections[section] = content
+        return revision
+
+    def text(self) -> str:
+        return "\n\n".join(
+            f"## {name}\n{content}" for name, content in sorted(self.sections.items())
+        )
+
+    def edits_by_author(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for revision in self.revisions:
+            counts[revision.author] = counts.get(revision.author, 0) + 1
+        return counts

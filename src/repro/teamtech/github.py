@@ -1,0 +1,162 @@
+"""A GitHub-like repository: commits, branches, pull requests.
+
+Content model: a repository maps file paths to text; a commit snapshots
+changed files.  Pull requests merge a branch into main with
+file-level conflict detection — enough substrate for the "customized
+workflows" Assignment 1 asks teams to build.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Commit", "PullRequest", "Repository", "MergeConflict"]
+
+
+class MergeConflict(RuntimeError):
+    """Both branches changed the same file since they diverged."""
+
+
+@dataclass(frozen=True)
+class Commit:
+    """One commit: id, author, message, and the files it changed."""
+
+    commit_id: int
+    author: str
+    message: str
+    changes: tuple[tuple[str, str], ...]   # (path, new content)
+    parent: int | None
+
+
+@dataclass
+class PullRequest:
+    """A request to merge ``branch`` into main."""
+
+    pr_id: int
+    branch: str
+    author: str
+    title: str
+    merged: bool = False
+    approvals: set[str] = field(default_factory=set)
+
+
+@dataclass
+class Repository:
+    """A team's repository."""
+
+    name: str
+    commits: dict[int, Commit] = field(default_factory=dict)
+    branch_heads: dict[str, int | None] = field(default_factory=lambda: {"main": None})
+    pull_requests: list[PullRequest] = field(default_factory=list)
+    _ids: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _history(self, branch: str) -> list[Commit]:
+        head = self.branch_heads.get(branch)
+        out: list[Commit] = []
+        while head is not None:
+            commit = self.commits[head]
+            out.append(commit)
+            head = commit.parent
+        return list(reversed(out))
+
+    def files_at(self, branch: str) -> dict[str, str]:
+        """The tree at a branch head."""
+        tree: dict[str, str] = {}
+        for commit in self._history(branch):
+            for path, content in commit.changes:
+                tree[path] = content
+        return tree
+
+    # -- porcelain ------------------------------------------------------------
+
+    def create_branch(self, name: str, from_branch: str = "main") -> None:
+        if name in self.branch_heads:
+            raise ValueError(f"branch {name!r} already exists")
+        if from_branch not in self.branch_heads:
+            raise KeyError(f"no branch {from_branch!r}")
+        self.branch_heads[name] = self.branch_heads[from_branch]
+
+    def commit(self, branch: str, author: str, message: str,
+               changes: dict[str, str]) -> Commit:
+        if branch not in self.branch_heads:
+            raise KeyError(f"no branch {branch!r}")
+        if not changes:
+            raise ValueError("empty commit")
+        if not message.strip():
+            raise ValueError("commit message required")
+        commit = Commit(
+            commit_id=next(self._ids),
+            author=author,
+            message=message,
+            changes=tuple(sorted(changes.items())),
+            parent=self.branch_heads[branch],
+        )
+        self.commits[commit.commit_id] = commit
+        self.branch_heads[branch] = commit.commit_id
+        return commit
+
+    def open_pull_request(self, branch: str, author: str, title: str) -> PullRequest:
+        if branch not in self.branch_heads:
+            raise KeyError(f"no branch {branch!r}")
+        if branch == "main":
+            raise ValueError("cannot open a PR from main to main")
+        pr = PullRequest(pr_id=next(self._ids), branch=branch, author=author, title=title)
+        self.pull_requests.append(pr)
+        return pr
+
+    def _merge_base(self, branch: str) -> int | None:
+        main_ids = {c.commit_id for c in self._history("main")}
+        for commit in reversed(self._history(branch)):
+            if commit.commit_id in main_ids:
+                return commit.commit_id
+        return None
+
+    def merge(self, pr: PullRequest, approver: str) -> Commit:
+        """Approve and merge; file-level conflicts abort."""
+        if pr.merged:
+            raise ValueError(f"PR #{pr.pr_id} already merged")
+        if approver == pr.author:
+            raise PermissionError("authors cannot approve their own PR")
+        pr.approvals.add(approver)
+
+        base = self._merge_base(pr.branch)
+        base_ids = set()
+        head = base
+        while head is not None:
+            base_ids.add(head)
+            head = self.commits[head].parent
+
+        def changed_since_base(branch: str) -> dict[str, str]:
+            out: dict[str, str] = {}
+            for commit in self._history(branch):
+                if commit.commit_id in base_ids:
+                    continue
+                for path, content in commit.changes:
+                    out[path] = content
+            return out
+
+        ours = changed_since_base("main")
+        theirs = changed_since_base(pr.branch)
+        conflicts = {
+            path for path in set(ours) & set(theirs) if ours[path] != theirs[path]
+        }
+        if conflicts:
+            raise MergeConflict(
+                f"PR #{pr.pr_id}: conflicting changes to {sorted(conflicts)}"
+            )
+        merge_commit = self.commit(
+            "main", pr.author, f"Merge PR #{pr.pr_id}: {pr.title}", theirs or
+            {"__merge__": f"merge of {pr.branch}"},
+        )
+        pr.merged = True
+        return merge_commit
+
+    def commits_by_author(self) -> dict[str, int]:
+        """Commit counts — the collaboration evidence stream."""
+        counts: dict[str, int] = {}
+        for commit in self.commits.values():
+            counts[commit.author] = counts.get(commit.author, 0) + 1
+        return counts

@@ -1,0 +1,74 @@
+"""A Slack-like team messaging workspace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Message", "Channel", "Workspace"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One posted message; ``timestamp`` is a logical clock value."""
+
+    author: str
+    text: str
+    timestamp: int
+    thread_of: int | None = None   # timestamp of the parent message
+
+
+@dataclass
+class Channel:
+    """One channel: ordered messages with threading."""
+
+    name: str
+    members: set[str] = field(default_factory=set)
+    messages: list[Message] = field(default_factory=list)
+
+    def post(self, author: str, text: str, clock: int, thread_of: int | None = None) -> Message:
+        if author not in self.members:
+            raise PermissionError(f"{author} is not a member of #{self.name}")
+        if thread_of is not None and not any(m.timestamp == thread_of for m in self.messages):
+            raise ValueError(f"no message with timestamp {thread_of} to thread on")
+        message = Message(author=author, text=text, timestamp=clock, thread_of=thread_of)
+        self.messages.append(message)
+        return message
+
+    def thread(self, root_timestamp: int) -> list[Message]:
+        root = [m for m in self.messages if m.timestamp == root_timestamp]
+        if not root:
+            raise ValueError(f"no message with timestamp {root_timestamp}")
+        return root + [m for m in self.messages if m.thread_of == root_timestamp]
+
+
+@dataclass
+class Workspace:
+    """A team's workspace: channels + a logical clock."""
+
+    team_id: str
+    channels: dict[str, Channel] = field(default_factory=dict)
+    _clock: int = 0
+
+    def create_channel(self, name: str, members: set[str]) -> Channel:
+        if name in self.channels:
+            raise ValueError(f"channel #{name} already exists")
+        if not members:
+            raise ValueError("a channel needs at least one member")
+        channel = Channel(name=name, members=set(members))
+        self.channels[name] = channel
+        return channel
+
+    def post(self, channel: str, author: str, text: str,
+             thread_of: int | None = None) -> Message:
+        if channel not in self.channels:
+            raise KeyError(f"no channel #{channel}")
+        self._clock += 1
+        return self.channels[channel].post(author, text, self._clock, thread_of)
+
+    def activity_by_member(self) -> dict[str, int]:
+        """Messages posted per member — the peer-rating evidence stream."""
+        counts: dict[str, int] = {}
+        for channel in self.channels.values():
+            for message in channel.messages:
+                counts[message.author] = counts.get(message.author, 0) + 1
+        return counts

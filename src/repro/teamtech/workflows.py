@@ -1,0 +1,161 @@
+"""Repository automation — the "customized workflows" of Assignment 1.
+
+"GitHub, a social networking site for programmers to collaborate,
+**create customized workflows**, and share code."  This module is a
+CI-runner miniature: workflows are registered on a repository with a
+trigger (commit to a branch, or pull request), each runs a list of named
+checks over the repository tree, and runs are recorded.  A branch-
+protection helper refuses to merge a PR whose latest run failed — the
+policy teams actually configure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.teamtech.github import Commit, PullRequest, Repository
+
+__all__ = ["Trigger", "Check", "WorkflowRun", "Workflow", "AutomatedRepository"]
+
+
+class Trigger(enum.Enum):
+    ON_COMMIT = "push"
+    ON_PULL_REQUEST = "pull_request"
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named check: a predicate over the repository tree."""
+
+    name: str
+    run: Callable[[Mapping[str, str]], bool]
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class WorkflowRun:
+    """One recorded execution of a workflow."""
+
+    workflow: str
+    trigger: Trigger
+    ref: str                       # branch name or "PR #n"
+    results: tuple[tuple[str, bool], ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(ok for _name, ok in self.results)
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, ok in self.results if not ok]
+
+
+@dataclass(frozen=True)
+class Workflow:
+    """A trigger plus an ordered list of checks."""
+
+    name: str
+    trigger: Trigger
+    checks: tuple[Check, ...]
+
+    def __post_init__(self) -> None:
+        if not self.checks:
+            raise ValueError(f"workflow {self.name!r} needs at least one check")
+        names = [c.name for c in self.checks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"workflow {self.name!r} has duplicate check names")
+
+
+@dataclass
+class AutomatedRepository:
+    """A repository with workflows attached.
+
+    Wraps :class:`Repository`: commits and PR merges flow through here so
+    the matching workflows run automatically.
+    """
+
+    repo: Repository
+    workflows: list[Workflow] = field(default_factory=list)
+    runs: list[WorkflowRun] = field(default_factory=list)
+    protect_main: bool = True
+
+    def register(self, workflow: Workflow) -> None:
+        if any(w.name == workflow.name for w in self.workflows):
+            raise ValueError(f"workflow {workflow.name!r} already registered")
+        self.workflows.append(workflow)
+
+    def _execute(self, workflow: Workflow, ref: str, branch: str) -> WorkflowRun:
+        tree = self.repo.files_at(branch)
+        run = WorkflowRun(
+            workflow=workflow.name,
+            trigger=workflow.trigger,
+            ref=ref,
+            results=tuple((c.name, bool(c.run(tree))) for c in workflow.checks),
+        )
+        self.runs.append(run)
+        return run
+
+    def commit(self, branch: str, author: str, message: str,
+               changes: dict[str, str]) -> tuple[Commit, list[WorkflowRun]]:
+        """Commit, then fire every ON_COMMIT workflow on that branch."""
+        commit = self.repo.commit(branch, author, message, changes)
+        fired = [
+            self._execute(w, ref=branch, branch=branch)
+            for w in self.workflows if w.trigger is Trigger.ON_COMMIT
+        ]
+        return commit, fired
+
+    def open_pull_request(self, branch: str, author: str, title: str
+                          ) -> tuple[PullRequest, list[WorkflowRun]]:
+        """Open a PR, then fire every ON_PULL_REQUEST workflow on it."""
+        pr = self.repo.open_pull_request(branch, author, title)
+        fired = [
+            self._execute(w, ref=f"PR #{pr.pr_id}", branch=branch)
+            for w in self.workflows if w.trigger is Trigger.ON_PULL_REQUEST
+        ]
+        return pr, fired
+
+    def latest_run_for(self, ref: str) -> WorkflowRun | None:
+        for run in reversed(self.runs):
+            if run.ref == ref:
+                return run
+        return None
+
+    def merge(self, pr: PullRequest, approver: str) -> Commit:
+        """Merge with branch protection: the PR's latest workflow run
+        must have passed (when main is protected and PR workflows exist)."""
+        if self.protect_main and any(
+            w.trigger is Trigger.ON_PULL_REQUEST for w in self.workflows
+        ):
+            run = self.latest_run_for(f"PR #{pr.pr_id}")
+            if run is None:
+                raise PermissionError(
+                    f"PR #{pr.pr_id}: no workflow run recorded; cannot merge"
+                )
+            if not run.passed:
+                raise PermissionError(
+                    f"PR #{pr.pr_id}: checks failed: {run.failed_checks()}"
+                )
+        return self.repo.merge(pr, approver)
+
+
+def report_checks() -> tuple[Check, ...]:
+    """The checks a PBL team would configure for its report repository."""
+    return (
+        Check(
+            "has-readme",
+            lambda tree: "README.md" in tree,
+            "repository documents itself",
+        ),
+        Check(
+            "report-present",
+            lambda tree: any(path.startswith("report") for path in tree),
+            "the written-report deliverable exists",
+        ),
+        Check(
+            "no-empty-files",
+            lambda tree: all(content.strip() for content in tree.values()),
+            "no placeholder files",
+        ),
+    )

@@ -1,0 +1,101 @@
+"""A YouTube-like video channel, enforcing the assignment's video rules.
+
+"Each student must participate in the group video, which must be 5-10
+minutes long and posted on YouTube", and the presentation guide requires
+each member to introduce themselves, their task, lessons learned, and
+their best/most challenging experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["VideoError", "Segment", "Video", "VideoChannel"]
+
+MIN_MINUTES = 5.0
+MAX_MINUTES = 10.0
+
+#: What every member's segment must cover (the paper's presentation guide).
+REQUIRED_POINTS = (
+    "introduction and role",
+    "task and key things learned",
+    "how it applies to the next assignment / future classes / future job",
+    "best or most challenging experience",
+)
+
+
+class VideoError(ValueError):
+    """The video violates an assignment rule."""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One member's part of the video."""
+
+    speaker: str
+    minutes: float
+    points_covered: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.minutes <= 0:
+            raise VideoError(f"segment by {self.speaker} has no duration")
+
+
+@dataclass(frozen=True)
+class Video:
+    """One uploaded presentation video."""
+
+    title: str
+    assignment_number: int
+    segments: tuple[Segment, ...]
+
+    @property
+    def minutes(self) -> float:
+        return sum(s.minutes for s in self.segments)
+
+    @property
+    def speakers(self) -> frozenset[str]:
+        return frozenset(s.speaker for s in self.segments)
+
+    def validate(self, team_members: Sequence[str]) -> None:
+        """Enforce the assignment's video rules."""
+        if not MIN_MINUTES <= self.minutes <= MAX_MINUTES:
+            raise VideoError(
+                f"video is {self.minutes:.1f} min; must be "
+                f"{MIN_MINUTES:g}-{MAX_MINUTES:g} min"
+            )
+        missing = set(team_members) - self.speakers
+        if missing:
+            raise VideoError(
+                f"every member must appear; missing: {sorted(missing)}"
+            )
+        for segment in self.segments:
+            uncovered = set(REQUIRED_POINTS) - set(segment.points_covered)
+            if uncovered:
+                raise VideoError(
+                    f"{segment.speaker}'s segment misses: {sorted(uncovered)}"
+                )
+
+
+@dataclass
+class VideoChannel:
+    """A team's channel of uploaded, validated videos."""
+
+    team_id: str
+    videos: list[Video] = field(default_factory=list)
+
+    def upload(self, video: Video, team_members: Sequence[str]) -> None:
+        video.validate(team_members)
+        if any(v.assignment_number == video.assignment_number for v in self.videos):
+            raise VideoError(
+                f"assignment {video.assignment_number} video already uploaded"
+            )
+        self.videos.append(video)
+
+    def appearances(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for video in self.videos:
+            for speaker in video.speakers:
+                counts[speaker] = counts.get(speaker, 0) + 1
+        return counts

@@ -1,0 +1,36 @@
+"""Shared fixtures.
+
+The full study run takes ~1 s (calibration + programs + analysis), so it
+is computed once per session and shared by every integration test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PBLStudy, ReproductionReport
+from repro.core.targets import PAPER, simulation_targets
+from repro.simulation import ResponseModel, calibrate
+
+
+@pytest.fixture(scope="session")
+def study():
+    return PBLStudy.default(seed=2018)
+
+
+@pytest.fixture(scope="session")
+def study_result(study):
+    return study.run()
+
+
+@pytest.fixture(scope="session")
+def report(study, study_result):
+    return ReproductionReport(analysis=study_result.analysis, paper=study.paper)
+
+
+@pytest.fixture(scope="session")
+def calibrated_model():
+    targets = simulation_targets(PAPER)
+    model = ResponseModel(targets.skills, targets.n_students, seed=2018)
+    result = calibrate(model, targets)
+    return model, targets, result

@@ -1,0 +1,118 @@
+"""The pipeline and SIMT models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.gpu import SIMTMachine
+from repro.arch.pipeline import CLASSIC_STAGES, Instr, Op, run_pipeline
+
+
+def alu(dest, *sources):
+    return Instr(Op.ALU, dest=dest, sources=tuple(sources))
+
+
+class TestPipeline:
+    def test_unpipelined_cpi_is_depth(self):
+        program = [alu(i % 8) for i in range(20)]
+        result = run_pipeline(program, pipelined=False)
+        assert result.cpi == len(CLASSIC_STAGES)
+
+    def test_ideal_pipeline_approaches_cpi_one(self):
+        program = [alu(i % 8) for i in range(200)]
+        result = run_pipeline(program)
+        assert result.cpi < 1.05
+        assert result.stalls == 0
+
+    def test_raw_hazard_stalls_without_forwarding(self):
+        program = [alu(1), alu(2, 1)]          # back-to-back dependency
+        stalled = run_pipeline(program, forwarding=False)
+        forwarded = run_pipeline(program, forwarding=True)
+        assert stalled.stalls > 0
+        assert forwarded.stalls == 0
+        assert forwarded.cycles < stalled.cycles
+
+    def test_load_use_hazard_costs_one_bubble_even_with_forwarding(self):
+        program = [Instr(Op.LOAD, dest=1, sources=(2,)), alu(3, 1)]
+        result = run_pipeline(program, forwarding=True)
+        assert result.stalls == 1
+
+    def test_load_use_gap_removes_bubble(self):
+        program = [
+            Instr(Op.LOAD, dest=1, sources=(2,)),
+            alu(4),                 # independent filler
+            alu(3, 1),
+        ]
+        assert run_pipeline(program, forwarding=True).stalls == 0
+
+    def test_taken_branch_flushes(self):
+        program = [Instr(Op.BRANCH, sources=(1,), taken=True), alu(2)]
+        result = run_pipeline(program, branch_flush_cycles=2)
+        assert result.flushes == 2
+
+    def test_untaken_branch_free(self):
+        program = [Instr(Op.BRANCH, sources=(1,), taken=False), alu(2)]
+        assert run_pipeline(program).flushes == 0
+
+    def test_empty_program(self):
+        result = run_pipeline([])
+        assert result.cycles == 0.0 and result.cpi == 0.0
+
+    def test_instr_validation(self):
+        with pytest.raises(ValueError):
+            Instr(Op.BRANCH, dest=1)
+        with pytest.raises(ValueError):
+            Instr(Op.ALU, dest=99)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    @settings(max_examples=30)
+    def test_forwarding_never_slower(self, dests):
+        program = [alu(d, (d + 1) % 8) for d in dests]
+        with_fwd = run_pipeline(program, forwarding=True)
+        without = run_pipeline(program, forwarding=False)
+        assert with_fwd.cycles <= without.cycles
+        # Pipelined always beats unpipelined.
+        assert with_fwd.cycles <= run_pipeline(program, pipelined=False).cycles
+
+
+class TestSIMT:
+    def test_uniform_kernel_full_efficiency(self):
+        gpu = SIMTMachine(warp_width=8)
+        result = gpu.run_kernel(64, lambda i: 0, lambda i, k: i + 1)
+        assert result.output == tuple(range(1, 65))
+        assert result.divergent_warps == 0
+        assert result.simt_efficiency == 1.0
+        assert result.warp_instructions == 8     # one pass per warp
+
+    def test_divergence_doubles_issue(self):
+        gpu = SIMTMachine(warp_width=8)
+        uniform = gpu.run_kernel(64, lambda i: 0, lambda i, k: i)
+        diverged = gpu.run_kernel(64, lambda i: i % 2, lambda i, k: i)
+        assert diverged.warp_instructions == 2 * uniform.warp_instructions
+        assert diverged.simt_efficiency == pytest.approx(0.5)
+        assert diverged.output == uniform.output   # same answer, slower
+
+    def test_sorting_keys_restores_efficiency(self):
+        gpu = SIMTMachine(warp_width=8)
+        # Keys aligned to warp boundaries: each warp sees one key.
+        result = gpu.run_kernel(64, lambda i: i // 8, lambda i, k: i)
+        assert result.divergent_warps == 0
+        assert result.simt_efficiency == 1.0
+
+    def test_worst_case_divergence(self):
+        gpu = SIMTMachine(warp_width=4)
+        result = gpu.run_kernel(8, lambda i: i, lambda i, k: i)  # all distinct
+        assert result.simt_efficiency == pytest.approx(1 / 4)
+        assert result.warp_instructions == 8     # every lane its own pass
+
+    def test_partial_last_warp(self):
+        gpu = SIMTMachine(warp_width=8)
+        result = gpu.run_kernel(10, lambda i: 0, lambda i, k: i)
+        assert result.n_warps == 2
+        assert len(result.output) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SIMTMachine(warp_width=0)
+        with pytest.raises(ValueError):
+            SIMTMachine().run_kernel(0, lambda i: 0, lambda i, k: i)

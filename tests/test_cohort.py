@@ -1,0 +1,227 @@
+"""Cohort: students, sections, team formation, coordinators, peer ratings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cohort import (
+    FormationCriteria,
+    Gender,
+    PeerRating,
+    PeerRatingForm,
+    Student,
+    Team,
+    balance_report,
+    contribution_summary,
+    form_teams,
+    generate_cohort,
+    make_paper_sections,
+    random_teams,
+    rotate_coordinators,
+)
+from repro.cohort.formation import team_sizes
+
+
+class TestStudents:
+    def test_paper_marginals(self):
+        cohort = generate_cohort(seed=2018)
+        assert len(cohort) == 124
+        assert sum(1 for s in cohort if s.gender is Gender.FEMALE) == 26
+        assert sum(1 for s in cohort if s.gender is Gender.MALE) == 98
+
+    def test_deterministic_for_seed(self):
+        assert generate_cohort(seed=5) == generate_cohort(seed=5)
+        assert generate_cohort(seed=5) != generate_cohort(seed=6)
+
+    def test_unique_ids(self):
+        ids = [s.student_id for s in generate_cohort()]
+        assert len(set(ids)) == len(ids)
+
+    def test_attribute_ranges(self):
+        for s in generate_cohort():
+            assert 0.0 <= s.gpa <= 4.3
+            assert 0 <= s.programming_experience <= 3
+            assert 0.0 <= s.ability_index <= 1.0
+
+    def test_validation_rejects_bad_gpa(self):
+        with pytest.raises(ValueError):
+            Student("x", Gender.MALE, 5.0, 1, 1, 1, 1)
+
+    def test_validation_rejects_bad_experience(self):
+        with pytest.raises(ValueError):
+            Student("x", Gender.MALE, 3.0, 4, 1, 1, 1)
+
+
+class TestSections:
+    def test_paper_section_composition(self):
+        s1, s2 = make_paper_sections()
+        assert (s1.n, s1.n_female) == (62, 16)
+        assert (s2.n, s2.n_female) == (62, 10)
+        assert s1.n_male == 46 and s2.n_male == 52
+
+    def test_sections_partition_cohort(self):
+        s1, s2 = make_paper_sections()
+        ids1 = {s.student_id for s in s1.students}
+        ids2 = {s.student_id for s in s2.students}
+        assert not ids1 & ids2
+        assert len(ids1 | ids2) == 124
+
+
+class TestTeamSizes:
+    def test_62_into_13(self):
+        sizes = team_sizes(62, 13)
+        assert sum(sizes) == 62
+        assert sorted(set(sizes)) == [4, 5]
+        assert sizes.count(5) == 10 and sizes.count(4) == 3
+
+    def test_rejects_impossible_split(self):
+        with pytest.raises(ValueError):
+            team_sizes(10, 13)   # would give teams of size 0/1
+        with pytest.raises(ValueError):
+            team_sizes(100, 13)  # would need teams larger than 5
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=30)
+    def test_valid_splits_cover_everyone(self, n_teams):
+        n_students = n_teams * 4 + (n_teams // 2)  # mix of 4s and 5s
+        sizes = team_sizes(n_students, n_teams)
+        assert sum(sizes) == n_students
+        assert all(4 <= s <= 5 for s in sizes)
+
+
+class TestFormation:
+    def test_sizes_and_partition(self):
+        s1, _ = make_paper_sections()
+        teams = form_teams(s1.students, 13)
+        assert len(teams) == 13
+        assert sum(t.size for t in teams) == 62
+        ids = [m.student_id for t in teams for m in t.members]
+        assert len(set(ids)) == 62   # nobody in two teams
+
+    def test_deterministic(self):
+        s1, _ = make_paper_sections()
+        a = form_teams(s1.students, 13)
+        b = form_teams(s1.students, 13)
+        assert [t.members for t in a] == [t.members for t in b]
+
+    def test_beats_random_on_balance(self):
+        s1, _ = make_paper_sections()
+        formed = balance_report(form_teams(s1.students, 13))
+        random = balance_report(random_teams(s1.students, 13, seed=1))
+        assert formed["ability_range"] < random["ability_range"]
+        assert formed["solo_female_teams"] <= random["solo_female_teams"]
+
+    def test_no_isolated_women(self):
+        for section in make_paper_sections():
+            teams = form_teams(section.students, 13)
+            assert all(t.n_female != 1 for t in teams)
+
+    def test_friend_pairs_separated(self):
+        s1, _ = make_paper_sections()
+        baseline = form_teams(s1.students, 13)
+        # Pick two students the baseline puts together, then forbid them.
+        together = baseline[0].members[:2]
+        pair = frozenset({together[0].student_id, together[1].student_id})
+        criteria = FormationCriteria(friend_pairs=frozenset({pair}))
+        teams = form_teams(s1.students, 13, criteria)
+        for team in teams:
+            ids = {m.student_id for m in team.members}
+            assert not pair <= ids
+
+    def test_rejects_duplicate_students(self):
+        s1, _ = make_paper_sections()
+        doubled = list(s1.students) + [s1.students[0]]
+        with pytest.raises(ValueError):
+            form_teams(doubled, 13)
+
+    def test_criteria_validation(self):
+        with pytest.raises(ValueError):
+            FormationCriteria(ability_weight=-1)
+        with pytest.raises(ValueError):
+            FormationCriteria(friend_pairs=frozenset({frozenset({"a"})}))
+
+
+class TestTeams:
+    def _team(self, n=5):
+        students = generate_cohort()[:n]
+        return Team(team_id="T1", members=tuple(students))
+
+    def test_size_limits(self):
+        students = generate_cohort()
+        with pytest.raises(ValueError):
+            Team("t", tuple(students[:3]))
+        with pytest.raises(ValueError):
+            Team("t", tuple(students[:6]))
+
+    def test_duplicate_members_rejected(self):
+        s = generate_cohort()[0]
+        with pytest.raises(ValueError):
+            Team("t", (s, s, s, s))
+
+    def test_coordinator_rotates(self):
+        team = self._team(5)
+        coordinators = rotate_coordinators(team, 5)
+        assert len(set(c.student_id for c in coordinators)) == 5
+
+    def test_everyone_coordinates_with_four_members(self):
+        team = self._team(4)
+        coordinators = rotate_coordinators(team, 5)
+        # 5 assignments over 4 members: everyone at least once.
+        assert {c.student_id for c in coordinators} == {
+            m.student_id for m in team.members
+        }
+
+    def test_coordinator_wraps(self):
+        team = self._team(4)
+        assert team.coordinator_for(5) == team.coordinator_for(1)
+
+    def test_bad_assignment_number(self):
+        with pytest.raises(ValueError):
+            self._team().coordinator_for(0)
+
+
+class TestPeerRating:
+    def _team(self):
+        return Team(team_id="T1", members=tuple(generate_cohort()[:4]))
+
+    def _complete_form(self, team, adjective="satisfactory"):
+        ids = [m.student_id for m in team.members]
+        ratings = tuple(
+            PeerRating(rater_id=a, ratee_id=b, adjective=adjective)
+            for a in ids for b in ids if a != b
+        )
+        return PeerRatingForm(team_id=team.team_id, assignment_number=1, ratings=ratings)
+
+    def test_complete_form_validates(self):
+        team = self._team()
+        self._complete_form(team).validate_against(team)
+
+    def test_incomplete_form_rejected(self):
+        team = self._team()
+        form = self._complete_form(team)
+        partial = PeerRatingForm(team.team_id, 1, form.ratings[:-1])
+        with pytest.raises(ValueError):
+            partial.validate_against(team)
+
+    def test_self_rating_rejected(self):
+        with pytest.raises(ValueError):
+            PeerRating("s1", "s1", "excellent")
+
+    def test_unknown_adjective_rejected(self):
+        with pytest.raises(ValueError):
+            PeerRating("s1", "s2", "meh")
+
+    def test_contribution_summary(self):
+        team = self._team()
+        summary = contribution_summary([self._complete_form(team, "very good")])
+        assert all(v == pytest.approx(4.5) for v in summary.values())
+        assert len(summary) == 4
+
+    def test_non_member_rating_rejected(self):
+        team = self._team()
+        bad = PeerRatingForm(
+            team.team_id, 1,
+            (PeerRating("stranger", team.members[0].student_id, "ordinary"),),
+        )
+        with pytest.raises(ValueError):
+            bad.validate_against(team)

@@ -1,0 +1,91 @@
+"""The simulated gradebook and its integration into the study run."""
+
+import pytest
+
+from repro.cohort import form_teams, make_paper_sections
+from repro.course import simulate_gradebook
+
+
+@pytest.fixture(scope="module")
+def teams():
+    s1, s2 = make_paper_sections()
+    return (form_teams(s1.students, 13, id_prefix="S1T")
+            + form_teams(s2.students, 13, id_prefix="S2T"))
+
+
+@pytest.fixture(scope="module")
+def gradebook(teams):
+    return simulate_gradebook(teams, seed=2018)
+
+
+class TestGradebook:
+    def test_every_student_graded(self, teams, gradebook):
+        assert len(gradebook.grades) == 124
+        all_ids = {m.student_id for t in teams for m in t.members}
+        assert set(gradebook.grades) == all_ids
+
+    def test_grades_in_range(self, gradebook):
+        for grade in gradebook.grades.values():
+            assert 0.0 <= grade.total <= 100.0
+            assert all(0.0 <= s <= 100.0 for s in grade.pbl_scores)
+
+    def test_offenders_hit_persistence_rule(self, gradebook):
+        assert len(gradebook.offenders) == 2
+        for student_id in gradebook.offenders:
+            scores = gradebook.grades[student_id].pbl_scores
+            # Cooperated on A1, zeros from A2 on (two offences then cascade).
+            assert scores[0] > 0.0
+            assert scores[1:] == (0.0, 0.0, 0.0, 0.0)
+
+    def test_non_offenders_keep_team_scores(self, gradebook):
+        cooperative = [
+            g for sid, g in gradebook.grades.items()
+            if sid not in gradebook.offenders
+        ]
+        assert all(all(s > 0 for s in g.pbl_scores) for g in cooperative)
+
+    def test_offenders_score_below_cohort_mean(self, gradebook):
+        mean = gradebook.mean_total
+        for student_id in gradebook.offenders:
+            assert gradebook.grades[student_id].total < mean
+
+    def test_peer_forms_complete(self, teams, gradebook):
+        # 26 teams x 5 assignments
+        assert len(gradebook.peer_forms) == 26 * 5
+        by_team = {t.team_id: t for t in teams}
+        for form in gradebook.peer_forms[:20]:
+            form.validate_against(by_team[form.team_id])
+
+    def test_deterministic(self, teams):
+        a = simulate_gradebook(teams, seed=5)
+        b = simulate_gradebook(teams, seed=5)
+        assert {s: g.total for s, g in a.grades.items()} == {
+            s: g.total for s, g in b.grades.items()
+        }
+
+    def test_ability_correlates_with_individual_scores(self, teams, gradebook):
+        """Quizzes/exams track ability, so totals should correlate with it."""
+        from repro.stats.correlation import pearson
+        students = {m.student_id: m for t in teams for m in t.members}
+        ids = sorted(set(students) - set(gradebook.offenders))
+        abilities = [students[sid].ability_index for sid in ids]
+        totals = [gradebook.grades[sid].total for sid in ids]
+        result = pearson(abilities, totals)
+        assert result.r > 0.5
+        assert result.p_value < 0.001
+
+    def test_empty_teams_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_gradebook([])
+
+
+class TestStudyIntegration:
+    def test_study_result_carries_gradebook(self, study_result):
+        assert study_result.gradebook is not None
+        assert len(study_result.gradebook.grades) == 124
+
+    def test_gradebook_skipped_without_teamwork(self):
+        from repro.core import PBLStudy
+        result = PBLStudy(seed=1, execute_programs=False,
+                          simulate_teamwork=False).run()
+        assert result.gradebook is None

@@ -1,0 +1,224 @@
+"""OMP environment, thermal model, ISA disassembly, distributed sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.isa import (
+    disassemble_cisc,
+    disassemble_risc,
+    program_bytes,
+    sum_array_cisc,
+    sum_array_risc,
+    assemble_risc,
+)
+from repro.mapreduce import MapReduceEngine, distributed_sort_job, make_range_partitioner
+from repro.openmp import OMPEnvironment, WallClock, parse_schedule
+from repro.openmp.loops import ScheduleKind
+from repro.rpi import ThermalConfig, ThermalModel
+
+
+class TestOMPEnvironment:
+    def test_defaults(self):
+        env = OMPEnvironment.from_mapping({})
+        assert env.num_threads == 4
+        assert env.schedule.kind is ScheduleKind.STATIC
+
+    def test_full_parse(self):
+        env = OMPEnvironment.from_mapping({
+            "OMP_NUM_THREADS": "8",
+            "OMP_SCHEDULE": "dynamic,2",
+            "OMP_DYNAMIC": "true",
+            "OMP_NESTED": "0",
+        })
+        assert env.num_threads == 8
+        assert env.schedule.kind is ScheduleKind.DYNAMIC
+        assert env.schedule.chunk == 2
+        assert env.dynamic_adjustment is True
+        assert env.nested is False
+        assert env.runtime().num_threads == 8
+
+    @pytest.mark.parametrize("text,kind,chunk", [
+        ("static", ScheduleKind.STATIC, None),
+        ("static,3", ScheduleKind.STATIC, 3),
+        ("dynamic", ScheduleKind.DYNAMIC, 1),
+        ("DYNAMIC, 4", ScheduleKind.DYNAMIC, 4),
+        ("guided,2", ScheduleKind.GUIDED, 2),
+    ])
+    def test_schedule_parse(self, text, kind, chunk):
+        schedule = parse_schedule(text)
+        assert schedule.kind is kind
+        assert schedule.chunk == chunk
+
+    @pytest.mark.parametrize("bad", ["", "mystery", "static,0", "static,x", "a,b,c"])
+    def test_schedule_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_schedule(bad)
+
+    def test_unknown_omp_variable_rejected(self):
+        with pytest.raises(ValueError, match="unrecognised"):
+            OMPEnvironment.from_mapping({"OMP_NUM_THREDS": "4"})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            OMPEnvironment.from_mapping({"OMP_NUM_THREADS": "four"})
+        with pytest.raises(ValueError):
+            OMPEnvironment.from_mapping({"OMP_DYNAMIC": "maybe"})
+        with pytest.raises(ValueError):
+            OMPEnvironment(num_threads=0)
+
+    def test_wall_clock(self):
+        t = [10.0]
+        clock = WallClock(source=lambda: t[0])
+        assert clock.wtime() == 0.0
+        t[0] = 12.5
+        assert clock.wtime() == 2.5
+        start = clock.wtime()
+        t[0] = 13.0
+        assert clock.elapsed(start) == pytest.approx(0.5)
+
+
+class TestThermal:
+    def test_sustained_load_throttles(self):
+        model = ThermalModel()
+        trace = model.run(active_cores=4, seconds=300)
+        assert trace[0].throttled is False
+        assert trace[-1].throttled is True
+        assert trace[-1].clock_ghz == model.config.soft_clock_ghz
+
+    def test_idle_never_throttles(self):
+        model = ThermalModel()
+        trace = model.run(active_cores=0, seconds=600)
+        assert not any(s.throttled for s in trace)
+
+    def test_temperature_monotone_under_constant_load_from_cold(self):
+        model = ThermalModel()
+        trace = model.run(active_cores=2, seconds=120)
+        temps = [s.temperature_c for s in trace]
+        assert temps == sorted(temps)
+
+    def test_cooling_after_load(self):
+        model = ThermalModel()
+        model.run(4, 300)
+        hot = model.temperature_c
+        model.run(0, 600)
+        assert model.temperature_c < hot
+        assert not model.throttled
+
+    def test_heatsink_prevents_throttling(self):
+        bare = ThermalModel()
+        heatsink = ThermalModel(config=ThermalConfig(thermal_resistance=4.0))
+        bare.run(4, 600)
+        heatsink.run(4, 600)
+        assert bare.throttled
+        assert not heatsink.throttled
+
+    def test_steady_state_matches_simulation(self):
+        model = ThermalModel()
+        model.run(4, 3000)
+        assert model.temperature_c == pytest.approx(
+            model.steady_state_c(4), abs=0.5
+        )
+
+    def test_more_cores_run_hotter(self):
+        model = ThermalModel()
+        assert model.steady_state_c(1) < model.steady_state_c(2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel().step(active_cores=5)
+        with pytest.raises(ValueError):
+            ThermalModel().step(active_cores=1, dt_s=0)
+        with pytest.raises(ValueError):
+            ThermalConfig(thermal_resistance=0)
+
+
+class TestDisassembly:
+    def test_risc_round_trip(self):
+        program = sum_array_risc(9)
+        decoded = disassemble_risc(program_bytes(program))
+        assert [(i.mnemonic, i.operands) for i in decoded] == [
+            (i.mnemonic, i.operands) for i in program
+        ]
+
+    def test_cisc_round_trip(self):
+        program = sum_array_cisc(9)
+        decoded = disassemble_cisc(program_bytes(program))
+        assert [(i.mnemonic, i.operands) for i in decoded] == [
+            (i.mnemonic, i.operands) for i in program
+        ]
+
+    @given(st.integers(0, 0xFFFFF))
+    @settings(max_examples=40)
+    def test_risc_immediate_round_trip(self, imm):
+        program = assemble_risc([("LDI", 5, imm), ("HALT",)])
+        decoded = disassemble_risc(program_bytes(program))
+        assert [(i.mnemonic, i.operands) for i in decoded] == [
+            (i.mnemonic, i.operands) for i in program
+        ]
+
+    def test_risc_rejects_ragged_blob(self):
+        with pytest.raises(ValueError):
+            disassemble_risc(b"\x01\x02\x03")
+
+    def test_unknown_opcodes_rejected(self):
+        with pytest.raises(ValueError):
+            disassemble_risc(b"\x00\x00\x00\xff")
+        with pytest.raises(ValueError):
+            disassemble_cisc(b"\xff")
+
+    def test_truncated_cisc_rejected(self):
+        good = program_bytes(sum_array_cisc(3))
+        with pytest.raises(ValueError):
+            disassemble_cisc(good[:-2])
+
+
+class TestDistributedSort:
+    def test_range_partitioner(self):
+        partition = make_range_partitioner([10.0, 20.0])
+        assert partition(5.0) == 0
+        assert partition(10.0) == 1    # bisect_right: boundary goes up
+        assert partition(15.0) == 1
+        assert partition(99.0) == 2
+
+    def test_global_sort_via_bucket_concatenation(self):
+        rng = random.Random(3)
+        values = [rng.uniform(0, 100) for _ in range(400)]
+        job = distributed_sort_job(boundaries=[25.0, 50.0, 75.0])
+        result = MapReduceEngine(4).run(job, list(enumerate(values)))
+        flat = [
+            key
+            for bucket in result.per_reduce_outputs
+            for key, count in bucket
+            for _ in range(count)
+        ]
+        assert flat == sorted(values)
+
+    def test_duplicates_preserved(self):
+        values = [5.0, 1.0, 5.0, 3.0, 5.0]
+        job = distributed_sort_job(boundaries=[2.0, 4.0])
+        result = MapReduceEngine(2).run(job, list(enumerate(values)))
+        flat = [
+            k for bucket in result.per_reduce_outputs
+            for k, c in bucket for _ in range(c)
+        ]
+        assert flat == [1.0, 3.0, 5.0, 5.0, 5.0]
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_sort_property(self, values):
+        job = distributed_sort_job(boundaries=[-50.0, 0.0, 50.0])
+        result = MapReduceEngine(4).run(job, list(enumerate(values)))
+        flat = [
+            k for bucket in result.per_reduce_outputs
+            for k, c in bucket for _ in range(c)
+        ]
+        assert flat == sorted(values)
+
+    def test_integer_keys_sorted_numerically(self):
+        """Regression: keys 2 and 10 must sort numerically, not as repr."""
+        job = distributed_sort_job(boundaries=[100.0])
+        result = MapReduceEngine(2).run(job, [(0, 10), (1, 2)])
+        assert [k for k, _c in result.output] == [2, 10]

@@ -1,0 +1,163 @@
+"""sendrecv, probe, and communicator splitting; the MPI drug-design solver."""
+
+import pytest
+
+from repro.drugdesign import generate_ligands, solve_mpi, solve_sequential
+from repro.drugdesign.ligands import DEFAULT_PROTEIN
+from repro.mpi import MPIError, mpi_run
+
+
+class TestSendrecv:
+    def test_ring_shift_without_deadlock(self):
+        """Every rank sends right and receives left in one call — the
+        pattern that deadlocks with naive blocking sends on rendezvous
+        implementations."""
+
+        def program(comm):
+            return comm.sendrecv(
+                comm.rank,
+                dest=(comm.rank + 1) % comm.size,
+                source=(comm.rank - 1) % comm.size,
+            )
+
+        results = mpi_run(5, program)
+        assert results == [4, 0, 1, 2, 3]
+
+    def test_exchange_pairs(self):
+        def program(comm):
+            partner = comm.rank ^ 1
+            return comm.sendrecv(f"from {comm.rank}", dest=partner, source=partner)
+
+        results = mpi_run(4, program)
+        assert results == ["from 1", "from 0", "from 3", "from 2"]
+
+
+class TestProbe:
+    def test_probe_sees_pending_message(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1, tag=5)
+                comm.barrier()
+                return None
+            comm.barrier()   # ensure the send happened
+            before = comm.probe(source=0, tag=5)
+            wrong_tag = comm.probe(source=0, tag=6)
+            comm.recv(source=0, tag=5)
+            after = comm.probe(source=0, tag=5)
+            return (before, wrong_tag, after)
+
+        results = mpi_run(2, program)
+        assert results[1] == (True, False, False)
+
+    def test_probe_wildcards(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1, tag=9)
+                comm.barrier()
+                return None
+            comm.barrier()
+            result = comm.probe()
+            comm.recv()
+            return result
+
+        assert mpi_run(2, program)[1] is True
+
+
+class TestSplit:
+    def test_even_odd_split(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size,
+                    sub.allreduce(comm.rank, op=lambda a, b: a + b))
+
+        results = mpi_run(6, program)
+        evens = [r for i, r in enumerate(results) if i % 2 == 0]
+        odds = [r for i, r in enumerate(results) if i % 2 == 1]
+        assert [r[0] for r in evens] == [0, 1, 2]
+        assert all(r[1] == 3 for r in results)
+        assert all(r[2] == 0 + 2 + 4 for r in evens)
+        assert all(r[2] == 1 + 3 + 5 for r in odds)
+
+    def test_split_key_reorders_ranks(self):
+        def program(comm):
+            # Reverse rank order inside the sub-communicator.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        results = mpi_run(4, program)
+        assert results == [3, 2, 1, 0]
+
+    def test_subcomm_point_to_point_isolated_from_world(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            if sub.size >= 2:
+                if sub.rank == 0:
+                    sub.send("subcomm message", dest=1, tag=3)
+                elif sub.rank == 1:
+                    return sub.recv(source=0, tag=3)
+            return None
+
+        results = mpi_run(4, program)
+        # world ranks 2 and 3 are sub-rank 1 of their color groups.
+        assert results[2] == "subcomm message"
+        assert results[3] == "subcomm message"
+
+    def test_subcomm_collectives(self):
+        def program(comm):
+            sub = comm.split(color=0 if comm.rank < 2 else 1)
+            gathered = sub.gather(comm.rank, root=0)
+            return sub.bcast(gathered, root=0)
+
+        results = mpi_run(4, program)
+        assert results[0] == [0, 1] and results[1] == [0, 1]
+        assert results[2] == [2, 3] and results[3] == [2, 3]
+
+    def test_subcomm_barrier(self):
+        def program(comm):
+            sub = comm.split(color=comm.rank % 2)
+            sub.barrier()
+            return True
+
+        assert mpi_run(4, program) == [True] * 4
+
+    def test_nested_split_rejected(self):
+        def program(comm):
+            sub = comm.split(color=0)
+            try:
+                sub.split(color=0)
+            except MPIError:
+                return "rejected"
+            return "allowed"
+
+        assert mpi_run(2, program) == ["rejected", "rejected"]
+
+
+class TestMPIDrugDesign:
+    LIGANDS = generate_ligands(50, 5, seed=500)
+
+    def test_matches_sequential(self):
+        seq = solve_sequential(self.LIGANDS, DEFAULT_PROTEIN)
+        mpi = solve_mpi(self.LIGANDS, DEFAULT_PROTEIN, n_ranks=4)
+        assert mpi.same_answer_as(seq)
+        assert mpi.style == "mpi"
+
+    def test_work_partitioned_across_ranks(self):
+        result = solve_mpi(self.LIGANDS, DEFAULT_PROTEIN, n_ranks=4)
+        assert len(result.per_thread_cells) == 4
+        assert sum(result.per_thread_cells) == result.total_cells
+        # Block distribution: at least two ranks did real work.
+        assert sum(1 for c in result.per_thread_cells if c > 0) >= 2
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    def test_rank_count_invariance(self, n_ranks):
+        seq = solve_sequential(self.LIGANDS, DEFAULT_PROTEIN)
+        assert solve_mpi(self.LIGANDS, DEFAULT_PROTEIN, n_ranks).same_answer_as(seq)
+
+    def test_more_ranks_than_ligands(self):
+        few = self.LIGANDS[:2]
+        seq = solve_sequential(few, DEFAULT_PROTEIN)
+        assert solve_mpi(few, DEFAULT_PROTEIN, n_ranks=4).same_answer_as(seq)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_mpi(self.LIGANDS, DEFAULT_PROTEIN, n_ranks=0)

@@ -1,0 +1,226 @@
+"""Work-sharing loops: schedules, coverage invariants, reductions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openmp import OpenMP, Reduction, Schedule, chunk_iterations
+from repro.openmp.loops import ScheduleKind, run_parallel_for
+
+
+class TestStaticMapping:
+    def test_default_static_contiguous_blocks(self):
+        mapping = chunk_iterations(16, 4, Schedule.static())
+        assert mapping == [
+            list(range(0, 4)), list(range(4, 8)),
+            list(range(8, 12)), list(range(12, 16)),
+        ]
+
+    def test_default_static_uneven(self):
+        mapping = chunk_iterations(10, 4, Schedule.static())
+        assert [len(m) for m in mapping] == [3, 3, 2, 2]
+
+    def test_chunked_round_robin(self):
+        mapping = chunk_iterations(12, 3, Schedule.static(chunk=2))
+        assert mapping[0] == [0, 1, 6, 7]
+        assert mapping[1] == [2, 3, 8, 9]
+        assert mapping[2] == [4, 5, 10, 11]
+
+    def test_chunk_of_three(self):
+        mapping = chunk_iterations(12, 4, Schedule.static(chunk=3))
+        assert mapping == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9, 10, 11]]
+
+    def test_more_threads_than_iterations(self):
+        mapping = chunk_iterations(2, 5, Schedule.static())
+        assert sum(len(m) for m in mapping) == 2
+        assert mapping[2:] == [[], [], []]
+
+    def test_zero_iterations(self):
+        assert chunk_iterations(0, 4, Schedule.static(chunk=2)) == [[], [], [], []]
+
+    def test_dynamic_has_no_static_mapping(self):
+        with pytest.raises(ValueError):
+            chunk_iterations(10, 2, Schedule.dynamic())
+
+    @given(st.integers(0, 300), st.integers(1, 9),
+           st.one_of(st.none(), st.integers(1, 8)))
+    @settings(max_examples=80)
+    def test_coverage_disjointness_monotonicity(self, n, threads, chunk):
+        """The three static-mapping invariants, for all shapes."""
+        mapping = chunk_iterations(n, threads, Schedule.static(chunk=chunk))
+        flat = [i for m in mapping for i in m]
+        assert sorted(flat) == list(range(n))         # coverage, disjointness
+        for m in mapping:
+            assert m == sorted(m)                     # per-thread monotone
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_iterations(-1, 2, Schedule.static())
+        with pytest.raises(ValueError):
+            chunk_iterations(5, 0, Schedule.static())
+        with pytest.raises(ValueError):
+            Schedule.static(chunk=0)
+
+
+class TestRunParallelFor:
+    def test_every_iteration_runs_once_static(self):
+        seen = []
+        import threading
+        lock = threading.Lock()
+
+        def body(i, ctx):
+            with lock:
+                seen.append(i)
+
+        run_parallel_for(OpenMP(4), 50, body, Schedule.static(chunk=3))
+        assert sorted(seen) == list(range(50))
+
+    @pytest.mark.parametrize("schedule", [
+        Schedule.static(), Schedule.static(chunk=1), Schedule.static(chunk=2),
+        Schedule.dynamic(1), Schedule.dynamic(4), Schedule.guided(),
+    ])
+    def test_trace_covers_range_for_all_schedules(self, schedule):
+        _, trace = run_parallel_for(OpenMP(4), 37, lambda i, ctx: None, schedule)
+        assert trace.all_iterations() == list(range(37))
+
+    def test_dynamic_chunks_contiguous_runs(self):
+        _, trace = run_parallel_for(
+            OpenMP(4), 30, lambda i, ctx: None, Schedule.dynamic(chunk=3)
+        )
+        for iterations in trace.per_thread:
+            for start in range(0, len(iterations), 3):
+                chunk = iterations[start : start + 3]
+                assert chunk == list(range(chunk[0], chunk[0] + len(chunk)))
+
+    def test_trace_render(self):
+        _, trace = run_parallel_for(OpenMP(2), 4, lambda i, ctx: None, Schedule.static())
+        text = trace.render()
+        assert "thread 0" in text and "schedule(static)" in text
+
+    def test_zero_iterations(self):
+        result, trace = run_parallel_for(
+            OpenMP(4), 0, lambda i, ctx: None,
+            reduction=Reduction.SUM, value=lambda i: i,
+        )
+        assert result == 0
+        assert trace.all_iterations() == []
+
+    def test_reduction_needs_value(self):
+        with pytest.raises(ValueError):
+            run_parallel_for(OpenMP(2), 5, lambda i, ctx: None, reduction=Reduction.SUM)
+
+
+class TestReductions:
+    @pytest.mark.parametrize("op,values,expected", [
+        (Reduction.SUM, range(100), sum(range(100))),
+        (Reduction.PROD, range(1, 9), math.factorial(8)),
+        (Reduction.MIN, [5, -2, 9, 0], -2),
+        (Reduction.MAX, [5, -2, 9, 0], 9),
+        (Reduction.BOR, [1, 2, 4], 7),
+        (Reduction.BAND, [7, 6, 14], 6),
+        (Reduction.BXOR, [5, 3], 6),
+        (Reduction.LAND, [True, True, False], False),
+        (Reduction.LOR, [False, False, True], True),
+    ])
+    def test_operator_matches_sequential(self, op, values, expected):
+        values = list(values)
+        result, _ = run_parallel_for(
+            OpenMP(4), len(values), lambda i, ctx: None,
+            Schedule.static(), reduction=op, value=lambda i: values[i],
+        )
+        assert result == expected
+        assert op.reduce_iter(values) == expected
+
+    def test_float_reduction_deterministic_across_runs(self):
+        values = [math.sin(i) * 1e-3 for i in range(1000)]
+
+        def run_once():
+            result, _ = run_parallel_for(
+                OpenMP(4), 1000, lambda i, ctx: None,
+                Schedule.static(), reduction=Reduction.SUM,
+                value=lambda i: values[i],
+            )
+            return result
+
+        assert run_once() == run_once()   # bit-identical, partials in thread order
+
+    def test_reduction_identity_on_empty(self):
+        assert Reduction.SUM.combine([]) == 0
+        assert Reduction.PROD.combine([]) == 1
+        assert Reduction.MIN.combine([]) == math.inf
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=0, max_size=60),
+           st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_sum_equals_sequential_property(self, values, threads):
+        result, _ = run_parallel_for(
+            OpenMP(threads), len(values), lambda i, ctx: None,
+            Schedule.dynamic(chunk=2), reduction=Reduction.SUM,
+            value=lambda i: values[i],
+        )
+        assert result == sum(values)
+
+    def test_schedule_str(self):
+        assert str(Schedule.dynamic(2)) == "schedule(dynamic, 2)"
+        assert str(Schedule.static()) == "schedule(static)"
+        assert Schedule.guided().kind is ScheduleKind.GUIDED
+
+
+class TestOrderedRegion:
+    def test_emission_in_iteration_order_under_dynamic(self):
+        from repro.openmp.loops import OrderedRegion
+        emitted = []
+        ordered = OrderedRegion()
+
+        def body(i, ctx):
+            with ordered.turn(i):
+                emitted.append(i)
+
+        run_parallel_for(OpenMP(4), 50, body, Schedule.dynamic(chunk=1))
+        assert emitted == list(range(50))
+
+    def test_emission_in_order_under_chunked_static(self):
+        from repro.openmp.loops import OrderedRegion
+        emitted = []
+        ordered = OrderedRegion()
+
+        def body(i, ctx):
+            with ordered.turn(i):
+                emitted.append(i)
+
+        run_parallel_for(OpenMP(3), 30, body, Schedule.static(chunk=2))
+        assert emitted == list(range(30))
+
+    def test_compute_outside_ordered_is_parallel(self):
+        """Only the ordered part serialises — the pattern's whole point."""
+        from repro.openmp.loops import OrderedRegion
+        import threading
+        workers = set()
+        lock = threading.Lock()
+        ordered = OrderedRegion()
+        emitted = []
+
+        def body(i, ctx):
+            with lock:
+                workers.add(ctx.thread_num)   # parallel part
+            with ordered.turn(i):
+                emitted.append(i)
+
+        # Static schedule: every thread is guaranteed its own iterations.
+        run_parallel_for(OpenMP(4), 60, body, Schedule.static())
+        assert emitted == list(range(60))
+        assert len(workers) == 4   # the loop itself really ran on a team
+
+    def test_done_out_of_order_rejected(self):
+        from repro.openmp.loops import OrderedRegion
+        ordered = OrderedRegion()
+        with pytest.raises(RuntimeError, match="out of order"):
+            ordered.done(3)
+
+    def test_wait_turn_timeout(self):
+        from repro.openmp.loops import OrderedRegion
+        ordered = OrderedRegion()
+        with pytest.raises(TimeoutError):
+            ordered.wait_turn(5, timeout=0.05)

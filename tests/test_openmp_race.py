@@ -1,0 +1,139 @@
+"""The data-race detector: soundness on seeded races, silence on safe code."""
+
+import pytest
+
+from repro.openmp import OpenMP, RaceDetector, RaceError, Shared
+
+
+class TestDetection:
+    def test_unsynchronised_rmw_detected(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+
+        def body(ctx):
+            for _ in range(20):
+                x.write(x.read(ctx) + 1, ctx)
+
+        OpenMP(4).parallel(body)
+        assert detector.has_race()
+        races = detector.races(limit=10)
+        assert len(races) == 10
+        assert all(r.first.variable == "x" for r in races)
+
+    def test_write_write_race_detected(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+        OpenMP(2).parallel(lambda ctx: x.write(ctx.thread_num, ctx))
+        assert detector.has_race()
+
+    def test_read_only_sharing_is_safe(self):
+        detector = RaceDetector()
+        x = Shared(42, "x", detector)
+        OpenMP(4).parallel(lambda ctx: x.read(ctx))
+        assert not detector.has_race()
+
+    def test_single_thread_never_races(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+
+        def body(ctx):
+            for _ in range(50):
+                x.write(x.read(ctx) + 1, ctx)
+
+        OpenMP(1).parallel(body)
+        assert not detector.has_race()
+
+    def test_common_lock_suppresses_race(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+
+        def body(ctx):
+            with ctx.critical("guard"):
+                with detector.holding(ctx, "guard"):
+                    x.write(x.read(ctx) + 1, ctx)
+
+        OpenMP(4).parallel(body)
+        assert not detector.has_race()
+
+    def test_different_locks_still_race(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+
+        def body(ctx):
+            name = f"lock-{ctx.thread_num}"   # disjoint locks: no protection
+            with ctx.critical(name):
+                with detector.holding(ctx, name):
+                    x.write(x.read(ctx) + 1, ctx)
+
+        OpenMP(4).parallel(body)
+        assert detector.has_race()
+
+    def test_epoch_separation_suppresses_race(self):
+        """Accesses separated by a barrier (epoch advance) do not race."""
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+
+        def body(ctx):
+            if ctx.thread_num == 0:
+                x.write(1, ctx)
+            ctx.barrier()
+            ctx.single(lambda: detector.advance_epoch())
+            if ctx.thread_num == 1:
+                x.write(2, ctx)
+
+        OpenMP(2).parallel(body)
+        assert not detector.has_race()
+
+    def test_distinct_variables_do_not_interfere(self):
+        detector = RaceDetector()
+        a = Shared(0, "a", detector)
+        b = Shared(0, "b", detector)
+
+        def body(ctx):
+            if ctx.thread_num == 0:
+                a.write(1, ctx)
+            else:
+                b.write(1, ctx)
+
+        OpenMP(2).parallel(body)
+        assert not detector.has_race()
+
+
+class TestReporting:
+    def test_check_raises_race_error(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+        OpenMP(2).parallel(lambda ctx: x.write(1, ctx))
+        with pytest.raises(RaceError) as excinfo:
+            detector.check()
+        assert "data race" in str(excinfo.value)
+
+    def test_race_str_names_threads(self):
+        detector = RaceDetector()
+        x = Shared(0, "hot", detector)
+        OpenMP(2).parallel(lambda ctx: x.write(1, ctx))
+        text = str(detector.races(limit=1)[0])
+        assert "'hot'" in text and "threads" in text
+
+    def test_reset_clears_state(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+        OpenMP(2).parallel(lambda ctx: x.write(1, ctx))
+        detector.reset()
+        assert not detector.has_race()
+
+    def test_limit_bounds_enumeration(self):
+        detector = RaceDetector()
+        x = Shared(0, "x", detector)
+
+        def body(ctx):
+            for _ in range(100):
+                x.write(x.read(ctx) + 1, ctx)
+
+        OpenMP(4).parallel(body)
+        assert len(detector.races(limit=5)) == 5
+
+    def test_shared_value_peek(self):
+        detector = RaceDetector()
+        x = Shared(7, "x", detector)
+        assert x.value == 7

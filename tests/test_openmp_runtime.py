@@ -1,0 +1,198 @@
+"""The fork-join runtime: regions, contexts, sync constructs, errors."""
+
+import threading
+
+import pytest
+
+from repro.openmp import AtomicCounter, OpenMP, ParallelError, SharedArray
+
+
+class TestParallelRegion:
+    def test_results_in_thread_order(self):
+        results = OpenMP(4).parallel(lambda ctx: ctx.thread_num)
+        assert results == [0, 1, 2, 3]
+
+    def test_num_threads_visible(self):
+        results = OpenMP(3).parallel(lambda ctx: ctx.num_threads)
+        assert results == [3, 3, 3]
+
+    def test_override_num_threads(self):
+        results = OpenMP(2).parallel(lambda ctx: ctx.thread_num, num_threads=6)
+        assert len(results) == 6
+
+    def test_single_thread_region(self):
+        assert OpenMP(1).parallel(lambda ctx: "solo") == ["solo"]
+
+    def test_runs_on_real_threads(self):
+        names = OpenMP(4).parallel(lambda ctx: threading.current_thread().name)
+        assert len(set(names)) == 4
+        assert all(n.startswith("omp-worker-") for n in names)
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            OpenMP(0)
+        with pytest.raises(ValueError):
+            OpenMP(2).parallel(lambda ctx: None, num_threads=-1)
+
+
+class TestErrorPropagation:
+    def test_exception_surfaces_as_parallel_error(self):
+        def body(ctx):
+            if ctx.thread_num == 1:
+                raise ValueError("boom")
+            return ctx.thread_num
+
+        with pytest.raises(ParallelError) as excinfo:
+            OpenMP(4).parallel(body)
+        tids = [tid for tid, _ in excinfo.value.failures]
+        assert 1 in tids
+        assert any(isinstance(e, ValueError) for _, e in excinfo.value.failures)
+
+    def test_failure_aborts_siblings_at_barrier(self):
+        """A failing thread must not deadlock siblings waiting at a barrier."""
+        def body(ctx):
+            if ctx.thread_num == 0:
+                raise RuntimeError("dead before the barrier")
+            ctx.barrier()   # would hang forever without abort
+
+        with pytest.raises(ParallelError):
+            OpenMP(4).parallel(body)
+
+    def test_real_exception_preferred_over_barrier_abort(self):
+        def body(ctx):
+            if ctx.thread_num == 2:
+                raise KeyError("primary")
+            ctx.barrier()
+
+        with pytest.raises(ParallelError) as excinfo:
+            OpenMP(4).parallel(body)
+        assert isinstance(excinfo.value.failures[0][1], KeyError)
+
+
+class TestBarrier:
+    def test_barrier_orders_phases(self):
+        log = []
+        lock = threading.Lock()
+
+        def body(ctx):
+            with lock:
+                log.append(("pre", ctx.thread_num))
+            ctx.barrier()
+            with lock:
+                log.append(("post", ctx.thread_num))
+
+        OpenMP(4).parallel(body)
+        first_post = next(i for i, (phase, _) in enumerate(log) if phase == "post")
+        assert all(phase == "pre" for phase, _ in log[:first_post])
+        assert sum(1 for phase, _ in log if phase == "pre") == 4
+
+    def test_multiple_barriers_reusable(self):
+        counter = AtomicCounter()
+
+        def body(ctx):
+            for _ in range(3):
+                counter.add(1)
+                ctx.barrier()
+
+        OpenMP(4).parallel(body)
+        assert counter.value == 12
+
+
+class TestCritical:
+    def test_critical_serialises(self):
+        data = {"value": 0}
+
+        def body(ctx):
+            for _ in range(500):
+                with ctx.critical():
+                    data["value"] += 1
+
+        OpenMP(4).parallel(body)
+        assert data["value"] == 2000
+
+    def test_named_criticals_are_distinct_locks(self):
+        """Different names may interleave; same name must not."""
+        region = OpenMP(2)
+        order = []
+        lock = threading.Lock()
+
+        def body(ctx):
+            name = "same"
+            with ctx.critical(name):
+                with lock:
+                    order.append(("enter", ctx.thread_num))
+                with lock:
+                    order.append(("exit", ctx.thread_num))
+
+        region.parallel(body)
+        # enters and exits must pair up without interleaving for one name
+        for i in range(0, len(order), 2):
+            assert order[i][1] == order[i + 1][1]
+
+
+class TestSingleAndMaster:
+    def test_single_runs_once(self):
+        counter = AtomicCounter()
+        OpenMP(4).parallel(lambda ctx: ctx.single(lambda: counter.add(1)))
+        assert counter.value == 1
+
+    def test_single_returns_value_on_executor_only(self):
+        results = OpenMP(4).parallel(lambda ctx: ctx.single(lambda: "ran"))
+        assert results.count("ran") == 1
+        assert results.count(None) == 3
+
+    def test_consecutive_singles_each_run_once(self):
+        counter = AtomicCounter()
+
+        def body(ctx):
+            ctx.single(lambda: counter.add(1), name="first")
+            ctx.single(lambda: counter.add(10), name="second")
+
+        OpenMP(4).parallel(body)
+        assert counter.value == 11
+
+    def test_master_is_thread_zero(self):
+        results = OpenMP(4).parallel(lambda ctx: ctx.master(lambda: "chief"))
+        assert results[0] == "chief"
+        assert results[1:] == [None, None, None]
+
+
+class TestSections:
+    def test_each_section_runs_once_in_order(self):
+        sections = [lambda ctx, i=i: i * 10 for i in range(7)]
+        assert OpenMP(3).parallel_sections(sections) == [0, 10, 20, 30, 40, 50, 60]
+
+    def test_empty_sections(self):
+        assert OpenMP(3).parallel_sections([]) == []
+
+
+class TestSharedState:
+    def test_atomic_counter_fetch_add(self):
+        counter = AtomicCounter(5)
+        assert counter.fetch_add(3) == 5
+        assert counter.value == 8
+
+    def test_atomic_counter_under_contention(self):
+        counter = AtomicCounter()
+        OpenMP(8).parallel(lambda ctx: [counter.add(1) for _ in range(1000)])
+        assert counter.value == 8000
+
+    def test_shared_array_locked_accumulate(self):
+        array = SharedArray(4, locked=True)
+        OpenMP(4).parallel(
+            lambda ctx: [array.accumulate(ctx.thread_num % 4, 1.0) for _ in range(100)]
+        )
+        assert sum(array.snapshot()) == 400.0
+
+    def test_shared_array_bounds(self):
+        array = SharedArray(3)
+        assert len(array) == 3
+        with pytest.raises(ValueError):
+            SharedArray(-1)
+
+    def test_shared_array_fill_from(self):
+        array = SharedArray(3)
+        array.fill_from([1.0, 2.0, 3.0])
+        assert list(array) == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            array.fill_from([1.0])

@@ -1,0 +1,209 @@
+"""OpenMP tasks (task/taskwait) and the lock API."""
+
+import threading
+
+import pytest
+
+from repro.openmp import OMPLock, OMPNestLock, OpenMP, ParallelError, TaskGroup
+from repro.openmp.locks import LockError
+
+
+class TestTaskGroup:
+    def test_fib_tree(self):
+        group = TaskGroup(OpenMP(4))
+
+        def fib(n):
+            if n < 2:
+                return n
+            a = group.submit(fib, n - 1)
+            b = fib(n - 2)
+            return a.result() + b
+
+        assert group.run(fib, 15) == 610
+
+    def test_deep_task_tree_does_not_overflow(self):
+        """Targeted helping keeps the stack bounded by tree depth, not
+        task count — fib(20) spawns ~10k tasks."""
+        group = TaskGroup(OpenMP(4))
+
+        def fib(n):
+            if n < 2:
+                return n
+            a = group.submit(fib, n - 1)
+            return a.result() + fib(n - 2)
+
+        assert group.run(fib, 20) == 6765
+
+    def test_flat_fan_out(self):
+        group = TaskGroup(OpenMP(4))
+
+        def root():
+            handles = [group.submit(lambda i=i: i * i, ) for i in range(50)]
+            return sum(h.result() for h in handles)
+
+        assert group.run(root) == sum(i * i for i in range(50))
+
+    def test_taskwait_drains_everything(self):
+        group = TaskGroup(OpenMP(2))
+        counter = []
+        lock = threading.Lock()
+
+        def root():
+            for i in range(30):
+                group.submit(lambda i=i: counter.append(i) or True)
+            group.taskwait()
+            return len(counter)
+
+        assert group.run(root) == 30
+        assert sorted(counter) == list(range(30))
+
+    def test_single_thread_runtime(self):
+        group = TaskGroup(OpenMP(1))
+
+        def root():
+            h = group.submit(lambda: 42)
+            return h.result()
+
+        assert group.run(root) == 42
+
+    def test_task_exception_propagates_to_parent(self):
+        group = TaskGroup(OpenMP(2))
+
+        def root():
+            h = group.submit(lambda: 1 / 0)
+            return h.result()
+
+        with pytest.raises(ParallelError) as excinfo:
+            group.run(root)
+        assert isinstance(excinfo.value.failures[0][1], ZeroDivisionError)
+
+    def test_failed_root_still_shuts_down_workers(self):
+        """Workers must exit even when root raises (regression: a dead
+        master used to leave workers spinning until the join timeout)."""
+        group = TaskGroup(OpenMP(4))
+
+        def root():
+            raise RuntimeError("root dies")
+
+        with pytest.raises(ParallelError):
+            group.run(root)
+
+    def test_done_flag(self):
+        group = TaskGroup(OpenMP(2))
+
+        def root():
+            h = group.submit(lambda: "x")
+            value = h.result()
+            return (value, h.done())
+
+        assert group.run(root) == ("x", True)
+
+    def test_results_from_workers_are_real_parallel_work(self):
+        group = TaskGroup(OpenMP(4))
+        thread_names = set()
+        lock = threading.Lock()
+
+        def task():
+            with lock:
+                thread_names.add(threading.current_thread().name)
+            return 1
+
+        def root():
+            handles = [group.submit(task) for _ in range(200)]
+            return sum(h.result() for h in handles)
+
+        assert group.run(root) == 200
+        # At least the master participated; usually workers too.
+        assert thread_names
+
+
+class TestOMPLock:
+    def test_mutual_exclusion(self):
+        lock = OMPLock()
+        shared = {"value": 0}
+
+        def body(ctx):
+            for _ in range(300):
+                lock.set()
+                try:
+                    shared["value"] += 1
+                finally:
+                    lock.unset()
+
+        OpenMP(4).parallel(body)
+        assert shared["value"] == 1200
+
+    def test_self_deadlock_detected(self):
+        lock = OMPLock()
+        lock.set()
+        with pytest.raises(LockError, match="deadlock"):
+            lock.set()
+        lock.unset()
+
+    def test_unset_unheld_rejected(self):
+        lock = OMPLock()
+        with pytest.raises(LockError):
+            lock.unset()
+
+    def test_test_lock(self):
+        lock = OMPLock()
+        assert lock.test() is True          # acquired
+        assert lock.test() is False         # already held by us
+        lock.unset()
+        assert lock.test() is True
+        lock.unset()
+
+    def test_test_from_other_thread_fails_while_held(self):
+        lock = OMPLock()
+        lock.set()
+        results = []
+
+        def other():
+            results.append(lock.test())
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert results == [False]
+        lock.unset()
+
+    def test_context_manager(self):
+        lock = OMPLock()
+        with lock:
+            pass
+        with lock:   # reusable
+            pass
+
+
+class TestOMPNestLock:
+    def test_recursive_acquisition(self):
+        lock = OMPNestLock()
+        assert lock.set() == 1
+        assert lock.set() == 2
+        assert lock.unset() == 1
+        assert lock.unset() == 0
+
+    def test_unset_unheld_rejected(self):
+        with pytest.raises(LockError):
+            OMPNestLock().unset()
+
+    def test_nested_context_managers(self):
+        lock = OMPNestLock()
+        with lock:
+            with lock:
+                with lock:
+                    pass
+
+    def test_exclusion_between_threads(self):
+        lock = OMPNestLock()
+        log = []
+
+        def body(ctx):
+            with lock:
+                with lock:   # recursive inner acquire
+                    log.append(("in", ctx.thread_num))
+                    log.append(("out", ctx.thread_num))
+
+        OpenMP(4).parallel(body)
+        for i in range(0, len(log), 2):
+            assert log[i][1] == log[i + 1][1]   # no interleaving

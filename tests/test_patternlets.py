@@ -1,0 +1,175 @@
+"""The Assignment 2-4 patternlets."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patternlets import (
+    run_barrier_demo,
+    run_equal_chunks,
+    run_fork_join,
+    run_master_worker,
+    run_race_demo,
+    run_reduction_loop,
+    run_scheduling_demo,
+    run_spmd,
+    trapezoid_parallel,
+    trapezoid_sequential,
+)
+
+
+class TestForkJoinAndSPMD:
+    def test_fork_join_structure(self):
+        demo = run_fork_join(num_threads=4)
+        assert len(demo.during) == 4
+        assert "Before" in demo.before and "After" in demo.after
+        rendered = demo.render().splitlines()
+        assert rendered[0] == demo.before and rendered[-1] == demo.after
+
+    def test_fork_join_thread_identities(self):
+        demo = run_fork_join(num_threads=3)
+        for tid, line in enumerate(demo.during):
+            assert f"thread {tid} of 3" in line
+
+    def test_spmd_all_threads_report(self):
+        demo = run_spmd(num_threads=5)
+        assert demo.thread_ids == (0, 1, 2, 3, 4)
+        assert all("Hello from thread" in g for g in demo.greetings)
+
+
+class TestRaceDemo:
+    def test_racy_variant_detected_but_safe_variants_clean(self):
+        demo = run_race_demo(num_threads=4, increments_per_thread=100)
+        assert demo.racy_races_detected > 0
+        assert demo.private_races_detected == 0
+        assert demo.critical_races_detected == 0
+
+    def test_safe_variants_get_correct_totals(self):
+        demo = run_race_demo(num_threads=4, increments_per_thread=100)
+        assert demo.private_total == demo.expected_total == 400
+        assert demo.critical_total == demo.expected_total
+
+    def test_render_mentions_all_variants(self):
+        text = run_race_demo(2, 10).render()
+        assert "unsynchronised" in text and "critical" in text
+
+
+class TestLoopPatternlets:
+    def test_equal_chunks_contiguous_ownership(self):
+        demo = run_equal_chunks(num_threads=4, n_iterations=16)
+        assert demo.values == tuple(float(i * i) for i in range(16))
+        bounds = demo.chunk_bounds()
+        assert bounds == [(0, 3), (4, 7), (8, 11), (12, 15)]
+
+    def test_equal_chunks_every_slot_owned(self):
+        demo = run_equal_chunks(num_threads=3, n_iterations=10)
+        assert all(owner >= 0 for owner in demo.owner)
+
+    def test_scheduling_demo_covers_all_variants(self):
+        demo = run_scheduling_demo(num_threads=4, n_iterations=12)
+        assert set(demo.traces) == {
+            "static,1", "static,2", "static,3",
+            "dynamic,1", "dynamic,2", "dynamic,3",
+        }
+        for trace in demo.traces.values():
+            assert trace.all_iterations() == list(range(12))
+
+    def test_scheduling_demo_static_chunk_pattern(self):
+        demo = run_scheduling_demo(num_threads=4, n_iterations=12)
+        assert demo.traces["static,1"].per_thread[0] == [0, 4, 8]
+        assert demo.traces["static,3"].per_thread[1] == [3, 4, 5]
+
+    def test_scheduling_costs_present(self):
+        demo = run_scheduling_demo(num_threads=4, n_iterations=12)
+        assert set(demo.costs) == set(demo.traces)
+        assert all(c.elapsed_us > 0 for c in demo.costs.values())
+
+    def test_scheduling_rejects_cost_mismatch(self):
+        with pytest.raises(ValueError):
+            run_scheduling_demo(n_iterations=12, iteration_costs=[1.0] * 5)
+
+    def test_reduction_loop_matches_sequential(self):
+        demo = run_reduction_loop(num_threads=4, n=800)
+        assert demo.reduction_matches_sequential
+        assert demo.sequential_sum == sum(range(800))
+        assert demo.naive_races_detected > 0
+
+
+class TestTrapezoid:
+    def test_sequential_accuracy(self):
+        result = trapezoid_sequential(math.sin, 0.0, math.pi, 10_000)
+        assert result.error_against(2.0) < 1e-6
+
+    def test_parallel_matches_sequential(self):
+        seq = trapezoid_sequential(math.sin, 0.0, math.pi, 4096)
+        par = trapezoid_parallel(math.sin, 0.0, math.pi, 4096, num_threads=4)
+        assert par.value == pytest.approx(seq.value, rel=1e-12)
+
+    def test_parallel_deterministic(self):
+        a = trapezoid_parallel(math.exp, 0.0, 1.0, 2048, num_threads=4)
+        b = trapezoid_parallel(math.exp, 0.0, 1.0, 2048, num_threads=4)
+        assert a.value == b.value
+
+    def test_known_integral_of_polynomial(self):
+        result = trapezoid_parallel(lambda x: x * x, 0.0, 3.0, 1 << 14)
+        assert result.value == pytest.approx(9.0, rel=1e-6)
+
+    @given(st.integers(1, 6), st.integers(64, 1024))
+    @settings(max_examples=15, deadline=None)
+    def test_thread_count_does_not_change_result(self, threads, n):
+        base = trapezoid_sequential(math.cos, 0.0, 1.0, n)
+        par = trapezoid_parallel(math.cos, 0.0, 1.0, n, num_threads=threads)
+        assert par.value == pytest.approx(base.value, rel=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trapezoid_sequential(math.sin, 1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            trapezoid_parallel(math.sin, 0.0, 1.0, 0)
+
+
+class TestBarrierDemo:
+    def test_barrier_respected(self):
+        demo = run_barrier_demo(num_threads=6)
+        assert demo.barrier_respected
+        assert len(demo.events) == 12
+
+    def test_render(self):
+        assert "barrier" in run_barrier_demo(2).render()
+
+
+class TestMasterWorker:
+    def test_results_in_task_order(self):
+        demo = run_master_worker(list(range(30)), lambda x: x + 100, num_threads=4)
+        assert demo.results == tuple(x + 100 for x in range(30))
+
+    def test_master_does_no_tasks(self):
+        demo = run_master_worker(list(range(30)), lambda x: x, num_threads=4)
+        assert demo.master_did_no_tasks
+        assert sum(demo.tasks_by_thread) == 30
+
+    def test_single_thread_degenerate(self):
+        demo = run_master_worker([1, 2, 3], lambda x: -x, num_threads=1)
+        assert demo.results == (-1, -2, -3)
+        assert demo.tasks_by_thread == (3,)
+
+    def test_uneven_work_still_complete(self):
+        import time
+
+        def slow_odd(x):
+            if x % 2:
+                time.sleep(0.001)
+            return x * 2
+
+        demo = run_master_worker(list(range(20)), slow_odd, num_threads=3)
+        assert demo.results == tuple(2 * x for x in range(20))
+
+    def test_empty_tasks(self):
+        demo = run_master_worker([], lambda x: x, num_threads=4)
+        assert demo.results == ()
+
+    def test_render_names_roles(self):
+        text = run_master_worker([1, 2], lambda x: x, num_threads=2).render()
+        assert "master" in text and "worker" in text

@@ -1,0 +1,124 @@
+"""The cache model: geometry, LRU, and the canonical locality shapes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rpi.cache import Cache, CacheConfig, L1D, L2, MemoryHierarchy
+
+
+class TestGeometry:
+    def test_l1_shape(self):
+        assert L1D.n_sets == 32 * 1024 // (64 * 4)
+
+    def test_power_of_two_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=4)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=0, ways=4)
+
+    def test_cache_smaller_than_set_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, line_bytes=64, ways=4)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(L1D)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True    # same 64-byte line
+        assert cache.access(64) is False   # next line
+
+    def test_lru_eviction(self):
+        config = CacheConfig(size_bytes=256, line_bytes=64, ways=2)  # 2 sets
+        cache = Cache(config)
+        # Three lines mapping to set 0: lines 0, 2, 4 (addresses 0, 128, 256).
+        cache.access(0)
+        cache.access(128)
+        cache.access(256)     # evicts line 0 (LRU)
+        assert cache.access(0) is False    # was evicted
+        assert cache.access(256) is True   # still resident
+
+    def test_lru_refresh_on_hit(self):
+        config = CacheConfig(size_bytes=256, line_bytes=64, ways=2)
+        cache = Cache(config)
+        cache.access(0)
+        cache.access(128)
+        cache.access(0)       # refresh line 0
+        cache.access(256)     # evicts line 2 (now LRU), not line 0
+        assert cache.access(0) is True
+
+    def test_stats(self):
+        cache = Cache(L1D)
+        cache.access(0)
+        cache.access(0)
+        cache.access(4096)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_reset(self):
+        cache = Cache(L1D)
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(L1D).access(-1)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_immediate_rereference_always_hits(self, addresses):
+        cache = Cache(L1D)
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address) is True
+
+
+class TestHierarchyShapes:
+    def test_sequential_beats_column_major(self):
+        h = MemoryHierarchy()
+        row = h.run_trace(h.row_major_trace(128, 128))
+        h.reset()
+        col = h.run_trace(h.column_major_trace(128, 128))
+        assert row < col
+
+    def test_stride_sweep_degrades_hit_rate(self):
+        rates = []
+        for stride in (8, 16, 32, 64):
+            h = MemoryHierarchy()
+            h.run_trace(h.strided_trace(1 << 16, stride))
+            rates.append(h.l1.stats.hit_rate)
+        assert rates == sorted(rates, reverse=True)
+        assert rates[-1] == 0.0    # stride == line size: every access misses
+
+    def test_working_set_staircase(self):
+        """Fits in L1 -> ~L1 latency; fits L2 -> ~L2; else ~DRAM."""
+        costs = {}
+        for kib in (16, 256, 2048):
+            h = MemoryHierarchy()
+            trace = list(h.strided_trace(kib * 1024, 64))
+            h.run_trace(trace)              # warm
+            costs[kib] = h.run_trace(trace) / len(trace)
+        assert costs[16] == pytest.approx(4.0)
+        assert costs[256] == pytest.approx(20.0)
+        assert costs[2048] == pytest.approx(150.0)
+
+    def test_access_returns_level_latency(self):
+        h = MemoryHierarchy()
+        assert h.access(0) == h.dram_cycles   # cold: both levels miss
+        assert h.access(0) == h.l1_cycles     # now resident
+
+    def test_l2_catches_l1_evictions(self):
+        h = MemoryHierarchy()
+        # Touch 64 KiB (2x L1, well within L2), then re-touch the start.
+        trace = list(h.strided_trace(64 * 1024, 64))
+        h.run_trace(trace)
+        assert h.access(0) == h.l2_cycles
+
+    def test_strided_trace_validation(self):
+        with pytest.raises(ValueError):
+            list(MemoryHierarchy.strided_trace(100, 0))

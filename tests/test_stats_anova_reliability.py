@@ -1,0 +1,144 @@
+"""One-way ANOVA and Cronbach's alpha vs scipy/pingouin-style references."""
+
+import numpy as np
+import pytest
+import scipy.stats as scipy_stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.anova import f_sf, one_way_anova
+from repro.stats.reliability import alpha_interpretation, cronbach_alpha
+
+rng = np.random.default_rng(12)
+
+
+class TestFDistribution:
+    def test_sf_against_scipy(self):
+        for f, dfn, dfd in [(1.0, 2, 10), (3.5, 4, 100), (0.2, 1, 5),
+                            (10.0, 6, 117), (2.63, 1, 123)]:
+            assert f_sf(f, dfn, dfd) == pytest.approx(
+                scipy_stats.f.sf(f, dfn, dfd), rel=1e-10
+            )
+
+    def test_boundaries(self):
+        assert f_sf(0.0, 2, 10) == 1.0
+        assert f_sf(-1.0, 2, 10) == 1.0
+
+    def test_f_equals_t_squared(self):
+        """F(1, d) at t^2 gives the two-sided t p-value."""
+        from repro.stats.distributions import t_sf
+        t = 2.1
+        assert f_sf(t * t, 1, 50) == pytest.approx(2 * t_sf(t, 50), rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            f_sf(1.0, 0, 5)
+
+
+class TestAnova:
+    GROUPS = [list(rng.normal(4.0, 0.3, 20)),
+              list(rng.normal(4.2, 0.3, 25)),
+              list(rng.normal(3.9, 0.3, 18))]
+
+    def test_against_scipy(self):
+        ours = one_way_anova(self.GROUPS)
+        ref = scipy_stats.f_oneway(*self.GROUPS)
+        assert ours.f == pytest.approx(ref.statistic, rel=1e-10)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-8)
+
+    def test_degrees_of_freedom(self):
+        result = one_way_anova(self.GROUPS)
+        assert result.df_between == 2
+        assert result.df_within == 20 + 25 + 18 - 3
+
+    def test_identical_groups_f_near_zero(self):
+        base = list(rng.normal(4.0, 0.5, 30))
+        result = one_way_anova([base, list(base), list(base)])
+        assert result.f == pytest.approx(0.0, abs=1e-10)
+        assert not result.significant()
+
+    def test_separated_groups_significant(self):
+        groups = [[1.0, 1.1, 0.9, 1.05], [5.0, 5.1, 4.9, 5.05]]
+        result = one_way_anova(groups)
+        assert result.significant(0.001)
+        assert result.eta_squared > 0.9
+
+    def test_eta_squared_bounds(self):
+        result = one_way_anova(self.GROUPS)
+        assert 0.0 <= result.eta_squared <= 1.0
+
+    def test_two_group_anova_matches_pooled_ttest(self):
+        """F = t^2 for two groups."""
+        from repro.stats.ttest import ttest_independent
+        a, b = self.GROUPS[0], self.GROUPS[1]
+        anova = one_way_anova([a, b])
+        t = ttest_independent(a, b)
+        assert anova.f == pytest.approx(t.t**2, rel=1e-9)
+        assert anova.p_value == pytest.approx(t.p_value, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0], [2.0, 3.0]])
+        with pytest.raises(ValueError):
+            one_way_anova([[1.0, 1.0], [1.0, 1.0]])
+
+    @given(st.lists(st.lists(st.floats(-10, 10), min_size=2, max_size=10),
+                    min_size=2, max_size=5))
+    @settings(max_examples=30)
+    def test_f_nonnegative(self, groups):
+        flat = [x for g in groups for x in g]
+        if len(set(flat)) < 2:
+            return
+        try:
+            result = one_way_anova(groups)
+        except ValueError:
+            return  # zero within-group variance
+        assert result.f >= 0.0
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestCronbach:
+    def test_known_value(self):
+        """Hand-checkable 3-item example."""
+        items = [[1.0, 2, 3, 4, 5], [1.0, 2, 3, 4, 5], [1.0, 2, 3, 4, 5]]
+        # Perfectly parallel items: alpha = 1.
+        assert cronbach_alpha(items).alpha == pytest.approx(1.0)
+
+    def test_uncorrelated_items_low_alpha(self):
+        items = [list(rng.normal(0, 1, 200)) for _ in range(4)]
+        assert cronbach_alpha(items).alpha < 0.3
+
+    def test_common_factor_raises_alpha(self):
+        factor = rng.normal(0, 1, 200)
+        items = [list(factor + rng.normal(0, 0.5, 200)) for _ in range(5)]
+        result = cronbach_alpha(items)
+        assert result.alpha > 0.8
+        assert result.interpretation in ("good", "excellent")
+
+    def test_matches_covariance_formula(self):
+        items = [list(rng.normal(0, 1, 50) + rng.normal(0, 1, 50)) for _ in range(3)]
+        data = np.array(items)
+        k = 3
+        total_var = np.var(data.sum(axis=0), ddof=1)
+        item_vars = np.var(data, axis=1, ddof=1).sum()
+        expected = k / (k - 1) * (1 - item_vars / total_var)
+        assert cronbach_alpha(items).alpha == pytest.approx(expected, rel=1e-10)
+
+    @pytest.mark.parametrize("alpha,label", [
+        (0.95, "excellent"), (0.85, "good"), (0.75, "acceptable"),
+        (0.65, "questionable"), (0.55, "poor"), (0.3, "unacceptable"),
+    ])
+    def test_interpretation_bands(self, alpha, label):
+        assert alpha_interpretation(alpha) == label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cronbach_alpha([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            cronbach_alpha([[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            cronbach_alpha([[1.0, 2.0], [1.0]])
+        with pytest.raises(ValueError):
+            cronbach_alpha([[1.0, 1.0], [2.0, 2.0]])  # constant total

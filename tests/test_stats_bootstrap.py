@@ -1,0 +1,99 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    bootstrap_ci,
+    bootstrap_paired_ci,
+    cohens_d_paper,
+    pearson,
+)
+
+rng = np.random.default_rng(9)
+X = rng.normal(4.0, 0.25, 124)
+Y = 0.6 * X + rng.normal(1.6, 0.2, 124)
+
+
+class TestBootstrapCI:
+    def test_estimate_is_plugin_statistic(self):
+        ci = bootstrap_ci(X, np.mean, seed=1)
+        assert ci.estimate == pytest.approx(float(np.mean(X)))
+
+    def test_interval_brackets_estimate(self):
+        ci = bootstrap_ci(X, np.mean, seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_deterministic_for_seed(self):
+        a = bootstrap_ci(X, np.mean, seed=7)
+        b = bootstrap_ci(X, np.mean, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+        c = bootstrap_ci(X, np.mean, seed=8)
+        assert (a.low, a.high) != (c.low, c.high)
+
+    def test_wider_at_higher_level(self):
+        ci95 = bootstrap_ci(X, np.mean, level=0.95, seed=1)
+        ci99 = bootstrap_ci(X, np.mean, level=0.99, seed=1)
+        assert ci99.width > ci95.width
+
+    def test_narrows_with_sample_size(self):
+        small = bootstrap_ci(X[:20], np.mean, seed=1)
+        large = bootstrap_ci(X, np.mean, seed=1)
+        assert large.width < small.width
+
+    def test_sd_statistic(self):
+        ci = bootstrap_ci(X, lambda xs: float(np.std(xs, ddof=1)), seed=1)
+        assert ci.contains(float(np.std(X, ddof=1)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(X, np.mean, level=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci(X, np.mean, n_resamples=10)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean)
+
+    @given(st.lists(st.floats(-10, 10), min_size=5, max_size=40))
+    @settings(max_examples=15, deadline=None)
+    def test_coverage_shape_property(self, xs):
+        if len(set(xs)) < 2:
+            return
+        ci = bootstrap_ci(xs, np.mean, n_resamples=200, seed=0)
+        assert ci.low <= ci.high
+        assert min(xs) <= ci.low and ci.high <= max(xs)
+
+
+class TestPairedBootstrap:
+    def test_cohens_d_interval(self):
+        second = X + 0.1 + rng.normal(0, 0.05, 124)
+        ci = bootstrap_paired_ci(
+            X, second,
+            lambda a, b: cohens_d_paper(list(a), list(b)).d,
+            seed=2,
+        )
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.low > 0   # a real positive effect stays positive
+
+    def test_correlation_interval_preserves_pairing(self):
+        ci = bootstrap_paired_ci(
+            X, Y, lambda a, b: pearson(list(a), list(b)).r, seed=2,
+        )
+        true_r = pearson(list(X), list(Y)).r
+        assert ci.contains(true_r)
+        assert ci.low > 0.3    # a strong correlation never bootstraps near 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_paired_ci(X[:10], Y[:9], lambda a, b: 0.0)
+
+    def test_deterministic(self):
+        stat = lambda a, b: float(np.mean(b) - np.mean(a))
+        one = bootstrap_paired_ci(X, Y, stat, seed=4)
+        two = bootstrap_paired_ci(X, Y, stat, seed=4)
+        assert (one.low, one.high) == (two.low, two.high)
+
+    def test_str(self):
+        ci = bootstrap_ci(X, np.mean, seed=1)
+        assert "bootstrap" in str(ci)

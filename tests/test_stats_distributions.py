@@ -1,0 +1,138 @@
+"""Distribution functions vs scipy and vs their own identities."""
+
+import math
+
+import pytest
+import scipy.stats as scipy_stats
+import scipy.special as scipy_special
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    betainc,
+    betaln,
+    erf,
+    erfc,
+    normal_cdf,
+    normal_ppf,
+    normal_sf,
+    t_cdf,
+    t_ppf,
+    t_sf,
+)
+
+
+class TestErf:
+    def test_known_values(self):
+        assert erf(0.0) == 0.0
+        assert erf(1.0) == pytest.approx(0.8427007929497149, abs=1e-12)
+        assert erfc(0.0) == 1.0
+
+    def test_odd_symmetry(self):
+        for x in (0.1, 0.7, 2.3):
+            assert erf(-x) == pytest.approx(-erf(x), abs=1e-15)
+
+    @given(st.floats(-6, 6))
+    def test_erf_plus_erfc_is_one(self, x):
+        assert erf(x) + erfc(x) == pytest.approx(1.0, abs=1e-12)
+
+
+class TestBetainc:
+    def test_boundaries(self):
+        assert betainc(2.0, 3.0, 0.0) == 0.0
+        assert betainc(2.0, 3.0, 1.0) == 1.0
+
+    def test_against_scipy(self):
+        for a, b, x in [(0.5, 0.5, 0.3), (2, 5, 0.7), (61.5, 0.5, 0.9),
+                        (10, 10, 0.5), (1, 1, 0.25), (100, 3, 0.98)]:
+            assert betainc(a, b, x) == pytest.approx(
+                scipy_special.betainc(a, b, x), rel=1e-10
+            )
+
+    def test_symmetry_identity(self):
+        # I_x(a, b) = 1 - I_{1-x}(b, a)
+        assert betainc(3.0, 7.0, 0.4) == pytest.approx(
+            1.0 - betainc(7.0, 3.0, 0.6), abs=1e-12
+        )
+
+    def test_betaln_against_scipy(self):
+        assert betaln(4.5, 2.5) == pytest.approx(scipy_special.betaln(4.5, 2.5), rel=1e-12)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            betainc(-1.0, 2.0, 0.5)
+        with pytest.raises(ValueError):
+            betainc(1.0, 2.0, 1.5)
+        with pytest.raises(ValueError):
+            betaln(0.0, 1.0)
+
+
+class TestNormal:
+    def test_cdf_against_scipy(self):
+        for x in (-3.2, -1.0, 0.0, 0.5, 2.7):
+            assert normal_cdf(x) == pytest.approx(scipy_stats.norm.cdf(x), abs=1e-13)
+            assert normal_sf(x) == pytest.approx(scipy_stats.norm.sf(x), abs=1e-13)
+
+    def test_loc_scale(self):
+        assert normal_cdf(7.0, loc=5.0, scale=2.0) == pytest.approx(
+            scipy_stats.norm.cdf(7.0, 5.0, 2.0), abs=1e-13
+        )
+
+    def test_ppf_against_scipy(self):
+        for p in (0.001, 0.025, 0.3, 0.5, 0.8, 0.975, 0.999):
+            assert normal_ppf(p) == pytest.approx(scipy_stats.norm.ppf(p), abs=1e-10)
+
+    def test_ppf_extremes(self):
+        assert normal_ppf(0.0) == -math.inf
+        assert normal_ppf(1.0) == math.inf
+
+    @given(st.floats(0.001, 0.999))
+    @settings(max_examples=50)
+    def test_ppf_inverts_cdf(self, p):
+        assert normal_cdf(normal_ppf(p)) == pytest.approx(p, abs=1e-10)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, scale=0.0)
+        with pytest.raises(ValueError):
+            normal_ppf(1.5)
+
+
+class TestStudentT:
+    def test_cdf_against_scipy(self):
+        for t, df in [(0.0, 5), (1.5, 123), (-2.63, 123), (5.11, 123),
+                      (0.7, 1), (3.0, 2), (-10.0, 30)]:
+            assert t_cdf(t, df) == pytest.approx(scipy_stats.t.cdf(t, df), abs=1e-12)
+            assert t_sf(t, df) == pytest.approx(scipy_stats.t.sf(t, df), abs=1e-12)
+
+    def test_symmetry(self):
+        assert t_cdf(-1.7, 9) == pytest.approx(1.0 - t_cdf(1.7, 9), abs=1e-14)
+
+    def test_median_is_zero(self):
+        assert t_cdf(0.0, 42) == 0.5
+
+    def test_ppf_against_scipy(self):
+        for p, df in [(0.975, 123), (0.05, 10), (0.5, 7), (0.999, 3)]:
+            assert t_ppf(p, df) == pytest.approx(scipy_stats.t.ppf(p, df), abs=1e-9)
+
+    def test_ppf_extremes(self):
+        assert t_ppf(0.0, 5) == -math.inf
+        assert t_ppf(1.0, 5) == math.inf
+
+    @given(st.floats(0.01, 0.99), st.integers(2, 200))
+    @settings(max_examples=40)
+    def test_ppf_inverts_cdf(self, p, df):
+        assert t_cdf(t_ppf(p, df), df) == pytest.approx(p, abs=1e-9)
+
+    def test_heavy_tails_vs_normal(self):
+        # t has heavier tails: P(T > 2) > P(Z > 2) for small df.
+        assert t_sf(2.0, 3) > normal_sf(2.0)
+
+    def test_converges_to_normal(self):
+        assert t_cdf(1.3, 100000) == pytest.approx(normal_cdf(1.3), abs=1e-5)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            t_cdf(1.0, 0)
+        with pytest.raises(ValueError):
+            t_ppf(0.5, -1)

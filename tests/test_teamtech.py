@@ -1,0 +1,208 @@
+"""Teamwork technologies: Slack, GitHub, Docs, YouTube simulators."""
+
+import pytest
+
+from repro.teamtech import (
+    CollaborativeDoc,
+    Repository,
+    Video,
+    VideoChannel,
+    VideoError,
+    Workspace,
+)
+from repro.teamtech.github import MergeConflict
+from repro.teamtech.youtube import REQUIRED_POINTS, Segment
+
+
+class TestSlack:
+    def _workspace(self):
+        ws = Workspace(team_id="T1")
+        ws.create_channel("general", {"alice", "bob"})
+        return ws
+
+    def test_post_and_order(self):
+        ws = self._workspace()
+        ws.post("general", "alice", "hi")
+        ws.post("general", "bob", "hello")
+        messages = ws.channels["general"].messages
+        assert [m.author for m in messages] == ["alice", "bob"]
+        assert messages[0].timestamp < messages[1].timestamp
+
+    def test_non_member_cannot_post(self):
+        ws = self._workspace()
+        with pytest.raises(PermissionError):
+            ws.post("general", "eve", "intruding")
+
+    def test_threads(self):
+        ws = self._workspace()
+        root = ws.post("general", "alice", "topic")
+        ws.post("general", "bob", "reply", thread_of=root.timestamp)
+        thread = ws.channels["general"].thread(root.timestamp)
+        assert [m.text for m in thread] == ["topic", "reply"]
+
+    def test_thread_on_missing_message(self):
+        ws = self._workspace()
+        with pytest.raises(ValueError):
+            ws.post("general", "alice", "reply", thread_of=999)
+
+    def test_duplicate_channel_rejected(self):
+        ws = self._workspace()
+        with pytest.raises(ValueError):
+            ws.create_channel("general", {"alice"})
+
+    def test_activity_stream(self):
+        ws = self._workspace()
+        ws.post("general", "alice", "one")
+        ws.post("general", "alice", "two")
+        ws.post("general", "bob", "three")
+        assert ws.activity_by_member() == {"alice": 2, "bob": 1}
+
+
+class TestGitHub:
+    def _repo(self):
+        repo = Repository(name="team-pbl")
+        repo.commit("main", "alice", "init", {"README.md": "v1"})
+        return repo
+
+    def test_commit_history_and_tree(self):
+        repo = self._repo()
+        repo.commit("main", "bob", "add code", {"main.c": "int main(){}"})
+        tree = repo.files_at("main")
+        assert tree == {"README.md": "v1", "main.c": "int main(){}"}
+
+    def test_branch_and_merge(self):
+        repo = self._repo()
+        repo.create_branch("feature")
+        repo.commit("feature", "bob", "feature work", {"feature.c": "x"})
+        pr = repo.open_pull_request("feature", "bob", "Add feature")
+        repo.merge(pr, approver="alice")
+        assert pr.merged
+        assert "feature.c" in repo.files_at("main")
+
+    def test_self_approval_forbidden(self):
+        repo = self._repo()
+        repo.create_branch("b")
+        repo.commit("b", "bob", "w", {"f": "1"})
+        pr = repo.open_pull_request("b", "bob", "t")
+        with pytest.raises(PermissionError):
+            repo.merge(pr, approver="bob")
+
+    def test_conflicting_merge_detected(self):
+        repo = self._repo()
+        repo.create_branch("b")
+        repo.commit("b", "bob", "branch edit", {"README.md": "branch version"})
+        repo.commit("main", "alice", "main edit", {"README.md": "main version"})
+        pr = repo.open_pull_request("b", "bob", "conflict")
+        with pytest.raises(MergeConflict):
+            repo.merge(pr, approver="alice")
+
+    def test_same_change_both_sides_merges(self):
+        repo = self._repo()
+        repo.create_branch("b")
+        repo.commit("b", "bob", "same", {"README.md": "v2"})
+        repo.commit("main", "alice", "same", {"README.md": "v2"})
+        pr = repo.open_pull_request("b", "bob", "no conflict")
+        repo.merge(pr, approver="alice")
+        assert repo.files_at("main")["README.md"] == "v2"
+
+    def test_empty_commit_rejected(self):
+        with pytest.raises(ValueError):
+            self._repo().commit("main", "a", "msg", {})
+
+    def test_commit_message_required(self):
+        with pytest.raises(ValueError):
+            self._repo().commit("main", "a", "  ", {"f": "x"})
+
+    def test_pr_from_main_rejected(self):
+        with pytest.raises(ValueError):
+            self._repo().open_pull_request("main", "a", "t")
+
+    def test_commits_by_author(self):
+        repo = self._repo()
+        repo.commit("main", "bob", "1", {"a": "1"})
+        repo.commit("main", "bob", "2", {"b": "2"})
+        assert repo.commits_by_author() == {"alice": 1, "bob": 2}
+
+
+class TestDocs:
+    def test_sections_merge_cleanly(self):
+        doc = CollaborativeDoc(title="report")
+        doc.edit("alice", "intro", "We built...")
+        doc.edit("bob", "results", "It works.")
+        assert doc.conflicts == []
+        assert "## intro" in doc.text() and "## results" in doc.text()
+
+    def test_concurrent_same_section_flagged(self):
+        doc = CollaborativeDoc(title="report")
+        base = doc.head
+        doc.edit("alice", "intro", "alice's intro", based_on=base)
+        doc.edit("bob", "intro", "bob's intro", based_on=base)  # stale base
+        assert len(doc.conflicts) == 1
+        assert doc.sections["intro"] == "bob's intro"   # newest wins text
+
+    def test_sequential_same_section_no_conflict(self):
+        doc = CollaborativeDoc(title="report")
+        doc.edit("alice", "intro", "v1")
+        doc.edit("bob", "intro", "v2")   # based on head: a normal rewrite
+        assert doc.conflicts == []
+
+    def test_bad_base_rejected(self):
+        doc = CollaborativeDoc(title="r")
+        with pytest.raises(ValueError):
+            doc.edit("a", "s", "t", based_on=5)
+
+    def test_edits_by_author(self):
+        doc = CollaborativeDoc(title="r")
+        doc.edit("a", "s1", "x")
+        doc.edit("a", "s2", "y")
+        assert doc.edits_by_author() == {"a": 2}
+
+
+class TestYouTube:
+    def _video(self, members, minutes_each=1.5, points=REQUIRED_POINTS):
+        return Video(
+            title="A1", assignment_number=1,
+            segments=tuple(
+                Segment(speaker=m, minutes=minutes_each, points_covered=points)
+                for m in members
+            ),
+        )
+
+    def test_valid_video_uploads(self):
+        members = ["a", "b", "c", "d"]
+        channel = VideoChannel(team_id="T1")
+        channel.upload(self._video(members), members)
+        assert channel.appearances() == {m: 1 for m in members}
+
+    def test_too_short_rejected(self):
+        members = ["a", "b"]
+        with pytest.raises(VideoError, match="min"):
+            self._video(members, minutes_each=1.0).validate(members)
+
+    def test_too_long_rejected(self):
+        members = ["a", "b", "c", "d"]
+        with pytest.raises(VideoError):
+            self._video(members, minutes_each=3.0).validate(members)
+
+    def test_missing_member_rejected(self):
+        members = ["a", "b", "c", "d"]
+        video = self._video(["a", "b", "c"], minutes_each=2.0)
+        with pytest.raises(VideoError, match="missing"):
+            video.validate(members)
+
+    def test_missing_required_points_rejected(self):
+        members = ["a", "b", "c", "d"]
+        video = self._video(members, points=REQUIRED_POINTS[:2])
+        with pytest.raises(VideoError, match="misses"):
+            video.validate(members)
+
+    def test_duplicate_assignment_video_rejected(self):
+        members = ["a", "b", "c", "d"]
+        channel = VideoChannel(team_id="T1")
+        channel.upload(self._video(members), members)
+        with pytest.raises(VideoError, match="already"):
+            channel.upload(self._video(members), members)
+
+    def test_zero_duration_segment_rejected(self):
+        with pytest.raises(VideoError):
+            Segment(speaker="a", minutes=0.0, points_covered=REQUIRED_POINTS)

@@ -1,0 +1,108 @@
+"""Repository automation: workflows, checks, branch protection."""
+
+import pytest
+
+from repro.teamtech import AutomatedRepository, Check, Trigger, Workflow
+from repro.teamtech.github import Repository
+from repro.teamtech.workflows import report_checks
+
+
+def make_repo() -> AutomatedRepository:
+    auto = AutomatedRepository(repo=Repository(name="team"))
+    auto.repo.commit("main", "alice", "init", {"README.md": "team repo"})
+    return auto
+
+
+class TestWorkflows:
+    def test_commit_trigger_fires(self):
+        auto = make_repo()
+        auto.register(Workflow("lint", Trigger.ON_COMMIT, report_checks()))
+        _commit, runs = auto.commit("main", "bob", "add report",
+                                    {"report.md": "content"})
+        assert len(runs) == 1
+        assert runs[0].passed
+
+    def test_pr_trigger_fires(self):
+        auto = make_repo()
+        auto.register(Workflow("ci", Trigger.ON_PULL_REQUEST, report_checks()))
+        auto.repo.create_branch("a1")
+        auto.repo.commit("a1", "bob", "report", {"report.md": "done"})
+        pr, runs = auto.open_pull_request("a1", "bob", "A1")
+        assert runs[0].passed
+        assert runs[0].ref == f"PR #{pr.pr_id}"
+
+    def test_failing_check_blocks_merge(self):
+        auto = make_repo()
+        auto.register(Workflow("ci", Trigger.ON_PULL_REQUEST, report_checks()))
+        auto.repo.create_branch("a1")
+        auto.repo.commit("a1", "bob", "placeholder", {"report.md": "   "})
+        pr, runs = auto.open_pull_request("a1", "bob", "A1")
+        assert not runs[0].passed
+        assert "no-empty-files" in runs[0].failed_checks()
+        with pytest.raises(PermissionError, match="checks failed"):
+            auto.merge(pr, "alice")
+
+    def test_fixed_branch_merges(self):
+        auto = make_repo()
+        auto.register(Workflow("ci", Trigger.ON_PULL_REQUEST, report_checks()))
+        auto.repo.create_branch("a1")
+        auto.repo.commit("a1", "bob", "bad", {"report.md": ""})
+        pr, _ = auto.open_pull_request("a1", "bob", "v1")
+        auto.repo.commit("a1", "bob", "good", {"report.md": "real content"})
+        pr2, runs = auto.open_pull_request("a1", "bob", "v2")
+        assert runs[0].passed
+        auto.merge(pr2, "alice")
+        assert pr2.merged
+
+    def test_unprotected_main_merges_anything(self):
+        auto = make_repo()
+        auto.protect_main = False
+        auto.register(Workflow("ci", Trigger.ON_PULL_REQUEST, report_checks()))
+        auto.repo.create_branch("a1")
+        auto.repo.commit("a1", "bob", "bad", {"report.md": ""})
+        pr, _ = auto.open_pull_request("a1", "bob", "A1")
+        auto.merge(pr, "alice")   # no protection: allowed
+        assert pr.merged
+
+    def test_merge_without_run_blocked(self):
+        auto = make_repo()
+        auto.register(Workflow("ci", Trigger.ON_PULL_REQUEST, report_checks()))
+        # Open the PR directly on the inner repo, bypassing automation.
+        auto.repo.create_branch("a1")
+        auto.repo.commit("a1", "bob", "x", {"f.md": "x"})
+        pr = auto.repo.open_pull_request("a1", "bob", "sneaky")
+        with pytest.raises(PermissionError, match="no workflow run"):
+            auto.merge(pr, "alice")
+
+    def test_latest_run_for(self):
+        auto = make_repo()
+        auto.register(Workflow("ci", Trigger.ON_COMMIT, report_checks()))
+        auto.commit("main", "a", "1", {"report.md": "v1"})
+        auto.commit("main", "a", "2", {"report.md": "v2"})
+        run = auto.latest_run_for("main")
+        assert run is not None and run.passed
+        assert auto.latest_run_for("nonexistent") is None
+
+    def test_duplicate_workflow_rejected(self):
+        auto = make_repo()
+        auto.register(Workflow("ci", Trigger.ON_COMMIT, report_checks()))
+        with pytest.raises(ValueError):
+            auto.register(Workflow("ci", Trigger.ON_COMMIT, report_checks()))
+
+    def test_workflow_validation(self):
+        with pytest.raises(ValueError):
+            Workflow("empty", Trigger.ON_COMMIT, ())
+        dup = (Check("x", lambda t: True), Check("x", lambda t: True))
+        with pytest.raises(ValueError):
+            Workflow("dup", Trigger.ON_COMMIT, dup)
+
+    def test_custom_check_sees_tree(self):
+        auto = make_repo()
+        has_code = Check("has-code", lambda tree: any(
+            path.endswith(".c") for path in tree
+        ))
+        auto.register(Workflow("code", Trigger.ON_COMMIT, (has_code,)))
+        _c, runs = auto.commit("main", "bob", "docs only", {"notes.md": "x"})
+        assert not runs[0].passed
+        _c, runs = auto.commit("main", "bob", "code", {"spmd.c": "int main;"})
+        assert runs[0].passed
