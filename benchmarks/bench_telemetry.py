@@ -1,0 +1,86 @@
+"""Telemetry cost: the disabled path must be invisible, the enabled
+path affordable.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): a traced fork-join region still completes in the same order of
+magnitude as an untraced one, hot-path span creation stays in the
+single-digit-microsecond range, and a full MapReduce job under
+telemetry produces one span per task attempt — the trace pays for
+itself by *counting* the work, so the count must be exact.
+"""
+
+import pytest
+
+from repro import telemetry
+from repro.mapreduce.engine import MapReduceEngine, TaskFailure
+from repro.mapreduce.jobs import word_count_job
+from repro.openmp.runtime import OpenMP
+from repro.telemetry.spans import Tracer
+
+_DOCS = [(i, "alpha beta gamma delta " * 8) for i in range(8)]
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _fork_join_region() -> int:
+    omp = OpenMP(num_threads=4)
+    hits = []
+
+    def body(ctx) -> None:
+        hits.append(ctx.thread_num)
+        ctx.barrier()
+
+    omp.parallel(body)
+    return len(hits)
+
+
+def test_fork_join_disabled_telemetry(benchmark):
+    """Baseline: the single `is None` branch per hook is all we pay."""
+    assert not telemetry.is_enabled()
+    hits = benchmark(_fork_join_region)
+    assert hits == 4
+
+
+def test_fork_join_enabled_telemetry(benchmark):
+    """Tracing on: spans for the region, each thread, and the barrier."""
+    with telemetry.session() as session:
+        hits = benchmark(_fork_join_region)
+    assert hits == 4
+    names = {s.name for s in session.tracer.spans}
+    assert {"omp.parallel", "omp.thread", "omp.barrier"} <= names
+
+
+def test_span_hot_path(benchmark):
+    """Raw span enter/exit on a live tracer — the per-event floor."""
+    tracer = Tracer()
+
+    def one_span() -> None:
+        with tracer.span("hot"):
+            pass
+
+    benchmark(one_span)
+    assert tracer.spans
+
+
+def test_mapreduce_span_count_is_exact(benchmark):
+    """A traced job emits exactly one task span per successful attempt
+    plus one job + one shuffle span; retries add spans, not guesses."""
+    failures = [TaskFailure("map", 0, 0)]
+
+    def traced_job():
+        with telemetry.session() as session:
+            result = MapReduceEngine(n_workers=4, failures=list(failures)).run(
+                word_count_job(n_reduce_tasks=4), list(_DOCS))
+        return session, result
+
+    session, result = benchmark(traced_job)
+    task_spans = [s for s in session.tracer.spans
+                  if s.name in ("mr.map.task", "mr.reduce.task")]
+    assert len(task_spans) == len(_DOCS) + 4        # successful attempts
+    assert result.retries == 1
+    assert len(session.tracer.events_named("mr.retry")) == 1

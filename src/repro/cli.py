@@ -14,6 +14,10 @@ Commands
   markdown (exit code reflects whether everything is within tolerance).
 - ``timeline`` — print the Fig. 1 semester schedule.
 - ``quiz <n>`` — print quiz *n* with its auto-graded answers.
+- ``trace <workload> [--out trace.json] [--jsonl events.jsonl]`` — run a
+  workload under telemetry and export a Chrome ``trace_event`` file
+  (open it in ``chrome://tracing`` or https://ui.perfetto.dev;
+  ``--list`` shows the workloads).
 """
 
 from __future__ import annotations
@@ -87,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     quiz = sub.add_parser("quiz", help="print a quiz with answers")
     quiz.add_argument("number", type=int, choices=range(1, 6))
+
+    trace = sub.add_parser(
+        "trace", help="run a workload under telemetry, export a Chrome trace")
+    trace.add_argument("workload", nargs="?", default=None)
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event output path (default trace.json)")
+    trace.add_argument("--jsonl", default=None,
+                       help="also write flat JSON-lines records here")
+    trace.add_argument("--threads", type=int, default=4,
+                       help="team size / worker count / rank count")
+    trace.add_argument("--list", action="store_true", dest="list_names")
 
     return parser
 
@@ -186,6 +201,37 @@ def _cmd_quiz(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.telemetry.workloads import run_workload, workload_names
+
+    if args.list_names or args.workload is None:
+        print("available workloads: " + ", ".join(workload_names()))
+        return 0
+    if args.threads < 1:
+        print(f"--threads must be >= 1, got {args.threads}")
+        return 2
+    try:
+        with telemetry.session() as session:
+            summary = run_workload(args.workload, threads=args.threads)
+    except KeyError:
+        print(f"unknown workload {args.workload!r}; try --list")
+        return 2
+    session.write_chrome_trace(args.out)
+    tracer = session.tracer
+    processes = sorted({span.process for span in tracer.spans})
+    print(summary)
+    print(
+        f"wrote {args.out}: {len(tracer.spans)} spans, "
+        f"{len(tracer.events)} events from {', '.join(processes)}"
+    )
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    if args.jsonl:
+        n_records = session.write_jsonl(args.jsonl)
+        print(f"wrote {args.jsonl}: {n_records} records")
+    return 0
+
+
 _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "study": _cmd_study,
@@ -194,6 +240,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "timeline": _cmd_timeline,
     "quiz": _cmd_quiz,
+    "trace": _cmd_trace,
 }
 
 

@@ -1,0 +1,37 @@
+"""Process-wide runtime knobs resolved from the environment.
+
+One rule for every blocking runtime (OpenMP joins, MPI deadlock
+detection): an explicit constructor argument wins, else the
+``REPRO_TIMEOUT_S`` environment variable, else the runtime's
+compiled-in default.  Slow CI machines raise the ceiling with one
+exported variable instead of editing source.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["REPRO_TIMEOUT_ENV", "resolve_timeout_s"]
+
+#: Environment override for every runtime's deadlock/join ceiling.
+REPRO_TIMEOUT_ENV = "REPRO_TIMEOUT_S"
+
+
+def resolve_timeout_s(explicit: float | None, default: float) -> float:
+    """Resolve a timeout: ``explicit`` > ``$REPRO_TIMEOUT_S`` > ``default``."""
+    if explicit is not None:
+        if explicit <= 0:
+            raise ValueError(f"timeout must be > 0, got {explicit}")
+        return float(explicit)
+    raw = os.environ.get(REPRO_TIMEOUT_ENV)
+    if raw is not None and raw.strip():
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{REPRO_TIMEOUT_ENV}={raw!r} is not a number"
+            ) from None
+        if value <= 0:
+            raise ValueError(f"{REPRO_TIMEOUT_ENV} must be > 0, got {value}")
+        return value
+    return float(default)

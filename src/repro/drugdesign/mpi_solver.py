@@ -11,9 +11,10 @@ global winner is found with an allreduce over (score, ligands) pairs.
 
 from __future__ import annotations
 
-from repro.drugdesign.scoring import dp_cells, lcs_score
-from repro.drugdesign.solvers import DrugDesignResult
+from repro.drugdesign.scoring import dp_cells
+from repro.drugdesign.solvers import DrugDesignResult, score_ligand
 from repro.mpi.comm import Communicator, mpi_run
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["solve_mpi"]
 
@@ -48,16 +49,20 @@ def solve_mpi(ligands: list[str], protein: str, n_ranks: int = 4) -> DrugDesignR
 
         local_best: tuple[int, tuple[str, ...]] = (0, ())
         local_cells = 0
-        for ligand in mine:
-            score = lcs_score(ligand, protein)
-            local_cells += dp_cells(ligand, protein)
-            local_best = _merge(local_best, (score, (ligand,)))
+        with telemetry.span("dd.rank_block", category="solver",
+                            rank=comm.rank, block_size=len(mine)):
+            for ligand in mine:
+                score = score_ligand(ligand, protein)
+                local_cells += dp_cells(ligand, protein)
+                local_best = _merge(local_best, (score, (ligand,)))
 
         global_best = comm.allreduce(local_best, op=_merge)
         cells = comm.allgather(local_cells)
         return global_best, cells
 
-    results = mpi_run(n_ranks, program)
+    with telemetry.span("dd.solve", category="solver", style="mpi",
+                        n_ranks=n_ranks):
+        results = mpi_run(n_ranks, program)
     (max_score, best), cells = results[0]
     if not ligands:
         max_score, best = 0, ()

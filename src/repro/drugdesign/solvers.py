@@ -15,6 +15,7 @@ work is distributed:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 from repro.drugdesign.scoring import dp_cells, lcs_score
@@ -22,13 +23,34 @@ from repro.openmp.loops import Schedule, run_parallel_for
 from repro.openmp.reduction import Reduction
 from repro.openmp.runtime import OpenMP
 from repro.openmp.sync import AtomicCounter
+from repro.telemetry import instrument as telemetry
 
 __all__ = [
     "DrugDesignResult",
+    "score_ligand",
     "solve_sequential",
     "solve_openmp",
     "solve_cxx11_threads",
 ]
+
+
+def score_ligand(ligand: str, protein: str) -> int:
+    """Score one ligand, with per-ligand timing when telemetry is on.
+
+    The per-ligand span is what makes load imbalance *visible*: ligand
+    costs scale with length², so a trace of a static schedule shows some
+    threads dragging long spans while others idle — the assignment's
+    schedule lesson, straight from the timeline view.
+    """
+    if not telemetry.enabled():
+        return lcs_score(ligand, protein)
+    start = time.perf_counter()
+    with telemetry.span("dd.score", category="ligand",
+                        ligand=ligand, length=len(ligand)):
+        score = lcs_score(ligand, protein)
+    telemetry.observe_us("dd.ligand_us", (time.perf_counter() - start) * 1e6)
+    telemetry.inc("dd.ligands_scored")
+    return score
 
 
 @dataclass(frozen=True)
@@ -59,7 +81,8 @@ def _best(scored: list[tuple[int, str]]) -> tuple[int, tuple[str, ...]]:
 
 def solve_sequential(ligands: list[str], protein: str) -> DrugDesignResult:
     """One thread, one loop."""
-    scored = [(lcs_score(lig, protein), lig) for lig in ligands]
+    with telemetry.span("dd.solve", category="solver", style="sequential"):
+        scored = [(score_ligand(lig, protein), lig) for lig in ligands]
     max_score, best = _best(scored)
     cells = sum(dp_cells(lig, protein) for lig in ligands)
     return DrugDesignResult(
@@ -89,15 +112,17 @@ def solve_openmp(
     cells = [0] * num_threads
 
     def body(i: int, ctx) -> None:
-        score = lcs_score(ligands[i], protein)
+        score = score_ligand(ligands[i], protein)
         candidates[ctx.thread_num].append((score, ligands[i]))
         cells[ctx.thread_num] += dp_cells(ligands[i], protein)
 
-    run_parallel_for(
-        omp, len(ligands), body,
-        schedule or Schedule.dynamic(chunk=1),   # the exemplar uses dynamic:
-        # ligand costs vary with length, so static would load-imbalance.
-    )
+    with telemetry.span("dd.solve", category="solver", style="openmp",
+                        num_threads=num_threads):
+        run_parallel_for(
+            omp, len(ligands), body,
+            schedule or Schedule.dynamic(chunk=1),   # the exemplar uses dynamic:
+            # ligand costs vary with length, so static would load-imbalance.
+        )
     scored = [pair for lane in candidates for pair in lane]
     max_score, best = _best(scored)
     return DrugDesignResult(
@@ -118,23 +143,32 @@ def solve_cxx11_threads(
     candidates: list[list[tuple[int, str]]] = [[] for _ in range(num_threads)]
     cells = [0] * num_threads
 
-    def worker(tid: int) -> None:
-        while True:
-            i = counter.fetch_add(1)
-            if i >= len(ligands):
-                break
-            score = lcs_score(ligands[i], protein)
-            candidates[tid].append((score, ligands[i]))
-            cells[tid] += dp_cells(ligands[i], protein)
+    solver_id: int | None = None
 
-    threads = [
-        threading.Thread(target=worker, args=(tid,), name=f"dd-worker-{tid}")
-        for tid in range(num_threads)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    def worker(tid: int) -> None:
+        telemetry.set_thread(tid, f"dd-worker-{tid}", process="drugdesign")
+        with telemetry.span("dd.worker", category="solver",
+                            parent_id=solver_id, thread=tid):
+            while True:
+                i = counter.fetch_add(1)
+                if i >= len(ligands):
+                    break
+                score = score_ligand(ligands[i], protein)
+                candidates[tid].append((score, ligands[i]))
+                cells[tid] += dp_cells(ligands[i], protein)
+
+    with telemetry.span("dd.solve", category="solver", style="cxx11_threads",
+                        num_threads=num_threads) as solver_span:
+        if solver_span is not None:
+            solver_id = solver_span.span_id
+        threads = [
+            threading.Thread(target=worker, args=(tid,), name=f"dd-worker-{tid}")
+            for tid in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
     scored = [pair for lane in candidates for pair in lane]
     max_score, best = _best(scored)
     return DrugDesignResult(

@@ -7,7 +7,9 @@ Execution model (a faithful miniature of the Google paper's):
 2. each map task applies ``mapper(key, value) -> [(k2, v2), ...]``;
 3. an optional ``combiner`` pre-reduces each map task's output locally;
 4. intermediate pairs are hash-partitioned into R reduce buckets
-   (``partition(k2) = hash(k2) % R``) and each bucket is sorted by key;
+   (``partition(k2) = stable_partition(k2) % R`` — a process-stable
+   hash, so bucket assignment is identical run-to-run regardless of
+   ``PYTHONHASHSEED``) and each bucket is sorted by key;
 5. each reduce task applies ``reducer(k2, [v2, ...]) -> value`` per key;
 6. the job output is the union of reduce outputs, sorted by key —
    deterministic regardless of worker scheduling.
@@ -23,12 +25,22 @@ and asserting the output is unchanged).
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
-__all__ = ["MapReduceSpec", "TaskFailure", "JobResult", "MapReduceEngine", "sort_key"]
+from repro.telemetry import instrument as telemetry
+
+__all__ = [
+    "MapReduceSpec",
+    "TaskFailure",
+    "JobResult",
+    "MapReduceEngine",
+    "sort_key",
+    "stable_partition",
+]
 
 Pair = tuple[Hashable, Any]
 
@@ -40,6 +52,20 @@ def sort_key(key: Hashable) -> tuple:
     if isinstance(key, bool) or not isinstance(key, (int, float)):
         return (1, 0, repr(key))
     return (0, key, "")
+
+
+def stable_partition(key: Hashable) -> int:
+    """Process-stable partition hash (the default partitioner).
+
+    Built-in ``hash`` is salted per process for strings
+    (``PYTHONHASHSEED``), which made bucket assignment — and therefore
+    per-task counters and traces — differ run to run.  Hashing the
+    :func:`sort_key` canonical form through CRC-32 is identical across
+    processes, interpreters, and platforms, so the same key always lands
+    in the same reduce bucket.
+    """
+    canonical = repr(sort_key(key)).encode("utf-8", "backslashreplace")
+    return zlib.crc32(canonical)
 
 
 @dataclass(frozen=True)
@@ -127,22 +153,46 @@ class MapReduceEngine:
             self._attempt_counts[(phase, index)] += 1
             return attempt
 
-    def _run_task(self, phase: str, index: int, fn: Callable[[], Any]) -> Any:
+    def _run_task(
+        self,
+        phase: str,
+        index: int,
+        fn: Callable[[], Any],
+        parent_id: int | None = None,
+    ) -> Any:
         last_error: BaseException | None = None
         for _ in range(self.max_attempts):
             attempt = self._attempt(phase, index)
+            if attempt > 0:
+                # A retry: the previous attempt of this task died.
+                telemetry.instant("mr.retry", phase=phase, task=index,
+                                  attempt=attempt)
+                telemetry.inc("mr.retries")
+                telemetry.counter_event("mr.retries", self._retry_total())
             if (phase, index, attempt) in self._failures:
+                telemetry.instant("mr.task.killed", phase=phase, task=index,
+                                  attempt=attempt)
+                telemetry.inc("mr.tasks.killed")
                 last_error = _InjectedWorkerDeath(
                     f"{phase} task {index} attempt {attempt} killed"
                 )
                 continue
+            telemetry.ensure_thread("mapreduce")
             try:
-                return fn()
+                with telemetry.span(f"mr.{phase}.task", category="task",
+                                    parent_id=parent_id, task=index,
+                                    attempt=attempt):
+                    return fn()
             except _InjectedWorkerDeath as exc:  # pragma: no cover - defensive
                 last_error = exc
         raise RuntimeError(
             f"{phase} task {index} failed after {self.max_attempts} attempts"
         ) from last_error
+
+    def _retry_total(self) -> int:
+        """Retries so far (attempts beyond the first, across all tasks)."""
+        with self._attempt_lock:
+            return sum(max(0, c - 1) for c in self._attempt_counts.values())
 
     @staticmethod
     def _apply_combiner(
@@ -183,39 +233,58 @@ class MapReduceEngine:
                 out.extend(spec.mapper(k, v))
             return self._apply_combiner(spec, out)
 
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            map_futures = [
-                pool.submit(self._run_task, "map", i, lambda s=split: map_task(s))
-                for i, split in enumerate(splits)
-            ]
-            map_outputs = [f.result() for f in map_futures]
+        job_cm = telemetry.span("mr.job", category="job", job=spec.name,
+                                n_map_tasks=m,
+                                n_reduce_tasks=spec.n_reduce_tasks,
+                                records=len(records))
+        with job_cm as job_span:
+            job_id = job_span.span_id if job_span is not None else None
+            with ThreadPoolExecutor(max_workers=self.n_workers,
+                                    thread_name_prefix="mr-worker") as pool:
+                map_futures = [
+                    pool.submit(self._run_task, "map", i,
+                                lambda s=split: map_task(s), job_id)
+                    for i, split in enumerate(splits)
+                ]
+                map_outputs = [f.result() for f in map_futures]
 
-        # Shuffle: hash-partition and sort each reduce bucket by key.
-        buckets: list[dict[Hashable, list[Any]]] = [
-            defaultdict(list) for _ in range(spec.n_reduce_tasks)
-        ]
-        intermediate = 0
-        for output in map_outputs:
-            for k, v in output:
-                if spec.partitioner is not None:
-                    bucket_index = spec.partitioner(k) % spec.n_reduce_tasks
-                else:
-                    bucket_index = hash(k) % spec.n_reduce_tasks
-                buckets[bucket_index][k].append(v)
-                intermediate += 1
-
-        def reduce_task(bucket: dict[Hashable, list[Any]]) -> list[Pair]:
-            return [
-                (k, spec.reducer(k, bucket[k]))
-                for k in sorted(bucket, key=sort_key)
+            # Shuffle: hash-partition and sort each reduce bucket by key.
+            buckets: list[dict[Hashable, list[Any]]] = [
+                defaultdict(list) for _ in range(spec.n_reduce_tasks)
             ]
+            intermediate = 0
+            with telemetry.span("mr.shuffle", category="shuffle",
+                                parent_id=job_id):
+                for output in map_outputs:
+                    for k, v in output:
+                        if spec.partitioner is not None:
+                            bucket_index = spec.partitioner(k) % spec.n_reduce_tasks
+                        else:
+                            bucket_index = stable_partition(k) % spec.n_reduce_tasks
+                        buckets[bucket_index][k].append(v)
+                        intermediate += 1
+            if telemetry.enabled():
+                telemetry.inc("mr.shuffle.pairs", intermediate)
+                telemetry.counter_event("mr.shuffle.pairs", intermediate)
+                for r, bucket in enumerate(buckets):
+                    telemetry.counter_event(
+                        "mr.shuffle.bucket_keys", len(bucket), series=f"r{r}"
+                    )
 
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            reduce_futures = [
-                pool.submit(self._run_task, "reduce", r, lambda b=bucket: reduce_task(b))
-                for r, bucket in enumerate(buckets)
-            ]
-            reduce_outputs = [f.result() for f in reduce_futures]
+            def reduce_task(bucket: dict[Hashable, list[Any]]) -> list[Pair]:
+                return [
+                    (k, spec.reducer(k, bucket[k]))
+                    for k in sorted(bucket, key=sort_key)
+                ]
+
+            with ThreadPoolExecutor(max_workers=self.n_workers,
+                                    thread_name_prefix="mr-worker") as pool:
+                reduce_futures = [
+                    pool.submit(self._run_task, "reduce", r,
+                                lambda b=bucket: reduce_task(b), job_id)
+                    for r, bucket in enumerate(buckets)
+                ]
+                reduce_outputs = [f.result() for f in reduce_futures]
 
         output = sorted(
             (pair for chunk in reduce_outputs for pair in chunk),

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from repro.mapreduce.engine import JobResult, MapReduceEngine, MapReduceSpec, Pair
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["SlowTask", "SpeculativeResult", "SpeculativeEngine"]
 
@@ -77,6 +78,18 @@ class SpeculativeEngine:
     ) -> SpeculativeResult:
         """Run with (or, for the ablation, without) backup tasks."""
         start = time.perf_counter()
+        with telemetry.span("mr.speculative_job", category="job",
+                            job=spec.name, speculate=speculate):
+            return self._run_inner(spec, records, n_map_tasks, speculate, start)
+
+    def _run_inner(
+        self,
+        spec: MapReduceSpec,
+        records: Sequence[Pair],
+        n_map_tasks: int | None,
+        speculate: bool,
+        start: float,
+    ) -> SpeculativeResult:
         base = MapReduceEngine(n_workers=self.n_workers)
         m = n_map_tasks if n_map_tasks is not None else max(
             1, min(len(records), self.n_workers * 2)
@@ -92,15 +105,20 @@ class SpeculativeEngine:
         }
 
         def map_task(index: int, split: list[Pair], primary: bool) -> list[Pair]:
-            if primary and index in self._slow:
-                deadline = time.monotonic() + self._slow[index]
-                while time.monotonic() < deadline:
-                    if kill_events[index].wait(timeout=0.005):
-                        break
-            out: list[Pair] = []
-            for k, v in split:
-                out.extend(spec.mapper(k, v))
-            return MapReduceEngine._apply_combiner(spec, out)
+            telemetry.ensure_thread("mapreduce")
+            kind = "primary" if primary else "backup"
+            with telemetry.span(f"mr.map.{kind}", category="speculation",
+                                task=index, slow=index in self._slow):
+                if primary and index in self._slow:
+                    deadline = time.monotonic() + self._slow[index]
+                    while time.monotonic() < deadline:
+                        if kill_events[index].wait(timeout=0.005):
+                            telemetry.instant("mr.straggler.killed", task=index)
+                            break
+                out: list[Pair] = []
+                for k, v in split:
+                    out.extend(spec.mapper(k, v))
+                return MapReduceEngine._apply_combiner(spec, out)
 
         backups_launched = 0
         backups_won = 0
@@ -118,8 +136,11 @@ class SpeculativeEngine:
                 backups = {}
                 for index, future in primaries.items():
                     if not future.done():
+                        telemetry.instant("mr.backup.launched", task=index)
+                        telemetry.inc("mr.backups.launched")
                         backups[index] = pool.submit(map_task, index, splits[index], False)
                         backups_launched += 1
+                        telemetry.counter_event("mr.backups", backups_launched)
                 for index in primaries:
                     if index in backups:
                         done, _pending = wait(
@@ -129,6 +150,8 @@ class SpeculativeEngine:
                         winner = next(iter(done))
                         if winner is backups[index]:
                             backups_won += 1
+                            telemetry.instant("mr.backup.won", task=index)
+                            telemetry.inc("mr.backups.won")
                             kill_events[index].set()
                         map_outputs[index] = winner.result()
                     else:

@@ -17,17 +17,40 @@ test suite.
 from __future__ import annotations
 
 import copy
+import functools
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
+
+from repro.config import resolve_timeout_s
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "MPIError", "Request", "Communicator", "mpi_run"]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
 
-#: How long a blocking operation may wait before declaring deadlock.
+#: Default bound on how long a blocking operation may wait before
+#: declaring deadlock.  Override per-run (``mpi_run(..., timeout=...)``)
+#: or process-wide (``REPRO_TIMEOUT_S``).
 DEADLOCK_TIMEOUT_S = 30.0
+
+#: Fraction of the deadlock timeout after which a blocking receive is
+#: flagged as *near-deadlock* in the trace — the early-warning signal.
+NEAR_DEADLOCK_FRACTION = 0.5
+
+
+def _collective(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Wrap a collective in a span named after it (``mpi.bcast`` …)."""
+    span_name = f"mpi.{fn.__name__}"
+
+    @functools.wraps(fn)
+    def wrapper(self: "Communicator", *args: Any, **kwargs: Any) -> Any:
+        with telemetry.span(span_name, category="collective",
+                            rank=self.rank, size=self.size):
+            return fn(self, *args, **kwargs)
+
+    return wrapper
 
 
 class MPIError(RuntimeError):
@@ -45,8 +68,9 @@ class _Message:
 class _World:
     """Shared runtime state of one mpi_run invocation."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, timeout_s: float | None = None) -> None:
         self.size = size
+        self.timeout_s = resolve_timeout_s(timeout_s, DEADLOCK_TIMEOUT_S)
         self.mailboxes: list[list[_Message]] = [[] for _ in range(size)]
         self.conditions = [threading.Condition() for _ in range(size)]
         self.barrier = threading.Barrier(size)
@@ -79,10 +103,12 @@ class Request:
     _done: threading.Event = field(default_factory=threading.Event)
     _value: Any = None
 
-    def wait(self, timeout: float = DEADLOCK_TIMEOUT_S) -> Any:
+    def wait(self, timeout: float | None = None) -> Any:
         """Complete the operation and return its value (None for sends)."""
         if not self._done.is_set():
-            self._value = self._result(timeout)
+            self._value = self._result(
+                resolve_timeout_s(timeout, DEADLOCK_TIMEOUT_S)
+            )
             self._done.set()
         return self._value
 
@@ -113,27 +139,52 @@ class Communicator:
         self._check_rank(dest, "destination")
         if tag < 0:
             raise MPIError(f"send tag must be >= 0, got {tag}")
-        message = _Message(
-            source=self.rank, tag=tag, payload=copy.deepcopy(obj),
-            seq=self._world.next_seq(),
-        )
-        condition = self._world.conditions[dest]
-        with condition:
-            self._world.mailboxes[dest].append(message)
-            condition.notify_all()
+        with telemetry.span("mpi.send", category="p2p", dest=dest, tag=tag):
+            message = _Message(
+                source=self.rank, tag=tag, payload=copy.deepcopy(obj),
+                seq=self._world.next_seq(),
+            )
+            condition = self._world.conditions[dest]
+            with condition:
+                self._world.mailboxes[dest].append(message)
+                condition.notify_all()
+        telemetry.inc("mpi.messages.sent")
 
     def recv(
         self,
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
-        timeout: float = DEADLOCK_TIMEOUT_S,
+        timeout: float | None = None,
     ) -> Any:
-        """Blocking receive; wildcards allowed; non-overtaking per sender."""
+        """Blocking receive; wildcards allowed; non-overtaking per sender.
+
+        ``timeout`` defaults to the world's configured deadlock ceiling.
+        """
+        if timeout is None:
+            timeout = self._world.timeout_s
         if source != ANY_SOURCE:
             self._check_rank(source, "source")
+        with telemetry.span("mpi.recv", category="p2p",
+                            source=source, tag=tag):
+            payload, waited = self._recv_blocking(source, tag, timeout)
+        if telemetry.enabled():
+            telemetry.observe_us("mpi.recv.wait_us", waited * 1e6)
+            fraction = waited / timeout if timeout > 0 else 0.0
+            if fraction >= NEAR_DEADLOCK_FRACTION:
+                # Early warning: this receive burned most of the deadlock
+                # budget — the program is one slow sender from an MPIError.
+                telemetry.instant("mpi.deadlock.near", rank=self.rank,
+                                  source=source, tag=tag,
+                                  wait_fraction=round(fraction, 3))
+                telemetry.inc("mpi.recv.near_deadlock")
+        return payload
+
+    def _recv_blocking(
+        self, source: int, tag: int, timeout: float
+    ) -> tuple[Any, float]:
+        """The matching loop; returns (payload, seconds spent waiting)."""
         condition = self._world.conditions[self.rank]
         box = self._world.mailboxes[self.rank]
-        deadline = threading.Timer  # noqa: F841 - documented timeout below
         with condition:
             waited = 0.0
             step = 0.05
@@ -147,8 +198,11 @@ class Communicator:
                 if candidates:
                     match = min(candidates, key=lambda m: m.seq)
                     box.remove(match)
-                    return match.payload
+                    return match.payload, waited
                 if waited >= timeout:
+                    telemetry.instant("mpi.deadlock", rank=self.rank,
+                                      source=source, tag=tag)
+                    telemetry.inc("mpi.deadlocks")
                     raise MPIError(
                         f"rank {self.rank}: recv(source={source}, tag={tag}) "
                         f"timed out after {timeout}s — deadlock?"
@@ -160,7 +214,7 @@ class Communicator:
         """Nonblocking send (our sends are buffered, so it completes now)."""
         self.send(obj, dest, tag)
         request = Request(_result=lambda _t: None)
-        request.wait(0.0)
+        request.wait()
         return request
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
@@ -169,12 +223,17 @@ class Communicator:
 
     # -- collectives ----------------------------------------------------------
 
-    def barrier(self, timeout: float = DEADLOCK_TIMEOUT_S) -> None:
+    def barrier(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self._world.timeout_s
         try:
-            self._world.barrier.wait(timeout=timeout)
+            with telemetry.span("mpi.barrier", category="collective",
+                                rank=self.rank, size=self.size):
+                self._world.barrier.wait(timeout=timeout)
         except threading.BrokenBarrierError as exc:
             raise MPIError(f"rank {self.rank}: barrier broken") from exc
 
+    @_collective
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast root's object to every rank (returned everywhere)."""
         self._check_rank(root, "root")
@@ -186,6 +245,7 @@ class Communicator:
             return copy.deepcopy(obj)
         return self.recv(source=root, tag=tag_base)
 
+    @_collective
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
         """Root distributes one element of ``values`` to each rank."""
         self._check_rank(root, "root")
@@ -201,6 +261,7 @@ class Communicator:
             return copy.deepcopy(values[root])
         return self.recv(source=root, tag=tag_base)
 
+    @_collective
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         """Every rank sends one value to root; root returns the list."""
         self._check_rank(root, "root")
@@ -215,10 +276,12 @@ class Communicator:
         self.send(value, root, tag=tag_base)
         return None
 
+    @_collective
     def allgather(self, value: Any) -> list[Any]:
         gathered = self.gather(value, root=0)
         return self.bcast(gathered, root=0)
 
+    @_collective
     def reduce(
         self, value: Any, op: Callable[[Any, Any], Any], root: int = 0
     ) -> Any | None:
@@ -231,10 +294,12 @@ class Communicator:
             acc = op(acc, item)
         return acc
 
+    @_collective
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
         reduced = self.reduce(value, op, root=0)
         return self.bcast(reduced, root=0)
 
+    @_collective
     def scan(self, value: Any, op: Callable[[Any, Any], Any]) -> Any:
         """Inclusive prefix reduction: rank i gets fold(values[0..i])."""
         gathered = self.allgather(value)
@@ -243,6 +308,7 @@ class Communicator:
             acc = op(acc, item)
         return acc
 
+    @_collective
     def sendrecv(
         self, obj: Any, dest: int, source: int,
         sendtag: int = 0, recvtag: int = ANY_TAG,
@@ -278,6 +344,7 @@ class Communicator:
         ranks = [world_rank for _k, world_rank in mine]
         return _SubCommunicator(self._world, self.rank, ranks)
 
+    @_collective
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
         """Rank i sends values[j] to rank j; receives one from everyone."""
         if len(values) != self.size:
@@ -297,44 +364,55 @@ class Communicator:
 def mpi_run(
     n_ranks: int,
     program: Callable[[Communicator], Any],
-    timeout: float = DEADLOCK_TIMEOUT_S,
+    timeout: float | None = None,
 ) -> list[Any]:
     """Run ``program(comm)`` on ``n_ranks`` ranks; return results by rank.
 
     Any rank raising aborts the world (sibling blocking calls fail fast
     with :class:`MPIError`) and the first error is re-raised, wrapped.
+    ``timeout`` bounds every blocking operation; when None it falls back
+    to ``$REPRO_TIMEOUT_S`` and then :data:`DEADLOCK_TIMEOUT_S`.
     """
     if n_ranks < 1:
         raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
-    world = _World(n_ranks)
+    world = _World(n_ranks, timeout_s=timeout)
     results: list[Any] = [None] * n_ranks
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()
+    world_id: int | None = None
 
     def run(rank: int) -> None:
         comm = Communicator(world, rank)
+        telemetry.set_thread(rank, f"rank-{rank}", process="mpi")
         try:
-            results[rank] = program(comm)
+            with telemetry.span("mpi.rank", category="rank",
+                                parent_id=world_id, rank=rank):
+                results[rank] = program(comm)
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with failures_lock:
                 failures.append((rank, exc))
+            telemetry.instant("mpi.rank.failed", rank=rank, error=repr(exc))
             world.aborted.set()
             world.barrier.abort()
             for condition in world.conditions:
                 with condition:
                     condition.notify_all()
 
-    threads = [
-        threading.Thread(target=run, args=(rank,), name=f"mpi-rank-{rank}")
-        for rank in range(n_ranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=timeout + 5.0)
-        if t.is_alive():
-            world.aborted.set()
-            raise MPIError(f"{t.name} did not terminate")
+    with telemetry.span("mpi.world", category="world",
+                        n_ranks=n_ranks) as world_span:
+        if world_span is not None:
+            world_id = world_span.span_id
+        threads = [
+            threading.Thread(target=run, args=(rank,), name=f"mpi-rank-{rank}")
+            for rank in range(n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=world.timeout_s + 5.0)
+            if t.is_alive():
+                world.aborted.set()
+                raise MPIError(f"{t.name} did not terminate")
     if failures:
         rank, error = min(failures, key=lambda f: f[0])
         primary = [f for f in failures if not isinstance(f[1], MPIError)]
@@ -384,8 +462,10 @@ class _SubCommunicator(Communicator):
         self,
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
-        timeout: float = DEADLOCK_TIMEOUT_S,
+        timeout: float | None = None,
     ) -> Any:
+        if timeout is None:
+            timeout = self._world.timeout_s
         world_comm = Communicator(self._world, self._world_rank)
         world_source = ANY_SOURCE if source == ANY_SOURCE else self._ranks[source]
         if source != ANY_SOURCE:
@@ -432,9 +512,13 @@ class _SubCommunicator(Communicator):
                 for m in self._world.mailboxes[self._world_rank]
             )
 
-    def barrier(self, timeout: float = DEADLOCK_TIMEOUT_S) -> None:
+    def barrier(self, timeout: float | None = None) -> None:
+        if timeout is None:
+            timeout = self._world.timeout_s
         try:
-            self._barrier.wait(timeout=timeout)
+            with telemetry.span("mpi.barrier", category="collective",
+                                rank=self.rank, size=self.size):
+                self._barrier.wait(timeout=timeout)
         except threading.BrokenBarrierError as exc:
             raise MPIError(f"subcomm rank {self.rank}: barrier broken") from exc
 

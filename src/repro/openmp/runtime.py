@@ -25,12 +25,18 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.config import resolve_timeout_s
+from repro.telemetry import instrument as telemetry
+
 __all__ = ["OpenMP", "ParallelContext", "ParallelError", "TeamWorker"]
 
-#: Upper bound on how long a join may take before we declare a deadlock.
+#: Default upper bound on how long a join may take before we declare a
+#: deadlock.  Override per-runtime (``OpenMP(join_timeout_s=...)``) or
+#: process-wide (``REPRO_TIMEOUT_S``).
 JOIN_TIMEOUT_S = 60.0
 
 
@@ -46,8 +52,9 @@ class ParallelError(RuntimeError):
 class _Team:
     """Shared state of one parallel region."""
 
-    def __init__(self, num_threads: int) -> None:
+    def __init__(self, num_threads: int, timeout_s: float = JOIN_TIMEOUT_S) -> None:
         self.num_threads = num_threads
+        self.timeout_s = timeout_s
         self.barrier = threading.Barrier(num_threads)
         self.criticals: dict[str, threading.Lock] = {}
         self.criticals_guard = threading.Lock()
@@ -80,16 +87,49 @@ class ParallelContext:
         self.thread_num = thread_num
         self.num_threads = team.num_threads
 
-    def barrier(self, timeout: float = JOIN_TIMEOUT_S) -> None:
-        """Block until every team member reaches the barrier."""
-        self._team.barrier.wait(timeout=timeout)
+    def barrier(self, timeout: float | None = None) -> None:
+        """Block until every team member reaches the barrier.
+
+        ``timeout`` defaults to the team's configured join timeout.
+        """
+        if timeout is None:
+            timeout = self._team.timeout_s
+        if not telemetry.enabled():
+            self._team.barrier.wait(timeout=timeout)
+            return
+        start = time.perf_counter()
+        with telemetry.span("omp.barrier", category="barrier",
+                            thread=self.thread_num):
+            self._team.barrier.wait(timeout=timeout)
+        wait_us = (time.perf_counter() - start) * 1e6
+        telemetry.inc("omp.barrier.waits")
+        telemetry.observe_us("omp.barrier.wait_us", wait_us)
 
     @contextlib.contextmanager
     def critical(self, name: str = "") -> Iterator[None]:
         """Named critical section; same name ⇒ same lock (OpenMP semantics)."""
         lock = self._team.critical_lock(name)
-        with lock:
+        if not telemetry.enabled():
+            with lock:
+                yield
+            return
+        # Contention probe: an immediate acquire is uncontended; a failed
+        # immediate acquire means this thread waited on a sibling.
+        if lock.acquire(blocking=False):
+            telemetry.inc("omp.critical.entries")
+        else:
+            start = time.perf_counter()
+            with telemetry.span("omp.critical.wait", category="lock",
+                                section=name, thread=self.thread_num):
+                lock.acquire()
+            wait_us = (time.perf_counter() - start) * 1e6
+            telemetry.inc("omp.critical.entries")
+            telemetry.inc("omp.critical.contended")
+            telemetry.observe_us("omp.critical.wait_us", wait_us)
+        try:
             yield
+        finally:
+            lock.release()
 
     def single(self, fn: Callable[[], Any], name: str = "", nowait: bool = False) -> Any:
         """First thread to arrive runs ``fn``; others skip.
@@ -126,13 +166,16 @@ class OpenMP:
     """The runtime facade.
 
     ``num_threads`` defaults to 4 — the core count of the Raspberry Pi 3B+
-    the paper hands each team.
+    the paper hands each team.  ``join_timeout_s`` bounds every join and
+    barrier; when None it falls back to ``$REPRO_TIMEOUT_S`` and then the
+    module default, so slow CI machines can raise it without code edits.
     """
 
-    def __init__(self, num_threads: int = 4) -> None:
+    def __init__(self, num_threads: int = 4, join_timeout_s: float | None = None) -> None:
         if num_threads < 1:
             raise ValueError(f"num_threads must be >= 1, got {num_threads}")
         self.num_threads = num_threads
+        self.join_timeout_s = resolve_timeout_s(join_timeout_s, JOIN_TIMEOUT_S)
 
     def parallel(
         self,
@@ -144,30 +187,41 @@ class OpenMP:
         n = num_threads if num_threads is not None else self.num_threads
         if n < 1:
             raise ValueError(f"num_threads must be >= 1, got {n}")
-        team = _Team(n)
+        team = _Team(n, timeout_s=self.join_timeout_s)
+        region_id: int | None = None
 
         def run(tid: int) -> None:
             ctx = ParallelContext(team, tid)
+            telemetry.set_thread(tid, f"omp-thread-{tid}", process="openmp")
             try:
-                team.results[tid] = body(ctx)
+                with telemetry.span("omp.thread", category="region",
+                                    parent_id=region_id, thread=tid):
+                    team.results[tid] = body(ctx)
             except BaseException as exc:  # noqa: BLE001 - reported to forker
                 with team.failures_guard:
                     team.failures.append((tid, exc))
+                telemetry.instant("omp.thread.failed", thread=tid,
+                                  error=repr(exc))
                 # Abort the barrier so siblings blocked on it wake up with
                 # BrokenBarrierError instead of deadlocking.
                 team.barrier.abort()
 
-        threads = [
-            threading.Thread(target=run, args=(tid,), name=f"omp-worker-{tid}")
-            for tid in range(n)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=JOIN_TIMEOUT_S)
-            if t.is_alive():
-                team.barrier.abort()
-                raise ParallelError([(-1, TimeoutError(f"{t.name} did not join"))])
+        with telemetry.span("omp.parallel", category="region",
+                            num_threads=n) as region_span:
+            if region_span is not None:
+                region_id = region_span.span_id
+            telemetry.inc("omp.regions")
+            threads = [
+                threading.Thread(target=run, args=(tid,), name=f"omp-worker-{tid}")
+                for tid in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=self.join_timeout_s)
+                if t.is_alive():
+                    team.barrier.abort()
+                    raise ParallelError([(-1, TimeoutError(f"{t.name} did not join"))])
         if team.failures:
             # Deterministic order: report by thread id.  Barrier aborts in
             # sibling threads are a consequence of the primary failure, so

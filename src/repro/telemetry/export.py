@@ -1,0 +1,187 @@
+"""Exporters: Chrome ``trace_event`` JSON and JSON-lines.
+
+The Chrome format is the *JSON Array Format with metadata*: a top-level
+object with a ``traceEvents`` list, loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Spans become complete events (``"ph": "X"``),
+instants ``"i"``, counter samples ``"C"``; logical processes (the
+runtime that emitted the span: ``openmp``, ``mapreduce``, ``mpi``,
+``drugdesign``) map to synthetic pids and logical threads (team-thread
+number, MPI rank) to tids, with ``process_name`` / ``thread_name``
+metadata events so the viewer shows real labels.
+
+Events are emitted sorted by ``(pid, tid, ts)`` so every per-thread
+track is monotonically ordered — some viewers tolerate disorder, but
+diffing two trace files should not depend on scheduler interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import PHASE_COMPLETE, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl_records",
+    "write_jsonl",
+]
+
+
+def _assign_pids(tracer: Tracer) -> dict[str, int]:
+    """Stable logical-process → pid mapping: 'main' is pid 1, the rest
+    follow alphabetically."""
+    processes = {span.process for span in tracer.spans}
+    processes.update(event.process for event in tracer.events)
+    ordered = sorted(processes, key=lambda p: (p != "main", p))
+    return {process: pid for pid, process in enumerate(ordered, start=1)}
+
+
+def _jsonable(value: Any) -> Any:
+    """Args may carry arbitrary objects; coerce the non-JSON ones to repr."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _jsonable_args(args: Mapping[str, Any]) -> dict[str, Any]:
+    return {str(k): _jsonable(v) for k, v in args.items()}
+
+
+def to_chrome_trace(
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Render the tracer's records as a Chrome trace_event document."""
+    pids = _assign_pids(tracer)
+    events: list[dict[str, Any]] = []
+    thread_names: dict[tuple[int, int], str] = {}
+
+    for span in tracer.spans:
+        pid = pids[span.process]
+        thread_names.setdefault((pid, span.tid), span.thread_name)
+        events.append({
+            "name": span.name,
+            "cat": span.category or "span",
+            "ph": PHASE_COMPLETE,
+            "ts": span.start_us,
+            "dur": span.duration_us,
+            "pid": pid,
+            "tid": span.tid,
+            "args": _jsonable_args({
+                **span.args,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+            }),
+        })
+    for event in tracer.events:
+        pid = pids[event.process]
+        thread_names.setdefault((pid, event.tid), event.thread_name)
+        record: dict[str, Any] = {
+            "name": event.name,
+            "cat": "event",
+            "ph": event.phase,
+            "ts": event.ts_us,
+            "pid": pid,
+            "tid": event.tid,
+            "args": _jsonable_args(event.args),
+        }
+        if event.phase == "i":
+            record["s"] = "t"          # instant scope: thread
+        events.append(record)
+
+    # Per-track monotonic order (and a deterministic file for diffing).
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["name"]))
+
+    metadata: list[dict[str, Any]] = []
+    for process, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process},
+        })
+    for (pid, tid), name in sorted(thread_names.items()):
+        if name:
+            metadata.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+
+    document: dict[str, Any] = {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.telemetry"},
+    }
+    if metrics is not None:
+        document["otherData"]["metrics"] = _jsonable(metrics.snapshot())
+    return document
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Write the Chrome trace to ``path`` and return the document."""
+    document = to_chrome_trace(tracer, metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return document
+
+
+def to_jsonl_records(
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+) -> list[dict[str, Any]]:
+    """Flat record-per-line view: spans, events, then metric snapshots.
+
+    Easier to grep/load into pandas than the Chrome document; the
+    ``kind`` field discriminates."""
+    records: list[dict[str, Any]] = []
+    for span in sorted(tracer.spans, key=lambda s: (s.start_us, s.span_id)):
+        records.append({
+            "kind": "span",
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "category": span.category,
+            "process": span.process,
+            "tid": span.tid,
+            "thread_name": span.thread_name,
+            "start_us": span.start_us,
+            "duration_us": span.duration_us,
+            "args": _jsonable_args(span.args),
+        })
+    for event in sorted(tracer.events, key=lambda e: e.ts_us):
+        records.append({
+            "kind": "instant" if event.phase == "i" else "counter",
+            "name": event.name,
+            "process": event.process,
+            "tid": event.tid,
+            "ts_us": event.ts_us,
+            "args": _jsonable_args(event.args),
+        })
+    if metrics is not None:
+        for name, value in metrics.snapshot().items():
+            records.append({"kind": "metric", "name": name, "value": _jsonable(value)})
+    return records
+
+
+def write_jsonl(
+    path: str,
+    tracer: Tracer,
+    metrics: MetricsRegistry | None = None,
+) -> int:
+    """Write JSON-lines records to ``path``; returns the record count."""
+    records = to_jsonl_records(tracer, metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+    return len(records)

@@ -1,0 +1,161 @@
+"""The hooks instrumented code calls.
+
+Every hook starts with the same single branch: load the module-global
+``_STATE`` tuple and bail if it is ``None``.  That is the entire cost of
+disabled telemetry — no tracer object, no lock, no allocation — which is
+what lets the runtimes keep their hooks inline on hot paths (barrier
+waits, message receives, per-ligand scoring) without a measurable tax on
+the deterministic tests.
+
+Enabled state is installed by :func:`repro.telemetry.enable` /
+:class:`repro.telemetry.TelemetrySession`; instrumented modules import
+only this module and never manage state themselves::
+
+    from repro.telemetry import instrument as telemetry
+    ...
+    with telemetry.span("omp.parallel", num_threads=n):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+__all__ = [
+    "enabled",
+    "span",
+    "instant",
+    "counter_event",
+    "inc",
+    "gauge",
+    "observe_us",
+    "set_thread",
+    "ensure_thread",
+    "clear_thread",
+    "current_span_id",
+    "now_us",
+]
+
+#: (tracer, metrics) when telemetry is on, None when off.  Read without a
+#: lock — rebinding a module global is atomic under the GIL, and a stale
+#: read merely drops (or records) one event at the enable/disable edge.
+_STATE: tuple[Tracer, MetricsRegistry] | None = None
+
+
+class _NullSpan:
+    """Shared, stateless stand-in for a span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *_exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def _install(tracer: Tracer, metrics: MetricsRegistry) -> None:
+    global _STATE
+    _STATE = (tracer, metrics)
+
+
+def _uninstall() -> None:
+    global _STATE
+    _STATE = None
+
+
+def enabled() -> bool:
+    """Is telemetry currently collecting?"""
+    return _STATE is not None
+
+
+def span(name: str, category: str = "", parent_id: int | None = None, **args: Any):
+    """Open a span if telemetry is on; otherwise a shared no-op."""
+    state = _STATE
+    if state is None:
+        return _NULL_SPAN
+    return state[0].span(name, category, parent_id=parent_id, **args)
+
+
+def instant(name: str, **args: Any) -> None:
+    state = _STATE
+    if state is None:
+        return
+    state[0].instant(name, **args)
+
+
+def counter_event(name: str, value: float, series: str = "value") -> None:
+    """Timestamped counter sample on the trace timeline."""
+    state = _STATE
+    if state is None:
+        return
+    state[0].counter(name, value, series)
+
+
+def inc(name: str, delta: float = 1.0) -> None:
+    """Bump an aggregate metrics counter."""
+    state = _STATE
+    if state is None:
+        return
+    state[1].counter(name).inc(delta)
+
+
+def gauge(name: str, value: float) -> None:
+    state = _STATE
+    if state is None:
+        return
+    state[1].gauge(name).set(value)
+
+
+def observe_us(name: str, value_us: float) -> None:
+    """Record a microsecond latency into a histogram."""
+    state = _STATE
+    if state is None:
+        return
+    state[1].histogram(name).observe(value_us)
+
+
+def set_thread(tid: int, thread_name: str, process: str = "main") -> None:
+    """Declare the calling thread's logical identity (no-op when off)."""
+    state = _STATE
+    if state is None:
+        return
+    state[0].set_thread_identity(tid, thread_name, process)
+
+
+def ensure_thread(process: str, thread_name: str | None = None) -> None:
+    """Adopt an anonymous worker thread into ``process`` (no-op when off)."""
+    state = _STATE
+    if state is None:
+        return
+    state[0].ensure_thread(process, thread_name)
+
+
+def clear_thread() -> None:
+    state = _STATE
+    if state is None:
+        return
+    state[0].clear_thread_identity()
+
+
+def current_span_id() -> int | None:
+    """Innermost open span on this thread — capture before forking workers
+    so their root spans parent under the region span."""
+    state = _STATE
+    if state is None:
+        return None
+    return state[0].current_span_id()
+
+
+def now_us() -> float:
+    """Tracer-relative monotonic microseconds (0.0 when telemetry is off)."""
+    state = _STATE
+    if state is None:
+        return 0.0
+    return state[0].now_us()

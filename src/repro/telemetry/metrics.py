@@ -1,0 +1,263 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named instruments; instruments are
+created on first use and are safe to update from any thread.  The
+module also provides :class:`NullMetrics` — a registry whose
+instruments are shared no-op singletons — so instrumented code can hold
+a registry reference unconditionally and pay one virtual call when
+telemetry is off (the hooks in :mod:`repro.telemetry.instrument` go one
+step further and skip the call entirely behind a single branch).
+
+Histograms use *fixed* bucket boundaries chosen at creation: updates are
+a bisect plus an integer increment — no allocation on the hot path and
+no rebinning, which keeps concurrent observation cheap and the exported
+shape deterministic.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "DEFAULT_LATENCY_BUCKETS_US",
+]
+
+#: Default histogram boundaries for microsecond latencies: ~1 us .. ~10 s.
+DEFAULT_LATENCY_BUCKETS_US: tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {self.name}: negative increment {delta}")
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, in-flight tasks)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``boundaries`` are upper bounds of the first ``len(boundaries)``
+    buckets; one implicit overflow bucket catches everything above the
+    last boundary.
+    """
+
+    __slots__ = ("name", "boundaries", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name}: needs at least one boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name}: boundaries must be increasing")
+        self.name = name
+        self.boundaries = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Counts per bucket; the last entry is the overflow bucket."""
+        with self._lock:
+            return tuple(self._counts)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "boundaries": list(self.boundaries),
+                "bucket_counts": list(self._counts),
+            }
+
+
+class MetricsRegistry:
+    """Process-wide named instruments, created on first use.
+
+    Re-requesting a name returns the existing instrument; requesting a
+    name already registered as a *different* kind raises — silent
+    aliasing of a counter as a gauge is always a bug.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Any) -> Any:
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"instrument {name!r} already registered as "
+                        f"{type(existing).__name__}, requested {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, boundaries)
+        )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time value of every instrument, keyed by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+        out: dict[str, Any] = {}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.snapshot()
+            else:
+                out[name] = instrument.value
+        return out
+
+
+class _NullInstrument:
+    """Accepts every update and records nothing."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        return ()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry stand-in for disabled telemetry: every request returns the
+    same no-op instrument, so holders never need a None check."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}

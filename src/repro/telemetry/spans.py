@@ -1,0 +1,285 @@
+"""Thread-safe hierarchical span tracing.
+
+A :class:`Tracer` records :class:`Span` events — named intervals on a
+monotonic clock — plus instant and counter samples.  Each OS thread keeps
+its own span *stack* (``threading.local``), so concurrently running
+threads nest their spans independently; cross-thread parentage (a worker
+thread's root span hanging under the region span of the forking thread)
+is expressed by passing ``parent_id`` explicitly.
+
+The clock is ``time.monotonic_ns`` (never wall-clock: traces must stay
+ordered across NTP steps) and timestamps are microseconds since the
+tracer was created — the unit Chrome's ``trace_event`` format expects.
+
+Threads carry a *logical identity* — ``(process, tid, thread_name)`` —
+so exported traces group by what the runtime means (OpenMP team-thread
+number, MPI rank) rather than by opaque OS thread ids.  Identity is set
+by the runtimes via :meth:`Tracer.set_thread_identity`; threads that
+never set one get a compact auto-assigned tid under the ``"main"``
+process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Span", "TraceEvent", "SpanNode", "Tracer"]
+
+#: Phase codes (a subset of Chrome trace_event's).
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+
+
+@dataclass
+class Span:
+    """One named interval on one thread.  ``end_us`` is filled at finish;
+    an unfinished span (crashed thread) exports with zero duration."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start_us: float
+    end_us: float | None = None
+    process: str = "main"
+    tid: int = 0
+    thread_name: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point event: an instant marker or a counter sample."""
+
+    phase: str                    # PHASE_INSTANT or PHASE_COUNTER
+    name: str
+    ts_us: float
+    process: str
+    tid: int
+    thread_name: str
+    args: dict[str, Any]
+
+
+@dataclass
+class SpanNode:
+    """One node of a reconstructed span tree."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator[Span]:
+        yield self.span
+        for child in self.children:
+            yield from child.walk()
+
+
+class _ThreadState(threading.local):
+    """Per-thread mutable tracer state (stack + logical identity)."""
+
+    def __init__(self) -> None:  # called once per thread by threading.local
+        self.stack: list[Span] = []
+        self.process: str | None = None
+        self.tid: int | None = None
+        self.thread_name: str | None = None
+
+
+class _ActiveSpan:
+    """Context manager for one open span; reentrant-safe via the stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *_exc: object) -> None:
+        self._tracer._finish(self._span)
+
+
+class Tracer:
+    """Collects spans and point events from any number of threads."""
+
+    def __init__(self) -> None:
+        self._origin_ns = time.monotonic_ns()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._spans: list[Span] = []
+        self._events: list[TraceEvent] = []
+        self._local = _ThreadState()
+        self._auto_tids: dict[tuple[str, int], int] = {}
+        self._auto_tid_next: dict[str, int] = {}
+
+    # -- clock & identity ----------------------------------------------------
+
+    def now_us(self) -> float:
+        return (time.monotonic_ns() - self._origin_ns) / 1_000.0
+
+    def set_thread_identity(
+        self, tid: int, thread_name: str, process: str = "main"
+    ) -> None:
+        """Declare the calling thread's logical identity (e.g. OpenMP
+        team-thread number, MPI rank).  Applies to spans opened after."""
+        self._local.tid = tid
+        self._local.thread_name = thread_name
+        self._local.process = process
+
+    def clear_thread_identity(self) -> None:
+        self._local.tid = None
+        self._local.thread_name = None
+        self._local.process = None
+
+    def ensure_thread(self, process: str, thread_name: str | None = None) -> None:
+        """Place the calling thread under ``process`` with a compact
+        auto-assigned tid (idempotent) — for anonymous pool workers that
+        have no natural team-thread/rank number."""
+        local = self._local
+        if local.process == process and local.tid is not None:
+            return
+        local.tid = self._auto_tid(process)
+        local.process = process
+        local.thread_name = thread_name or threading.current_thread().name
+
+    def _auto_tid(self, process: str) -> int:
+        key = (process, threading.get_ident())
+        with self._lock:
+            tid = self._auto_tids.get(key)
+            if tid is None:
+                tid = self._auto_tid_next.get(process, 0)
+                self._auto_tid_next[process] = tid + 1
+                self._auto_tids[key] = tid
+        return tid
+
+    def _identity(self) -> tuple[str, int, str]:
+        local = self._local
+        if local.tid is not None:
+            return (local.process or "main", local.tid, local.thread_name or "")
+        return ("main", self._auto_tid("main"), threading.current_thread().name)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        parent_id: int | None = None,
+        **args: Any,
+    ) -> _ActiveSpan:
+        """Open a span as a context manager.
+
+        The parent defaults to the innermost open span *on this thread*;
+        ``parent_id`` overrides it (cross-thread nesting: a worker's root
+        span under the forking thread's region span).
+        """
+        local = self._local
+        if parent_id is None and local.stack:
+            parent_id = local.stack[-1].span_id
+        process, tid, thread_name = self._identity()
+        with self._lock:
+            self._next_id += 1
+            span_id = self._next_id
+        span = Span(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            start_us=self.now_us(),
+            process=process,
+            tid=tid,
+            thread_name=thread_name,
+            args=dict(args),
+        )
+        local.stack.append(span)
+        return _ActiveSpan(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.end_us = self.now_us()
+        stack = self._local.stack
+        # Normal case: the finishing span is the innermost one.
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; drop defensively
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        with self._lock:
+            self._spans.append(span)
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span on the calling thread, if any."""
+        stack = self._local.stack
+        return stack[-1].span_id if stack else None
+
+    # -- point events --------------------------------------------------------
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record an instant marker at the current time."""
+        self._record_event(PHASE_INSTANT, name, args)
+
+    def counter(self, name: str, value: float, series: str = "value") -> None:
+        """Record a timestamped counter sample (Chrome 'C' event)."""
+        self._record_event(PHASE_COUNTER, name, {series: value})
+
+    def _record_event(self, phase: str, name: str, args: dict[str, Any]) -> None:
+        process, tid, thread_name = self._identity()
+        event = TraceEvent(
+            phase=phase,
+            name=name,
+            ts_us=self.now_us(),
+            process=process,
+            tid=tid,
+            thread_name=thread_name,
+            args=args,
+        )
+        with self._lock:
+            self._events.append(event)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, in completion order (thread-safe snapshot)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def events_named(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def span_tree(self) -> list[SpanNode]:
+        """Reconstruct the forest of spans from parent links.
+
+        Children are ordered by start time; roots are spans whose parent
+        was never recorded (or None).  The tree is rebuilt from the flat
+        record on every call — it is an analysis view, not live state.
+        """
+        spans = sorted(self.spans, key=lambda s: (s.start_us, s.span_id))
+        nodes = {span.span_id: SpanNode(span) for span in spans}
+        roots: list[SpanNode] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            if span.parent_id is not None and span.parent_id in nodes:
+                nodes[span.parent_id].children.append(node)
+            else:
+                roots.append(node)
+        return roots

@@ -1,0 +1,149 @@
+"""Exporter tests: Chrome trace_event validity and JSON-lines shape.
+
+The contract under test: the exported document is valid JSON, every
+per-track (pid, tid) event stream is monotonically ordered by ``ts``,
+logical processes/threads carry name metadata, and non-JSON span args
+degrade to reprs instead of crashing the exporter.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import (
+    to_chrome_trace,
+    to_jsonl_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.spans import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
+
+
+def _busy_tracer() -> Tracer:
+    """A tracer exercised by several logical threads and event kinds."""
+    tracer = Tracer()
+    with tracer.span("job", category="job", job="demo"):
+        def worker(tid: int) -> None:
+            tracer.set_thread_identity(tid, f"team-{tid}", process="openmp")
+            for i in range(3):
+                with tracer.span("step", index=i):
+                    pass
+            tracer.instant("done", thread=tid)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        tracer.counter("progress", 3)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_busy_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i", "C"}
+
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(str(path), _busy_tracer())
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert isinstance(loaded["traceEvents"], list)
+
+    def test_ts_monotonic_per_track(self):
+        doc = to_chrome_trace(_busy_tracer())
+        tracks: dict[tuple[int, int], list[float]] = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            tracks.setdefault((event["pid"], event["tid"]), []).append(event["ts"])
+        assert len(tracks) >= 4    # main + 3 team threads
+        for (pid, tid), ts_list in tracks.items():
+            assert ts_list == sorted(ts_list), f"track ({pid},{tid}) unordered"
+
+    def test_process_and_thread_metadata(self):
+        doc = to_chrome_trace(_busy_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {e["args"]["name"] for e in meta
+                         if e["name"] == "process_name"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert process_names == {"main", "openmp"}
+        assert {"team-0", "team-1", "team-2"} <= thread_names
+
+    def test_main_process_is_pid_1(self):
+        doc = to_chrome_trace(_busy_tracer())
+        names = {e["pid"]: e["args"]["name"] for e in doc["traceEvents"]
+                 if e["name"] == "process_name"}
+        assert names[1] == "main"
+
+    def test_span_args_include_ids_and_survive_non_json_values(self):
+        tracer = Tracer()
+        with tracer.span("odd", payload={1, 2}, fn=len, ok="yes"):
+            pass
+        doc = to_chrome_trace(tracer)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        json.dumps(doc)                       # fully serialisable
+        assert event["args"]["ok"] == "yes"
+        assert event["args"]["span_id"] == 1
+        assert event["args"]["parent_id"] is None
+        assert isinstance(event["args"]["payload"], str)   # repr fallback
+
+    def test_metrics_snapshot_embedded(self):
+        with telemetry.session() as session:
+            session.metrics.counter("jobs").inc(2)
+        doc = to_chrome_trace(session.tracer, session.metrics)
+        assert doc["otherData"]["metrics"] == {"jobs": 2.0}
+
+    def test_unfinished_span_exports_with_zero_duration(self):
+        tracer = Tracer()
+        cm = tracer.span("open")
+        cm.__enter__()
+        # Simulate a crashed thread: the span never exits.  It is not in
+        # the finished list, so the export simply omits it — no crash.
+        doc = to_chrome_trace(tracer)
+        assert [e for e in doc["traceEvents"] if e["ph"] == "X"] == []
+        cm.__exit__(None, None, None)
+        doc = to_chrome_trace(tracer)
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 1
+
+
+class TestJsonl:
+    def test_records_and_file(self, tmp_path):
+        with telemetry.session() as session:
+            with session.tracer.span("a"):
+                session.tracer.instant("i")
+            session.metrics.counter("c").inc()
+        records = to_jsonl_records(session.tracer, session.metrics)
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["span", "instant", "metric"]
+        path = tmp_path / "events.jsonl"
+        count = write_jsonl(str(path), session.tracer, session.metrics)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_spans_ordered_by_start(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        records = to_jsonl_records(tracer)
+        assert [r["name"] for r in records] == ["first", "second"]
+        assert records[0]["parent_id"] is None
