@@ -1,0 +1,108 @@
+"""Fault-injection cost: recovery overhead vs the fault-free baseline.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): a MapReduce job that loses workers and a shuffle payload still
+completes within a small multiple of the fault-free run — the price of
+recovery is re-executed *tasks*, never a stalled job — and with no plan
+active the injection hooks cost one ``is None`` branch per site, so the
+fault-free path stays at its pre-chaos speed.
+
+Run as a script (``python benchmarks/bench_faults.py``) it measures
+both modes directly and writes a ``BENCH_faults.json`` trajectory
+point: baseline seconds, chaos seconds, recovery overhead ratio, and
+injected/recovered counts for the canonical seed-7 scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults.chaos import named_plan, run_chaos
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import word_count_job
+
+_DOCS = [(i, "alpha beta gamma delta " * 8) for i in range(8)]
+
+
+@pytest.fixture(autouse=True)
+def _faults_off():
+    faults.disable()
+    yield
+    faults.disable()
+
+
+def _fault_free_job():
+    engine = MapReduceEngine(n_workers=4, max_attempts=4)
+    return engine.run(word_count_job(n_reduce_tasks=4), list(_DOCS))
+
+
+def _chaotic_job():
+    plan = named_plan("mapreduce", seed=7)
+    engine = MapReduceEngine(n_workers=4, max_attempts=4)
+    with faults.inject(plan) as injector:
+        result = engine.run(word_count_job(n_reduce_tasks=4), list(_DOCS))
+    return result, injector
+
+
+def test_mapreduce_fault_free_baseline(benchmark):
+    """Baseline: no plan active, hooks are a single branch each."""
+    assert not faults.is_enabled()
+    result = benchmark(_fault_free_job)
+    assert result.retries == 0
+
+
+def test_mapreduce_recovery_overhead(benchmark):
+    """Seed-7 chaos: worker deaths + shuffle corruption, recovered by
+    re-execution.  The job must still finish with the right answer."""
+    result, injector = benchmark(_chaotic_job)
+    reference = _fault_free_job()
+    assert result.output == reference.output
+    assert injector.counts_by_kind().get("crash", 0) >= 1
+
+
+def test_chaos_scenario_end_to_end(benchmark):
+    """The full CLI-shaped scenario (plan + job + verification)."""
+    report = benchmark(lambda: run_chaos("mapreduce", seed=7))
+    assert report.ok and report.injected_total >= 2
+
+
+def _measure(fn, repeats: int = 7) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def main(out_path: str = "BENCH_faults.json") -> dict:
+    faults.disable()
+    baseline_s = _measure(_fault_free_job)
+    chaos_s = _measure(_chaotic_job)
+    report = run_chaos("mapreduce", seed=7)
+    point = {
+        "bench": "faults",
+        "workload": "mapreduce word count (8 docs, 4 workers)",
+        "seed": 7,
+        "baseline_s": round(baseline_s, 6),
+        "chaos_s": round(chaos_s, 6),
+        "recovery_overhead_ratio": round(chaos_s / baseline_s, 3),
+        "injected": report.injected_by_kind,
+        "recovered": report.recovered,
+        "ok": report.ok,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(point, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(point, indent=2, sort_keys=True))
+    return point
+
+
+if __name__ == "__main__":
+    main()

@@ -14,10 +14,14 @@ Commands
   markdown (exit code reflects whether everything is within tolerance).
 - ``timeline`` — print the Fig. 1 semester schedule.
 - ``quiz <n>`` — print quiz *n* with its auto-graded answers.
-- ``trace <workload> [--out trace.json] [--jsonl events.jsonl]`` — run a
-  workload under telemetry and export a Chrome ``trace_event`` file
-  (open it in ``chrome://tracing`` or https://ui.perfetto.dev;
-  ``--list`` shows the workloads).
+- ``trace <workload> [--out trace.json] [--jsonl events.jsonl]
+  [--otlp spans.json]`` — run a workload under telemetry and export a
+  Chrome ``trace_event`` file (open it in ``chrome://tracing`` or
+  https://ui.perfetto.dev; ``--list`` shows the workloads).
+- ``chaos <workload> [--seed N] [--trace out.json]`` — run a workload
+  under deterministic fault injection and report injected-vs-recovered
+  counts plus the canonical injected-event log (``--list`` shows the
+  workloads; same seed ⇒ same faults).
 """
 
 from __future__ import annotations
@@ -101,7 +105,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write flat JSON-lines records here")
     trace.add_argument("--threads", type=int, default=4,
                        help="team size / worker count / rank count")
+    trace.add_argument("--otlp", default=None,
+                       help="also write OTLP span JSON here")
     trace.add_argument("--list", action="store_true", dest="list_names")
+
+    chaos = sub.add_parser(
+        "chaos", help="run a workload under deterministic fault injection")
+    chaos.add_argument("workload", nargs="?", default=None)
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault schedule seed (same seed ⇒ same faults)")
+    chaos.add_argument("--threads", type=int, default=4,
+                       help="team size / worker count / rank count")
+    chaos.add_argument("--trace", default=None, dest="trace_out",
+                       help="also export a Chrome trace of the chaotic run")
+    chaos.add_argument("--list", action="store_true", dest="list_names")
 
     return parser
 
@@ -229,7 +246,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         n_records = session.write_jsonl(args.jsonl)
         print(f"wrote {args.jsonl}: {n_records} records")
+    if args.otlp:
+        document = session.write_otlp_json(args.otlp)
+        n_spans = sum(
+            len(scope["spans"])
+            for resource in document["resourceSpans"]
+            for scope in resource["scopeSpans"]
+        )
+        print(f"wrote {args.otlp}: {n_spans} OTLP spans")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.faults.chaos import chaos_workload_names, run_chaos
+
+    if args.list_names or args.workload is None:
+        print("available chaos workloads: " + ", ".join(chaos_workload_names()))
+        return 0
+    if args.threads < 1:
+        print(f"--threads must be >= 1, got {args.threads}")
+        return 2
+    session = telemetry.session() if args.trace_out else None
+    try:
+        if session is not None:
+            with session:
+                report = run_chaos(args.workload, seed=args.seed,
+                                   threads=args.threads)
+        else:
+            report = run_chaos(args.workload, seed=args.seed,
+                               threads=args.threads)
+    except KeyError:
+        print(f"unknown chaos workload {args.workload!r}; try --list")
+        return 2
+    print(report.render())
+    if session is not None:
+        session.write_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out}: {len(session.tracer.spans)} spans, "
+              f"{len(session.tracer.events)} events")
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {
@@ -241,6 +296,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "quiz": _cmd_quiz,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -22,6 +22,7 @@ from repro.drugdesign.scoring import dp_cells, lcs_score
 from repro.openmp.loops import Schedule, run_parallel_for
 from repro.openmp.reduction import Reduction
 from repro.openmp.runtime import OpenMP
+from repro.faults import hooks as faults
 from repro.openmp.sync import AtomicCounter
 from repro.telemetry import instrument as telemetry
 
@@ -42,6 +43,11 @@ def score_ligand(ligand: str, protein: str) -> int:
     threads dragging long spans while others idle — the assignment's
     schedule lesson, straight from the timeline view.
     """
+    # Chaos hook: an EXCEPTION rule makes this ligand's scoring fail
+    # transiently; keyed by ligand so the failure schedule is the same
+    # whichever thread picks the ligand up.  Recovery belongs to the
+    # caller's RetryPolicy (see repro.faults.chaos.drugdesign).
+    faults.fire("dd.score", key=ligand, ligand=ligand)
     if not telemetry.enabled():
         return lcs_score(ligand, protein)
     start = time.perf_counter()

@@ -1,0 +1,364 @@
+"""Named chaos scenarios for ``python -m repro chaos``.
+
+Each workload pairs a deterministic :class:`FaultPlan` with a program
+that *survives* it, and reports injected-vs-recovered counts — one
+command demonstrating fault → detection → recovery end to end:
+
+- ``mapreduce`` — map-worker deaths (planned and seeded-random) plus a
+  shuffle corruption caught by checksum; the engine's re-execution
+  recovers, and the output is byte-equal to a fault-free sequential run.
+- ``openmp`` — a thread crash in the first parallel region and a barrier
+  stall; a retry policy re-runs the region.
+- ``mpi`` — a dropped, a duplicated, and a reordered (delayed) message
+  on a ring exchange; an ack/retransmit protocol with sequence-number
+  dedup recovers all three.
+- ``drugdesign`` — seeded per-ligand transient failures absorbed by a
+  retry policy with decorrelated-jitter backoff on a fake clock.
+
+Every scenario is replayable: the same ``--seed`` produces byte-identical
+injected-event logs (see :meth:`FaultInjector.log_lines`).
+
+Runtime imports live inside the workload functions (the CLI pattern of
+:mod:`repro.telemetry.workloads`) so importing :mod:`repro.faults` does
+not drag every runtime in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.faults.clock import FakeClock
+from repro.faults.injector import FaultInjector, TransientFault
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.policies import RetryError, RetryPolicy
+
+__all__ = [
+    "ChaosReport",
+    "CHAOS_WORKLOADS",
+    "chaos_workload_names",
+    "named_plan",
+    "partition_rank",
+    "run_chaos",
+]
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario."""
+
+    workload: str
+    seed: int
+    plan: FaultPlan
+    injected_by_kind: dict[str, int]
+    recovered: int
+    detail: list[str] = field(default_factory=list)
+    log_lines: list[str] = field(default_factory=list)
+    ok: bool = False
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected_by_kind.values())
+
+    def render(self) -> str:
+        lines = [
+            f"chaos {self.workload!r} seed={self.seed}: "
+            f"{self.injected_total} fault(s) injected, "
+            f"{self.recovered} recovery action(s), "
+            f"{'OK' if self.ok else 'FAILED'}",
+        ]
+        if self.injected_by_kind:
+            by_kind = ", ".join(f"{k}={v}" for k, v in self.injected_by_kind.items())
+            lines.append(f"  injected: {by_kind}")
+        lines.extend(f"  {line}" for line in self.detail)
+        lines.append("  injected-event log:")
+        lines.extend(f"    {line}" for line in self.log_lines)
+        return "\n".join(lines)
+
+
+def partition_rank(rank: int) -> tuple[FaultRule, FaultRule]:
+    """Rules that partition one MPI rank from the network: every message
+    to or from it is dropped (pair with a deadline/timeout to observe)."""
+    return (
+        FaultRule("mpi.send", FaultKind.DROP, every=1, where={"dest": rank},
+                  note=f"partition: to rank {rank}"),
+        FaultRule("mpi.send", FaultKind.DROP, every=1, where={"source": rank},
+                  note=f"partition: from rank {rank}"),
+    )
+
+
+#: Small deterministic corpus (mirrors the telemetry workloads').
+_DOCUMENTS: tuple[tuple[int, str], ...] = (
+    (0, "the fork joins the team and the team joins the fork"),
+    (1, "a barrier waits for every thread every time"),
+    (2, "map shuffle reduce map shuffle reduce"),
+    (3, "the master re executes failed tasks"),
+    (4, "stragglers get backup tasks near the end"),
+    (5, "the reduction combines partial sums into one"),
+    (6, "messages match by source and tag in order"),
+    (7, "the scatter hands one block to every rank"),
+)
+
+
+# -- plans -------------------------------------------------------------------
+
+
+def _mapreduce_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="mapreduce", seed=seed, rules=(
+        # A guaranteed worker death: attempt 0 of map task 0 dies.
+        FaultRule("mr.task", FaultKind.CRASH, at=(0,),
+                  where={"phase": "map", "task": 0}, note="planned map death"),
+        # Seeded extra deaths: ~20% of map attempts, at most 2 in total.
+        FaultRule("mr.task", FaultKind.CRASH, probability=0.2,
+                  where={"phase": "map"}, max_fires=2, note="random map death"),
+        # One shuffle corruption, caught by checksum and re-executed.
+        FaultRule("mr.shuffle", FaultKind.CORRUPT, at=(0,),
+                  where={"task": 1}, note="shuffle corruption"),
+    ))
+
+
+def _openmp_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="openmp", seed=seed, rules=(
+        FaultRule("omp.thread", FaultKind.CRASH, at=(0,),
+                  where={"thread": 1}, note="thread 1 dies in region 0"),
+        FaultRule("omp.barrier", FaultKind.STALL, at=(0,),
+                  where={"thread": 0}, delay_s=0.01, note="barrier stall"),
+    ))
+
+
+def _mpi_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="mpi", seed=seed, rules=(
+        FaultRule("mpi.send", FaultKind.DROP, at=(0,),
+                  where={"dest": 1, "tag": _DATA_TAG}, note="drop 0->1"),
+        FaultRule("mpi.send", FaultKind.DUPLICATE, at=(0,),
+                  where={"source": 1, "tag": _DATA_TAG}, note="duplicate 1->2"),
+        FaultRule("mpi.send", FaultKind.DELAY, at=(0,), delay_slots=4,
+                  where={"source": 2, "tag": _DATA_TAG}, note="reorder 2->next"),
+    ))
+
+
+def _drugdesign_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="drugdesign", seed=seed, rules=(
+        FaultRule("dd.score", FaultKind.EXCEPTION, probability=0.25,
+                  note="transient scoring failure"),
+    ))
+
+
+def named_plan(workload: str, seed: int) -> FaultPlan:
+    """The default plan the CLI runs for ``workload``."""
+    try:
+        builder = _PLANS[workload]
+    except KeyError:
+        raise KeyError(workload) from None
+    return builder(seed)
+
+
+# -- workloads ---------------------------------------------------------------
+
+
+def _run_mapreduce(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.mapreduce.engine import MapReduceEngine
+    from repro.mapreduce.jobs import word_count_job
+
+    spec = word_count_job(n_reduce_tasks=4)
+    records = list(_DOCUMENTS)
+    engine = MapReduceEngine(n_workers=threads, max_attempts=4)
+    result = engine.run(spec, records)
+    reference = MapReduceEngine(n_workers=1).run_sequential(spec, records)
+    ok = result.output == reference.output
+    recovered = result.retries
+    detail = [
+        f"word count over {len(records)} documents: {len(result.output)} "
+        f"distinct words, {result.retries} task re-execution(s)",
+        f"output matches fault-free sequential run: {ok}",
+    ]
+    return recovered, detail, ok
+
+
+def _run_openmp(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.openmp.runtime import OpenMP, ParallelError
+
+    omp = OpenMP(num_threads=threads)
+
+    def region() -> int:
+        partials = [0] * threads
+
+        def body(ctx) -> None:
+            partials[ctx.thread_num] = sum(
+                i for i in range(100) if i % ctx.num_threads == ctx.thread_num
+            )
+            ctx.barrier()
+
+        omp.parallel(body)
+        return sum(partials)
+
+    policy = RetryPolicy(max_attempts=3, base_s=0.0, cap_s=0.0,
+                         seed=seed, retry_on=(ParallelError,))
+    total = policy.call(region, what="omp.region")
+    ok = total == sum(range(100))
+    # Crashes that fired are exactly the region re-runs the policy absorbed.
+    recovered = sum(1 for f in injector.log if f.kind is FaultKind.CRASH)
+    detail = [
+        f"fork-join region on {threads} threads survived "
+        f"{recovered} thread crash(es) via region retry (sum={total})",
+    ]
+    return recovered, detail, ok
+
+
+_DATA_TAG = 5
+_ACK_TAG = 6
+
+
+def _run_mpi(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator, MPIError, mpi_run
+
+    n_ranks = max(3, threads)
+    messages_per_rank = 2
+    ack_timeout_s = 0.25
+
+    def program(comm: Communicator) -> dict[str, int]:
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        stats = {"retransmits": 0, "duplicates_dropped": 0, "reordered": 0}
+
+        # Pipeline both numbered messages to the right (no ack wait in
+        # between — that is what lets the DELAY fault reorder them), then
+        # interleave: collect data from the left (acking and deduping)
+        # and acks from the right, retransmitting unacked messages on
+        # timeout.  A strict send-then-receive phase order would deadlock
+        # the ring — every rank would wait for acks its neighbour only
+        # sends after *its* acks arrive.
+        payloads = {
+            seq: {"seq": seq, "value": comm.rank * 10 + seq}
+            for seq in range(messages_per_rank)
+        }
+        for seq in range(messages_per_rank):
+            comm.send(payloads[seq], dest=right, tag=_DATA_TAG)
+
+        acked: set[int] = set()
+        got: dict[int, int] = {}
+        arrival: list[int] = []
+        while len(acked) < messages_per_rank or len(got) < messages_per_rank:
+            try:
+                message = comm.recv(source=ANY_SOURCE, tag=ANY_TAG,
+                                    timeout=ack_timeout_s)
+            except MPIError:
+                # Ack overdue: the data message (or its ack) was lost.
+                for seq in range(messages_per_rank):
+                    if seq not in acked:
+                        comm.send(payloads[seq], dest=right, tag=_DATA_TAG)
+                        stats["retransmits"] += 1
+                continue
+            if "value" in message:               # data from the left
+                comm.send({"ack": message["seq"]}, dest=left, tag=_ACK_TAG)
+                if message["seq"] in got:
+                    stats["duplicates_dropped"] += 1
+                    continue
+                got[message["seq"]] = message["value"]
+                arrival.append(message["seq"])
+            else:                                # ack from the right
+                acked.add(message["ack"])
+        if arrival != sorted(arrival):
+            stats["reordered"] += 1
+        values = [got[s] for s in sorted(got)]
+        expected = [left * 10 + s for s in range(messages_per_rank)]
+        if values != expected:
+            raise AssertionError(
+                f"rank {comm.rank}: got {values}, expected {expected}"
+            )
+        return stats
+
+    all_stats = mpi_run(n_ranks, program)
+    recovered = sum(sum(s.values()) for s in all_stats)
+    detail = [
+        f"ring exchange on {n_ranks} ranks: "
+        + ", ".join(
+            f"{key}={sum(s[key] for s in all_stats)}"
+            for key in ("retransmits", "duplicates_dropped", "reordered")
+        ),
+        "every rank reassembled its neighbour's stream in seq order",
+    ]
+    return recovered, detail, True
+
+
+def _run_drugdesign(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.drugdesign.ligands import DEFAULT_PROTEIN, generate_ligands
+    from repro.drugdesign.solvers import score_ligand
+
+    ligands = generate_ligands(24, max_ligand=5, seed=500)
+    policy = RetryPolicy(max_attempts=5, base_s=0.01, cap_s=0.1, seed=seed,
+                         clock=FakeClock(), retry_on=(TransientFault,))
+    scored: list[tuple[int, str]] = []
+    failures_absorbed = 0
+    for ligand in ligands:
+        before = len([f for f in injector.log if f.site == "dd.score"])
+        score = policy.call(
+            lambda lig=ligand: score_ligand(lig, DEFAULT_PROTEIN),
+            what=f"dd.score:{ligand}",
+        )
+        failures_absorbed += len(
+            [f for f in injector.log if f.site == "dd.score"]
+        ) - before
+        scored.append((score, ligand))
+
+    max_score = max(score for score, _ in scored)
+    best = sorted({lig for score, lig in scored if score == max_score})
+    from repro.drugdesign.scoring import lcs_score
+    expected_max = max(lcs_score(lig, DEFAULT_PROTEIN) for lig in ligands)
+    ok = max_score == expected_max
+    detail = [
+        f"scored {len(ligands)} ligands; {failures_absorbed} transient "
+        f"failure(s) absorbed by retry (max score {max_score}, "
+        f"{len(best)} best ligand(s))",
+    ]
+    return failures_absorbed, detail, ok
+
+
+_PLANS: dict[str, Callable[[int], FaultPlan]] = {
+    "mapreduce": _mapreduce_plan,
+    "openmp": _openmp_plan,
+    "mpi": _mpi_plan,
+    "drugdesign": _drugdesign_plan,
+}
+
+CHAOS_WORKLOADS: dict[str, Callable[[FaultInjector, int, int], tuple[int, list[str], bool]]] = {
+    "mapreduce": _run_mapreduce,
+    "openmp": _run_openmp,
+    "mpi": _run_mpi,
+    "drugdesign": _run_drugdesign,
+}
+
+
+def chaos_workload_names() -> list[str]:
+    return sorted(CHAOS_WORKLOADS)
+
+
+def run_chaos(
+    workload: str,
+    seed: int = 0,
+    threads: int = 4,
+    plan: FaultPlan | None = None,
+) -> ChaosReport:
+    """Run one scenario under its (or a custom) fault plan.
+
+    Raises KeyError for unknown workloads.  Activates the fault session
+    itself; the caller may independently wrap it in a telemetry session.
+    """
+    from repro import faults
+
+    normalized = workload.replace("-", "_").lower()
+    if normalized not in CHAOS_WORKLOADS:
+        raise KeyError(workload)
+    active_plan = plan if plan is not None else named_plan(normalized, seed)
+    with faults.inject(active_plan) as injector:
+        recovered, detail, ok = CHAOS_WORKLOADS[normalized](injector, seed, threads)
+    return ChaosReport(
+        workload=normalized,
+        seed=seed,
+        plan=active_plan,
+        injected_by_kind=injector.counts_by_kind(),
+        recovered=recovered,
+        detail=detail,
+        log_lines=injector.log_lines(),
+        ok=ok,
+    )

@@ -1,0 +1,154 @@
+"""Injectable clocks: real, fake, and time-compressed.
+
+Every sleep in the resilience stack — retry backoff, circuit-breaker
+reset windows, injected stalls, straggler delays — goes through a
+:class:`Clock` so tests control time instead of waiting for it:
+
+- :class:`SystemClock` — the real thing (``time.monotonic`` and real
+  sleeps); the default everywhere, zero behaviour change.
+- :class:`FakeClock` — virtual time.  ``sleep`` *advances* the virtual
+  clock and returns immediately, so a test of a 30-second backoff
+  schedule finishes in microseconds and can then assert exactly how much
+  virtual time was slept.
+- :class:`ScaledClock` — compresses real waits by a factor while
+  *reporting* durations in nominal (uncompressed) units.  This is for
+  genuinely concurrent code (the straggler engine's racing primaries and
+  backups) where virtual time would need a scheduler: the threads still
+  really block, just 20x shorter, and measured wall time stays in the
+  units the delays were written in.
+
+Never ``time.time()`` here: wall clocks step under NTP and break both
+interval math and replay.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import wait as _futures_wait
+from typing import Collection
+
+__all__ = ["Clock", "SystemClock", "FakeClock", "ScaledClock", "SYSTEM_CLOCK"]
+
+
+class Clock:
+    """Interface: monotonic time plus the three blocking shapes we use."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+    def wait(self, event: threading.Event, timeout: float) -> bool:
+        """Block until ``event`` is set or ``timeout`` elapses; returns
+        whether the event was set (the semantics of ``Event.wait``)."""
+        raise NotImplementedError
+
+    def wait_futures(
+        self, futures: Collection[Future], timeout: float
+    ) -> tuple[set[Future], set[Future]]:
+        """``concurrent.futures.wait`` under this clock's notion of time."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time.  Stateless — share the module singleton."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def wait(self, event: threading.Event, timeout: float) -> bool:
+        return event.wait(timeout=timeout)
+
+    def wait_futures(
+        self, futures: Collection[Future], timeout: float
+    ) -> tuple[set[Future], set[Future]]:
+        done, pending = _futures_wait(futures, timeout=timeout)
+        return done, pending
+
+
+#: Shared default instance.
+SYSTEM_CLOCK = SystemClock()
+
+
+class FakeClock(Clock):
+    """Virtual time for single-actor code (policies, planned schedules).
+
+    ``sleep`` advances the clock instead of blocking; ``slept`` records
+    every requested interval so tests can assert the backoff schedule.
+    ``wait`` reports the event's current state and charges the full
+    timeout when it was not set — the caller observed a timeout.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+        self.slept: list[float] = []
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot advance time backwards ({seconds})")
+        with self._lock:
+            self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"cannot sleep a negative interval ({seconds})")
+        with self._lock:
+            self._now += seconds
+            self.slept.append(seconds)
+
+    def wait(self, event: threading.Event, timeout: float) -> bool:
+        if event.is_set():
+            return True
+        self.sleep(timeout)
+        return event.is_set()
+
+    def wait_futures(
+        self, futures: Collection[Future], timeout: float
+    ) -> tuple[set[Future], set[Future]]:
+        done, pending = _futures_wait(futures, timeout=0)
+        if pending:
+            self.sleep(timeout)
+            done, pending = _futures_wait(futures, timeout=0)
+        return done, pending
+
+
+class ScaledClock(Clock):
+    """Real blocking, compressed by ``scale`` (< 1 shrinks waits).
+
+    A 0.5 s straggler delay under ``ScaledClock(0.05)`` really blocks
+    25 ms, and a measured interval of that block reads back as ~0.5 —
+    durations stay in the nominal units the code was written in, so
+    ratio assertions (speculation beats waiting) survive unchanged.
+    """
+
+    def __init__(self, scale: float, base: Clock | None = None) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        self.scale = scale
+        self._base = base if base is not None else SYSTEM_CLOCK
+
+    def monotonic(self) -> float:
+        return self._base.monotonic() / self.scale
+
+    def sleep(self, seconds: float) -> None:
+        self._base.sleep(seconds * self.scale)
+
+    def wait(self, event: threading.Event, timeout: float) -> bool:
+        return self._base.wait(event, timeout * self.scale)
+
+    def wait_futures(
+        self, futures: Collection[Future], timeout: float
+    ) -> tuple[set[Future], set[Future]]:
+        return self._base.wait_futures(futures, timeout * self.scale)

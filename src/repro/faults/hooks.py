@@ -1,0 +1,83 @@
+"""The hooks instrumented runtimes call — single branch when disabled.
+
+Exactly the shape of :mod:`repro.telemetry.instrument`: a module-global
+``_INJECTOR`` that is ``None`` when no fault plan is active, and every
+hook starts by loading it and bailing.  Disabled fault injection
+therefore costs the runtimes one attribute load and one ``is None`` test
+per site — the same budget the telemetry hooks already meet (≤5% on a
+fork-join region), and the two families share call sites so the bound
+is tested for both together.
+
+Runtimes import only this module::
+
+    from repro.faults import hooks as faults
+    ...
+    faults.fire("omp.thread", key=str(tid), thread=tid)   # may raise
+    verdict = faults.message("mpi.send", key=f"{src}->{dest}", ...)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.plan import MESSAGE_KINDS, FaultKind, FaultRule
+
+__all__ = ["enabled", "active_injector", "fire", "message", "corrupt"]
+
+#: The active injector, or None.  Rebinding is atomic under the GIL; a
+#: stale read at the enable/disable edge merely injects (or skips) one
+#: fault, which only chaos sessions can observe.
+_INJECTOR: FaultInjector | None = None
+
+
+def _install(injector: FaultInjector) -> None:
+    global _INJECTOR
+    _INJECTOR = injector
+
+
+def _uninstall() -> None:
+    global _INJECTOR
+    _INJECTOR = None
+
+
+def enabled() -> bool:
+    """Is a fault plan currently active?"""
+    return _INJECTOR is not None
+
+
+def active_injector() -> FaultInjector | None:
+    return _INJECTOR
+
+
+def fire(site: str, key: str = "", **context: Any) -> InjectedFault | None:
+    """Evaluate a call site: may raise InjectedCrash / TransientFault,
+    may sleep (STALL/SLOW), returns the fault record if one fired."""
+    injector = _INJECTOR
+    if injector is None:
+        return None
+    return injector.fire(site, key, **context)
+
+
+def message(
+    site: str, key: str = "", **context: Any
+) -> tuple[FaultKind, FaultRule] | None:
+    """Evaluate a message site: returns the (kind, rule) verdict for the
+    transport to apply — DROP, DELAY, DUPLICATE, or CORRUPT — or None."""
+    injector = _INJECTOR
+    if injector is None:
+        return None
+    fault = injector.check(site, key, **context)
+    if fault is None or fault.kind not in MESSAGE_KINDS:
+        return None
+    return fault.kind, injector.rule_for(fault)
+
+
+def corrupt(site: str, key: str = "", **context: Any) -> bool:
+    """Evaluate a payload-integrity site: True when the payload should be
+    corrupted in flight (the consumer's checksum is expected to catch it)."""
+    injector = _INJECTOR
+    if injector is None:
+        return False
+    fault = injector.check(site, key, **context)
+    return fault is not None and fault.kind is FaultKind.CORRUPT

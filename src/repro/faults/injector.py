@@ -1,0 +1,173 @@
+"""The injector: evaluates a plan at runtime and keeps the replay log.
+
+The injector owns one invocation counter per (site, key).  ``key`` is
+the runtime-supplied stable sub-coordinate — map task ``"map:3"``, MPI
+channel ``"1->2"``, ligand string — so indices are program-order facts,
+not thread-arrival accidents.  Every fault that fires is appended to an
+in-memory log; :meth:`FaultInjector.log_lines` renders the log in
+canonical (sorted, timestamp-free) form, which is the artifact the
+determinism tests compare byte-for-byte across runs and hash seeds.
+
+Injected faults surface as exceptions the runtimes already know how to
+handle (:class:`InjectedCrash` kills a task attempt or thread,
+:class:`TransientFault` is the retryable kind policies recover from) or
+as message verdicts the transport applies (drop / delay / duplicate /
+corrupt).  Every firing also emits telemetry, so a chaos run's trace
+shows fault → detection → recovery on one timeline.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.faults.clock import SYSTEM_CLOCK, Clock
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.telemetry import instrument as telemetry
+
+__all__ = [
+    "InjectedCrash",
+    "TransientFault",
+    "InjectedFault",
+    "FaultInjector",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """A planned worker/thread death.  Not a bug — scheduled chaos."""
+
+
+class TransientFault(RuntimeError):
+    """A planned transient failure; retry policies are expected to absorb it."""
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One log entry: where, which invocation, and what was done."""
+
+    site: str
+    key: str
+    index: int
+    kind: FaultKind
+    rule_index: int
+
+    def canonical(self) -> str:
+        return f"{self.site}|{self.key}|{self.index}|{self.kind.value}|r{self.rule_index}"
+
+
+class FaultInjector:
+    """Evaluates :class:`FaultPlan` rules and records what fired."""
+
+    def __init__(self, plan: FaultPlan, clock: Clock | None = None) -> None:
+        self.plan = plan
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, str], int] = {}
+        self._fires_per_rule: dict[int, int] = {}
+        self._log: list[InjectedFault] = []
+        # Site → candidate rules, resolved once (plans are frozen).
+        self._site_rules: dict[str, tuple[tuple[int, FaultRule], ...]] = {}
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _candidates(self, site: str) -> tuple[tuple[int, FaultRule], ...]:
+        cached = self._site_rules.get(site)
+        if cached is None:
+            cached = tuple(
+                (i, rule)
+                for i, rule in enumerate(self.plan.rules)
+                if rule.matches_site(site)
+            )
+            with self._lock:
+                self._site_rules[site] = cached
+        return cached
+
+    def check(self, site: str, key: str = "", **context: Any) -> InjectedFault | None:
+        """One invocation of ``site``/``key``: returns the fault to apply.
+
+        The invocation index advances whether or not anything fires —
+        indices are coordinates of the program, not of the plan.  The
+        first matching rule (plan order) wins.
+        """
+        candidates = self._candidates(site)
+        with self._lock:
+            index = self._counters.get((site, key), 0)
+            self._counters[(site, key)] = index + 1
+            fired: InjectedFault | None = None
+            for rule_index, rule in candidates:
+                limit = rule.max_fires
+                if limit is not None and self._fires_per_rule.get(rule_index, 0) >= limit:
+                    continue
+                if not rule.matches_context(context):
+                    continue
+                if not rule.selects_index(self.plan.seed, site, key, index):
+                    continue
+                fired = InjectedFault(
+                    site=site, key=key, index=index,
+                    kind=rule.kind, rule_index=rule_index,
+                )
+                self._fires_per_rule[rule_index] = (
+                    self._fires_per_rule.get(rule_index, 0) + 1
+                )
+                self._log.append(fired)
+                break
+        if fired is not None:
+            telemetry.instant("fault.injected", site=site, key=key,
+                              index=index, kind=fired.kind.value)
+            telemetry.inc("faults.injected")
+            telemetry.inc(f"faults.injected.{fired.kind.value}")
+        return fired
+
+    def rule_for(self, fault: InjectedFault) -> FaultRule:
+        return self.plan.rules[fault.rule_index]
+
+    # -- applying call-site faults ------------------------------------------
+
+    def fire(self, site: str, key: str = "", **context: Any) -> InjectedFault | None:
+        """Evaluate a *call* site and apply the fault in place.
+
+        CRASH and EXCEPTION raise; STALL and SLOW sleep on the injector's
+        clock then return the fault; message kinds are returned for the
+        transport to apply (a call site receiving one ignores it rather
+        than guessing a meaning).
+        """
+        fault = self.check(site, key, **context)
+        if fault is None:
+            return None
+        rule = self.rule_for(fault)
+        if fault.kind is FaultKind.CRASH:
+            raise InjectedCrash(
+                f"injected crash at {site} [{key}] invocation {fault.index}"
+            )
+        if fault.kind is FaultKind.EXCEPTION:
+            raise TransientFault(
+                rule.note
+                or f"injected transient fault at {site} [{key}] invocation {fault.index}"
+            )
+        if fault.kind in (FaultKind.STALL, FaultKind.SLOW):
+            self.clock.sleep(rule.delay_s)
+        return fault
+
+    # -- the replay log ------------------------------------------------------
+
+    @property
+    def log(self) -> list[InjectedFault]:
+        with self._lock:
+            return list(self._log)
+
+    def log_lines(self) -> list[str]:
+        """Canonical injected-event log: sorted, timestamp-free lines.
+
+        Sorting removes thread-arrival nondeterminism; the *content* is
+        already deterministic because indices are per-(site, key).  Two
+        runs with the same plan and seed must produce byte-identical
+        output here — that is the replay contract.
+        """
+        return sorted(fault.canonical() for fault in self.log)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for fault in self.log:
+            out[fault.kind.value] = out.get(fault.kind.value, 0) + 1
+        return dict(sorted(out.items()))

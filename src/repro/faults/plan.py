@@ -1,0 +1,143 @@
+"""Fault plans: *what* goes wrong, *where*, and *when* — deterministically.
+
+A :class:`FaultPlan` is a seed plus an ordered list of :class:`FaultRule`
+entries.  A rule names an injection **site** (``"mr.task"``,
+``"mpi.send"``, ``"omp.barrier"`` …) and fires on specific **invocation
+indices** of that site.  Sites are sub-keyed by the runtime (per map
+task, per MPI channel, per ligand), so an invocation index is a stable
+program-order coordinate — *attempt 0 of map task 3*, *the second send
+from rank 1 to rank 2* — not a racy global arrival number.  That is what
+makes a plan replayable: the same seed and plan produce the same faults
+at the same coordinates on every run, regardless of thread scheduling or
+``PYTHONHASHSEED``.
+
+Probabilistic rules stay deterministic the same way: the Bernoulli draw
+for (site, key, index) is a pure hash of those coordinates and the plan
+seed (CRC-32, not the salted builtin ``hash``), so it is *order
+independent* — concurrent sites can draw in any interleaving and still
+reproduce the same fault set.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+__all__ = ["FaultKind", "FaultRule", "FaultPlan"]
+
+
+class FaultKind(str, Enum):
+    """What an injected fault does at its site."""
+
+    CRASH = "crash"            # kill the worker/thread/task attempt
+    EXCEPTION = "exception"    # raise a transient (retryable) error
+    STALL = "stall"            # hold a lock/barrier entry for delay_s
+    SLOW = "slow"              # slow node: sleep delay_s, then proceed
+    DROP = "drop"              # message vanishes in flight
+    DELAY = "delay"            # message is reordered behind later traffic
+    DUPLICATE = "duplicate"    # message is delivered twice
+    CORRUPT = "corrupt"        # payload is altered in flight (checksums catch it)
+
+
+#: Kinds that only make sense at message sites.
+MESSAGE_KINDS = frozenset(
+    {FaultKind.DROP, FaultKind.DELAY, FaultKind.DUPLICATE, FaultKind.CORRUPT}
+)
+
+
+def _coordinate_hash(seed: int, site: str, key: str, index: int) -> float:
+    """Order-independent uniform draw in [0, 1) for one coordinate."""
+    blob = f"{seed}:{site}:{key}:{index}".encode("utf-8")
+    return zlib.crc32(blob) / 2**32
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic trigger.
+
+    The rule fires at an invocation of ``site`` when the context matches
+    ``where`` (subset match on the kwargs the runtime passes) **and** the
+    invocation index is selected: listed in ``at``, a multiple of
+    ``every``, or chosen by the seeded coordinate draw (``probability``).
+    ``max_fires`` caps total firings of this rule across the run.
+    """
+
+    site: str                                   # exact name or fnmatch glob
+    kind: FaultKind
+    at: tuple[int, ...] = ()
+    every: int | None = None
+    probability: float = 0.0
+    where: Mapping[str, Any] = field(default_factory=dict)
+    delay_s: float = 0.0                        # STALL / SLOW magnitude
+    delay_slots: int = 1                        # DELAY reorder distance
+    max_fires: int | None = None
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("rule site must be non-empty")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if any(i < 0 for i in self.at):
+            raise ValueError("invocation indices must be >= 0")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.delay_slots < 1:
+            raise ValueError(f"delay_slots must be >= 1, got {self.delay_slots}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {self.max_fires}")
+        if not (self.at or self.every is not None or self.probability > 0):
+            raise ValueError(
+                "rule needs a trigger: at=(...), every=N, or probability>0"
+            )
+        # Freeze `where` so rules stay hashable value objects.
+        object.__setattr__(self, "where", dict(self.where))
+
+    def matches_site(self, site: str) -> bool:
+        if self.site == site:
+            return True
+        return fnmatch.fnmatchcase(site, self.site)
+
+    def matches_context(self, context: Mapping[str, Any]) -> bool:
+        return all(context.get(k) == v for k, v in self.where.items())
+
+    def selects_index(self, seed: int, site: str, key: str, index: int) -> bool:
+        if index in self.at:
+            return True
+        if self.every is not None and index % self.every == 0:
+            return True
+        if self.probability > 0.0:
+            return _coordinate_hash(seed, site, key, index) < self.probability
+        return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus rules; the unit the chaos CLI names and replays."""
+
+    rules: tuple[FaultRule, ...]
+    seed: int = 0
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def rules_for(self, site: str) -> tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.matches_site(site))
+
+    def describe(self) -> str:
+        lines = [f"plan {self.name!r} (seed {self.seed}, {len(self.rules)} rule(s))"]
+        for i, rule in enumerate(self.rules):
+            trigger = (
+                f"at={list(rule.at)}" if rule.at
+                else f"every={rule.every}" if rule.every is not None
+                else f"p={rule.probability}"
+            )
+            where = f" where {dict(rule.where)}" if rule.where else ""
+            lines.append(f"  [{i}] {rule.kind.value} @ {rule.site} {trigger}{where}")
+        return "\n".join(lines)

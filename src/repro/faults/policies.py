@@ -1,0 +1,263 @@
+"""Resilience policies: retry with backoff, deadlines, circuit breaking.
+
+The recovery half of the chaos story.  All three policies run on an
+injectable :class:`~repro.faults.clock.Clock`, so tests drive a
+30-second backoff schedule in virtual time, and all three emit
+telemetry for every decision (attempt, backoff sleep, breaker trip),
+so a chaos trace shows recovery next to the fault that caused it.
+
+- :class:`RetryPolicy` — exponential backoff with *decorrelated jitter*
+  (the AWS architecture-blog variant: each sleep is uniform on
+  ``[base, prev * 3]``, capped), seeded so a given policy instance
+  produces a reproducible sleep sequence.
+- :class:`Deadline` — a propagatable time budget: callers derive child
+  deadlines (``min`` semantics) and pass them down, so a slow retry loop
+  near the root cannot silently spend a caller's entire budget.
+- :class:`CircuitBreaker` — closed → open after N consecutive failures,
+  half-open probe after a reset window, closed again on success.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.faults.clock import SYSTEM_CLOCK, Clock
+from repro.telemetry import instrument as telemetry
+
+__all__ = [
+    "RetryError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "Deadline",
+    "CircuitBreaker",
+]
+
+
+class RetryError(RuntimeError):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, attempts: int, last: BaseException) -> None:
+        self.attempts = attempts
+        self.last = last
+        super().__init__(f"gave up after {attempts} attempt(s): {last!r}")
+
+
+class DeadlineExceeded(TimeoutError):
+    """The propagated time budget ran out."""
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open; the call was rejected without running."""
+
+
+class Deadline:
+    """An absolute point on a clock, passed down a call tree."""
+
+    __slots__ = ("_at", "_clock")
+
+    def __init__(self, at: float, clock: Clock | None = None) -> None:
+        self._at = float(at)
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
+
+    @classmethod
+    def after(cls, timeout_s: float, clock: Clock | None = None) -> "Deadline":
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        clk = clock if clock is not None else SYSTEM_CLOCK
+        return cls(clk.monotonic() + timeout_s, clk)
+
+    def remaining(self) -> float:
+        return max(0.0, self._at - self._clock.monotonic())
+
+    def expired(self) -> bool:
+        return self._clock.monotonic() >= self._at
+
+    def check(self, what: str = "operation") -> None:
+        if self.expired():
+            telemetry.instant("policy.deadline.exceeded", what=what)
+            telemetry.inc("policy.deadline.exceeded")
+            raise DeadlineExceeded(f"{what}: deadline exceeded")
+
+    def subdeadline(self, timeout_s: float) -> "Deadline":
+        """Derive a child budget: never later than the parent (min)."""
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        return Deadline(
+            min(self._at, self._clock.monotonic() + timeout_s), self._clock
+        )
+
+
+class RetryPolicy:
+    """Retry with capped exponential backoff and decorrelated jitter."""
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_s: float = 0.05,
+        cap_s: float = 2.0,
+        seed: int = 0,
+        clock: Clock | None = None,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if base_s < 0 or cap_s < base_s:
+            raise ValueError(f"need 0 <= base_s <= cap_s, got {base_s}, {cap_s}")
+        self.max_attempts = max_attempts
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.seed = seed
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.retry_on = retry_on
+
+    def backoffs(self) -> Iterator[float]:
+        """The (reproducible) sleep schedule: decorrelated jitter.
+
+        ``sleep_n = min(cap, uniform(base, sleep_{n-1} * 3))``, starting
+        from ``base`` — spreads retry storms without synchronized waves.
+        """
+        rng = random.Random(self.seed)
+        sleep = self.base_s
+        while True:
+            sleep = min(self.cap_s, rng.uniform(self.base_s, max(self.base_s, sleep * 3)))
+            yield sleep
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        what: str = "call",
+        deadline: Deadline | None = None,
+    ) -> Any:
+        """Run ``fn`` until it succeeds, retries are exhausted, or the
+        deadline expires.  Only ``retry_on`` exceptions are retried;
+        anything else propagates immediately (a bug is not a blip)."""
+        schedule = self.backoffs()
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None:
+                deadline.check(what)
+            try:
+                result = fn()
+            except self.retry_on as exc:
+                last = exc
+                telemetry.instant("policy.retry", what=what, attempt=attempt,
+                                  error=repr(exc))
+                telemetry.inc("policy.retries")
+                if attempt + 1 >= self.max_attempts:
+                    break
+                pause = next(schedule)
+                if deadline is not None and pause > deadline.remaining():
+                    telemetry.instant("policy.retry.budget_exhausted", what=what)
+                    break
+                self.clock.sleep(pause)
+            else:
+                if attempt > 0:
+                    telemetry.instant("policy.recovered", what=what,
+                                      attempts=attempt + 1)
+                    telemetry.inc("policy.recoveries")
+                return result
+        assert last is not None
+        raise RetryError(self.max_attempts, last) from last
+
+
+class CircuitBreaker:
+    """Fail fast when a dependency is persistently broken.
+
+    Closed: calls pass; ``failure_threshold`` consecutive failures trip
+    it open.  Open: calls are rejected with :class:`CircuitOpenError`
+    until ``reset_timeout_s`` has elapsed on the clock.  Half-open: one
+    probe call is admitted; success closes the breaker, failure re-opens
+    it (and restarts the reset window).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 1.0,
+        clock: Clock | None = None,
+        name: str = "breaker",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout_s < 0:
+            raise ValueError(f"reset_timeout_s must be >= 0, got {reset_timeout_s}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.name = name
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.rejected = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self.clock.monotonic() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+            telemetry.instant("policy.breaker.half_open", breaker=self.name)
+        return self._state
+
+    def allow(self) -> bool:
+        """Admission decision; half-open admits exactly one probe."""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            self.rejected += 1
+            telemetry.inc("policy.breaker.rejected")
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            if self._state != self.CLOSED:
+                telemetry.instant("policy.breaker.closed", breaker=self.name)
+                telemetry.inc("policy.breaker.closes")
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                self._consecutive_failures >= self.failure_threshold
+                or self._state_locked() != self.CLOSED
+            )
+            self._probing = False
+            if tripped:
+                self._state = self.OPEN
+                self._opened_at = self.clock.monotonic()
+                telemetry.instant("policy.breaker.opened", breaker=self.name,
+                                  failures=self._consecutive_failures)
+                telemetry.inc("policy.breaker.opens")
+
+    def call(self, fn: Callable[[], Any]) -> Any:
+        """Guarded call: rejection raises :class:`CircuitOpenError`."""
+        if not self.allow():
+            raise CircuitOpenError(f"{self.name} is open")
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

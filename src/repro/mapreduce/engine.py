@@ -31,6 +31,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
+from repro.faults import hooks as faults
+from repro.faults.injector import InjectedCrash, TransientFault
 from repro.telemetry import instrument as telemetry
 
 __all__ = [
@@ -40,6 +42,7 @@ __all__ = [
     "MapReduceEngine",
     "sort_key",
     "stable_partition",
+    "pairs_checksum",
 ]
 
 Pair = tuple[Hashable, Any]
@@ -101,6 +104,30 @@ class TaskFailure:
 
 class _InjectedWorkerDeath(RuntimeError):
     """Raised inside a task attempt selected by a TaskFailure."""
+
+
+def pairs_checksum(pairs: Sequence[Pair]) -> int:
+    """Order-sensitive CRC-32 over a task's output pairs.
+
+    The checksum a map task publishes with its output; the shuffle
+    verifies it before partitioning, so in-flight corruption is detected
+    and answered by re-execution rather than silently wrong counts.
+    Uses the same canonical repr as :func:`stable_partition`, so it is
+    identical across processes and ``PYTHONHASHSEED`` values.
+    """
+    crc = 0
+    for k, v in pairs:
+        blob = repr((sort_key(k), v)).encode("utf-8", "backslashreplace")
+        crc = zlib.crc32(blob, crc)
+    return crc
+
+
+def _corrupt_pairs(pairs: list[Pair]) -> list[Pair]:
+    """Deterministic in-flight mangling: drop the last pair (or conjure
+    one from nothing when the output was empty)."""
+    if not pairs:
+        return [("\x00corrupted", -1)]
+    return pairs[:-1]
 
 
 @dataclass(frozen=True)
@@ -179,15 +206,52 @@ class MapReduceEngine:
                 continue
             telemetry.ensure_thread("mapreduce")
             try:
+                # Chaos hook: a plan-scheduled worker death or transient
+                # error for this attempt; keyed per task so the attempt
+                # index is a stable coordinate under any scheduling.
+                faults.fire("mr.task", key=f"{phase}:{index}",
+                            phase=phase, task=index, attempt=attempt)
                 with telemetry.span(f"mr.{phase}.task", category="task",
                                     parent_id=parent_id, task=index,
                                     attempt=attempt):
                     return fn()
+            except (InjectedCrash, TransientFault) as exc:
+                telemetry.instant("mr.task.killed", phase=phase, task=index,
+                                  attempt=attempt)
+                telemetry.inc("mr.tasks.killed")
+                last_error = exc
             except _InjectedWorkerDeath as exc:  # pragma: no cover - defensive
                 last_error = exc
         raise RuntimeError(
             f"{phase} task {index} failed after {self.max_attempts} attempts"
         ) from last_error
+
+    def _verified_transfer(
+        self,
+        index: int,
+        output: list[Pair],
+        splits: list[list[Pair]],
+        map_task: Callable[[list[Pair]], list[Pair]],
+        parent_id: int | None,
+    ) -> list[Pair]:
+        """Move one map output into the shuffle with integrity checking.
+
+        Only runs when a fault plan is active: the producer-side checksum
+        is computed, the transfer may be corrupted by a CORRUPT rule, and
+        a mismatch at the consumer re-executes the map task — the
+        fault-tolerance answer to data corruption, mirroring the
+        re-execution answer to worker death.
+        """
+        expected = pairs_checksum(output)
+        if faults.corrupt("mr.shuffle", key=f"map:{index}", task=index):
+            output = _corrupt_pairs(output)
+        if pairs_checksum(output) != expected:
+            telemetry.instant("mr.shuffle.corruption_detected", task=index)
+            telemetry.inc("mr.shuffle.corruptions")
+            output = self._run_task(
+                "map", index, lambda s=splits[index]: map_task(s), parent_id
+            )
+        return output
 
     def _retry_total(self) -> int:
         """Retries so far (attempts beyond the first, across all tasks)."""
@@ -247,6 +311,12 @@ class MapReduceEngine:
                     for i, split in enumerate(splits)
                 ]
                 map_outputs = [f.result() for f in map_futures]
+
+            if faults.enabled():
+                map_outputs = [
+                    self._verified_transfer(i, output, splits, map_task, job_id)
+                    for i, output in enumerate(map_outputs)
+                ]
 
             # Shuffle: hash-partition and sort each reduce bucket by key.
             buckets: list[dict[Hashable, list[Any]]] = [

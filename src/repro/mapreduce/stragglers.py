@@ -16,11 +16,11 @@ and the bench.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from repro.faults.clock import SYSTEM_CLOCK, Clock
 from repro.mapreduce.engine import JobResult, MapReduceEngine, MapReduceSpec, Pair
 from repro.telemetry import instrument as telemetry
 
@@ -44,7 +44,12 @@ class SlowTask:
 
 @dataclass(frozen=True)
 class SpeculativeResult:
-    """A job result plus speculation accounting."""
+    """A job result plus speculation accounting.
+
+    ``wall_seconds`` is measured on the engine's clock — monotonic real
+    time by default, nominal (uncompressed) units under a
+    :class:`~repro.faults.clock.ScaledClock` — never the steppable wall
+    clock."""
 
     result: JobResult
     backups_launched: int
@@ -53,13 +58,20 @@ class SpeculativeResult:
 
 
 class SpeculativeEngine:
-    """Map-phase speculation on top of :class:`MapReduceEngine`."""
+    """Map-phase speculation on top of :class:`MapReduceEngine`.
+
+    All waiting — the injected straggler delays, the speculation
+    trigger, and the wall-time measurement — goes through ``clock``
+    (:class:`~repro.faults.clock.Clock`), so tests compress or fake
+    time instead of really sleeping through 0.5-second stragglers.
+    """
 
     def __init__(
         self,
         n_workers: int = 4,
         straggler_wait_s: float = 0.05,
         slow_tasks: Sequence[SlowTask] = (),
+        clock: Clock | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -67,6 +79,7 @@ class SpeculativeEngine:
             raise ValueError("straggler_wait_s must be >= 0")
         self.n_workers = n_workers
         self.straggler_wait_s = straggler_wait_s
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
         self._slow = {s.task_index: s.delay_s for s in slow_tasks}
 
     def run(
@@ -77,7 +90,7 @@ class SpeculativeEngine:
         speculate: bool = True,
     ) -> SpeculativeResult:
         """Run with (or, for the ablation, without) backup tasks."""
-        start = time.perf_counter()
+        start = self.clock.monotonic()
         with telemetry.span("mr.speculative_job", category="job",
                             job=spec.name, speculate=speculate):
             return self._run_inner(spec, records, n_map_tasks, speculate, start)
@@ -110,11 +123,11 @@ class SpeculativeEngine:
             with telemetry.span(f"mr.map.{kind}", category="speculation",
                                 task=index, slow=index in self._slow):
                 if primary and index in self._slow:
-                    deadline = time.monotonic() + self._slow[index]
-                    while time.monotonic() < deadline:
-                        if kill_events[index].wait(timeout=0.005):
-                            telemetry.instant("mr.straggler.killed", task=index)
-                            break
+                    # The injected slow-down waits on the kill event through
+                    # the clock: a real clock blocks, a scaled clock blocks
+                    # for a fraction, a fake clock returns instantly.
+                    if self.clock.wait(kill_events[index], self._slow[index]):
+                        telemetry.instant("mr.straggler.killed", task=index)
                 out: list[Pair] = []
                 for k, v in split:
                     out.extend(spec.mapper(k, v))
@@ -132,7 +145,9 @@ class SpeculativeEngine:
                 for index, split in enumerate(splits)
             }
             if speculate:
-                wait(list(primaries.values()), timeout=self.straggler_wait_s)
+                self.clock.wait_futures(
+                    list(primaries.values()), timeout=self.straggler_wait_s
+                )
                 backups = {}
                 for index, future in primaries.items():
                     if not future.done():
@@ -184,5 +199,5 @@ class SpeculativeEngine:
             ),
             backups_launched=backups_launched,
             backups_won=backups_won,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=self.clock.monotonic() - start,
         )

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.config import resolve_timeout_s
+from repro.faults import hooks as faults
+from repro.faults.plan import FaultKind
 from repro.telemetry import instrument as telemetry
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "MPIError", "Request", "Communicator", "mpi_run"]
@@ -38,6 +40,11 @@ DEADLOCK_TIMEOUT_S = 30.0
 #: Fraction of the deadlock timeout after which a blocking receive is
 #: flagged as *near-deadlock* in the trace — the early-warning signal.
 NEAR_DEADLOCK_FRACTION = 0.5
+
+#: Sequence-number boost applied per DELAY slot by fault injection: a
+#: delayed message orders behind any message sent within the next
+#: ``delay_slots * stride`` sequence ticks (it is reordered, never lost).
+_DELAY_SEQ_STRIDE = 1_000_000
 
 
 def _collective(fn: Callable[..., Any]) -> Callable[..., Any]:
@@ -139,15 +146,44 @@ class Communicator:
         self._check_rank(dest, "destination")
         if tag < 0:
             raise MPIError(f"send tag must be >= 0, got {tag}")
+        # Chaos hook: the transport may drop, reorder (delay), or clone
+        # this message.  Channels are keyed "src->dest" so invocation
+        # indices follow per-sender program order — the coordinate system
+        # that makes a fault plan replayable.
+        verdict = faults.message("mpi.send", key=f"{self.rank}->{dest}",
+                                 source=self.rank, dest=dest, tag=tag)
         with telemetry.span("mpi.send", category="p2p", dest=dest, tag=tag):
             message = _Message(
                 source=self.rank, tag=tag, payload=copy.deepcopy(obj),
                 seq=self._world.next_seq(),
             )
-            condition = self._world.conditions[dest]
-            with condition:
-                self._world.mailboxes[dest].append(message)
-                condition.notify_all()
+            copies = 1
+            if verdict is not None:
+                kind, rule = verdict
+                if kind is FaultKind.DROP:
+                    telemetry.instant("mpi.fault.dropped", dest=dest, tag=tag)
+                    telemetry.inc("mpi.messages.dropped")
+                    copies = 0
+                elif kind is FaultKind.DELAY:
+                    message.seq += rule.delay_slots * _DELAY_SEQ_STRIDE
+                    telemetry.instant("mpi.fault.delayed", dest=dest, tag=tag)
+                    telemetry.inc("mpi.messages.delayed")
+                elif kind is FaultKind.DUPLICATE:
+                    telemetry.instant("mpi.fault.duplicated", dest=dest, tag=tag)
+                    telemetry.inc("mpi.messages.duplicated")
+                    copies = 2
+            if copies:
+                condition = self._world.conditions[dest]
+                with condition:
+                    box = self._world.mailboxes[dest]
+                    box.append(message)
+                    for _ in range(copies - 1):
+                        box.append(_Message(
+                            source=message.source, tag=message.tag,
+                            payload=copy.deepcopy(message.payload),
+                            seq=self._world.next_seq(),
+                        ))
+                    condition.notify_all()
         telemetry.inc("mpi.messages.sent")
 
     def recv(

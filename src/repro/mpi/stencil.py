@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.mpi.comm import Communicator, mpi_run
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["heat_sequential", "heat_mpi"]
 
@@ -81,25 +82,31 @@ def heat_mpi(
         left = nearest(range(rank - 1, -1, -1))
         right = nearest(range(rank + 1, size))
 
-        for _ in range(steps):
+        for step in range(steps):
             # Halo exchange.  Two phases of sendrecv (rightward shift then
             # leftward shift); boundary ranks fall back to plain send/recv.
             ghost_left: float | None = None
             ghost_right: float | None = None
             if block:
-                if left is not None and right is not None:
-                    ghost_left = comm.sendrecv(
-                        block[-1], dest=right, source=left, sendtag=1, recvtag=1
-                    )
-                    ghost_right = comm.sendrecv(
-                        block[0], dest=left, source=right, sendtag=2, recvtag=2
-                    )
-                elif left is not None:       # rightmost non-empty rank
-                    comm.send(block[0], dest=left, tag=2)
-                    ghost_left = comm.recv(source=left, tag=1)
-                elif right is not None:      # leftmost non-empty rank
-                    comm.send(block[-1], dest=right, tag=1)
-                    ghost_right = comm.recv(source=right, tag=2)
+                with telemetry.span("mpi.halo_exchange", category="halo",
+                                    rank=rank, step=step,
+                                    left=left, right=right):
+                    if left is not None and right is not None:
+                        ghost_left = comm.sendrecv(
+                            block[-1], dest=right, source=left, sendtag=1, recvtag=1
+                        )
+                        ghost_right = comm.sendrecv(
+                            block[0], dest=left, source=right, sendtag=2, recvtag=2
+                        )
+                    elif left is not None:       # rightmost non-empty rank
+                        comm.send(block[0], dest=left, tag=2)
+                        ghost_left = comm.recv(source=left, tag=1)
+                    elif right is not None:      # leftmost non-empty rank
+                        comm.send(block[-1], dest=right, tag=1)
+                        ghost_right = comm.recv(source=right, tag=2)
+                telemetry.inc("mpi.halo.exchanges")
+                telemetry.inc("mpi.halo.ghost_cells",
+                              (left is not None) + (right is not None))
 
             previous = block[:]
             for i in range(len(block)):

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.openmp.runtime import ParallelContext
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["AccessKind", "Access", "Race", "RaceError", "RaceDetector", "Shared"]
 
@@ -117,6 +118,9 @@ class RaceDetector:
                     locks=frozenset(self._held.get(ctx.thread_num, ())),
                 )
             )
+        telemetry.inc("omp.race.accesses")
+        if is_write:
+            telemetry.inc("omp.race.writes")
 
     # -- analysis ----------------------------------------------------------
 
@@ -129,6 +133,17 @@ class RaceDetector:
         """
         with self._guard:
             accesses = list(self._accesses)
+        with telemetry.span("omp.race.analysis", category="race",
+                            accesses=len(accesses)):
+            found = self._find_conflicts(accesses, limit)
+        if found:
+            telemetry.inc("omp.race.conflicts", len(found))
+            telemetry.instant("omp.race.detected", variable=found[0].first.variable,
+                              conflicts=len(found))
+        return found
+
+    @staticmethod
+    def _find_conflicts(accesses: list[Access], limit: int | None) -> list[Race]:
         found: list[Race] = []
         by_key: dict[tuple[str, int], list[Access]] = {}
         for access in accesses:

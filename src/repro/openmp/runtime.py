@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.config import resolve_timeout_s
+from repro.faults import hooks as faults
 from repro.telemetry import instrument as telemetry
 
 __all__ = ["OpenMP", "ParallelContext", "ParallelError", "TeamWorker"]
@@ -94,6 +95,10 @@ class ParallelContext:
         """
         if timeout is None:
             timeout = self._team.timeout_s
+        # Chaos hook: a STALL rule here delays this thread's arrival,
+        # convoying the whole team (visible as a long omp.barrier span).
+        faults.fire("omp.barrier", key=str(self.thread_num),
+                    thread=self.thread_num)
         if not telemetry.enabled():
             self._team.barrier.wait(timeout=timeout)
             return
@@ -196,6 +201,10 @@ class OpenMP:
             try:
                 with telemetry.span("omp.thread", category="region",
                                     parent_id=region_id, thread=tid):
+                    # Chaos hook: a CRASH rule kills this team member
+                    # mid-region; the normal failure path below collects
+                    # it, aborts the barrier, and reports ParallelError.
+                    faults.fire("omp.thread", key=str(tid), thread=tid)
                     team.results[tid] = body(ctx)
             except BaseException as exc:  # noqa: BLE001 - reported to forker
                 with team.failures_guard:

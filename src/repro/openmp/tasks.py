@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.openmp.runtime import OpenMP
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["TaskHandle", "TaskGroup"]
 
@@ -85,11 +86,15 @@ class TaskGroup:
 
     def _execute(self, entry: tuple) -> None:
         handle, fn, args, kwargs = entry
-        try:
-            handle._value = fn(*args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - stored on the handle
-            handle._error = exc
+        with telemetry.span("omp.task", category="task",
+                            task=getattr(fn, "__name__", repr(fn))):
+            try:
+                handle._value = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - stored on the handle
+                handle._error = exc
+                telemetry.instant("omp.task.failed", error=repr(exc))
         handle._done.set()
+        telemetry.inc("omp.tasks.executed")
         with self._lock:
             self._outstanding -= 1
 
@@ -109,6 +114,7 @@ class TaskGroup:
             if entry is None:
                 return False
             self._deque.remove(entry)
+        telemetry.inc("omp.tasks.inline_helped")
         self._execute(entry)
         return True
 
@@ -120,20 +126,22 @@ class TaskGroup:
         with self._lock:
             self._deque.append((handle, fn, args, kwargs))
             self._outstanding += 1
+        telemetry.inc("omp.tasks.submitted")
         return handle
 
     def taskwait(self, timeout: float = 60.0) -> None:
         """Execute queued tasks until every submitted task has completed."""
-        deadline = time.monotonic() + timeout
-        while True:
-            if self._run_one():
-                continue
-            with self._lock:
-                if self._outstanding == 0:
-                    return
-            if time.monotonic() > deadline:
-                raise TimeoutError("taskwait exceeded its timeout")
-            time.sleep(0.0005)
+        with telemetry.span("omp.taskwait", category="sync"):
+            deadline = time.monotonic() + timeout
+            while True:
+                if self._run_one():
+                    continue
+                with self._lock:
+                    if self._outstanding == 0:
+                        return
+                if time.monotonic() > deadline:
+                    raise TimeoutError("taskwait exceeded its timeout")
+                time.sleep(0.0005)
 
     def run(self, root: Callable, *args: Any, **kwargs: Any) -> Any:
         """Fork the team; thread 0 runs ``root`` while the others execute

@@ -9,7 +9,8 @@ is the reproduction's instrument panel.  It has four layers:
 - :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
   histograms in a :class:`MetricsRegistry`;
 - :mod:`repro.telemetry.export` — Chrome ``trace_event`` JSON (open it
-  in ``chrome://tracing`` / Perfetto) and JSON-lines;
+  in ``chrome://tracing`` / Perfetto), JSON-lines, and OTLP span JSON
+  (the OpenTelemetry collector wire format);
 - :mod:`repro.telemetry.instrument` — the hooks the runtimes call.
   **Telemetry is off by default**: each hook is a single branch on a
   module global, so the deterministic tests and simulated-time models
@@ -95,6 +96,9 @@ class TelemetrySession:
 
     def write_jsonl(self, path: str) -> int:
         return export.write_jsonl(path, self.tracer, self.metrics)
+
+    def write_otlp_json(self, path: str) -> dict[str, Any]:
+        return export.write_otlp_json(path, self.tracer)
 
 
 def _activate(new_session: TelemetrySession) -> None:

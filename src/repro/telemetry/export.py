@@ -1,4 +1,4 @@
-"""Exporters: Chrome ``trace_event`` JSON and JSON-lines.
+"""Exporters: Chrome ``trace_event`` JSON, JSON-lines, and OTLP JSON.
 
 The Chrome format is the *JSON Array Format with metadata*: a top-level
 object with a ``traceEvents`` list, loadable in ``chrome://tracing`` or
@@ -16,6 +16,7 @@ diffing two trace files should not depend on scheduler interleaving.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Mapping
 
@@ -27,6 +28,8 @@ __all__ = [
     "write_chrome_trace",
     "to_jsonl_records",
     "write_jsonl",
+    "to_otlp_json",
+    "write_otlp_json",
 ]
 
 
@@ -185,3 +188,109 @@ def write_jsonl(
             handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
     return len(records)
+
+
+# ---------------------------------------------------------------------------
+# OTLP JSON (OpenTelemetry Protocol, JSON encoding of ExportTraceServiceRequest)
+# ---------------------------------------------------------------------------
+
+#: InstrumentationScope name stamped on every exported scope.
+OTLP_SCOPE_NAME = "repro.telemetry"
+
+#: ``SpanKind.SPAN_KIND_INTERNAL`` — all our spans are in-process.
+_OTLP_KIND_INTERNAL = 1
+
+
+def _otlp_value(value: Any) -> dict[str, Any]:
+    """One OTLP ``AnyValue``.  bool before int: bool is an int subclass."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}       # int64 is a string in OTLP JSON
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, str):
+        return {"stringValue": value}
+    if isinstance(value, (list, tuple)):
+        return {"arrayValue": {"values": [_otlp_value(v) for v in value]}}
+    return {"stringValue": repr(value)}
+
+
+def _otlp_attributes(args: Mapping[str, Any]) -> list[dict[str, Any]]:
+    return [
+        {"key": str(key), "value": _otlp_value(value)}
+        for key, value in sorted(args.items(), key=lambda kv: str(kv[0]))
+        if value is not None
+    ]
+
+
+def _otlp_trace_id(tracer: Tracer) -> str:
+    """Deterministic 32-hex trace id for the whole capture.
+
+    Derived from the span-id set, so re-exporting the same tracer (or a
+    byte-identical replay) yields the same trace id, while two different
+    captures get different ones."""
+    ids = ",".join(str(span.span_id) for span in
+                   sorted(tracer.spans, key=lambda s: s.span_id))
+    return hashlib.md5(f"repro.telemetry:{ids}".encode()).hexdigest()
+
+
+def _otlp_span_id(span_id: int) -> str:
+    return f"{span_id & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def to_otlp_json(tracer: Tracer) -> dict[str, Any]:
+    """Render the tracer's spans as an OTLP ``ExportTraceServiceRequest``.
+
+    One ``resourceSpans`` entry per logical process (keyed by
+    ``service.name``), every span under one deterministic ``traceId``,
+    parent/child linkage preserved through ``parentSpanId``.  Timestamps
+    are the tracer's relative microseconds scaled to nanoseconds — the
+    *relationships* (ordering, containment, duration) are what matter for
+    analysis, and relative stamps keep exports reproducible.
+    """
+    by_process: dict[str, list[Any]] = {}
+    for span in sorted(tracer.spans, key=lambda s: (s.start_us, s.span_id)):
+        by_process.setdefault(span.process, []).append(span)
+
+    trace_id = _otlp_trace_id(tracer)
+    resource_spans: list[dict[str, Any]] = []
+    for process in sorted(by_process, key=lambda p: (p != "main", p)):
+        otlp_spans: list[dict[str, Any]] = []
+        for span in by_process[process]:
+            record: dict[str, Any] = {
+                "traceId": trace_id,
+                "spanId": _otlp_span_id(span.span_id),
+                "name": span.name,
+                "kind": _OTLP_KIND_INTERNAL,
+                "startTimeUnixNano": str(int(span.start_us * 1_000)),
+                "endTimeUnixNano": str(int((span.start_us + span.duration_us) * 1_000)),
+                "attributes": _otlp_attributes({
+                    **span.args,
+                    "category": span.category,
+                    "thread.id": span.tid,
+                    "thread.name": span.thread_name,
+                }),
+            }
+            if span.parent_id is not None:
+                record["parentSpanId"] = _otlp_span_id(span.parent_id)
+            otlp_spans.append(record)
+        resource_spans.append({
+            "resource": {
+                "attributes": _otlp_attributes({"service.name": process}),
+            },
+            "scopeSpans": [{
+                "scope": {"name": OTLP_SCOPE_NAME},
+                "spans": otlp_spans,
+            }],
+        })
+    return {"resourceSpans": resource_spans}
+
+
+def write_otlp_json(path: str, tracer: Tracer) -> dict[str, Any]:
+    """Write the OTLP document to ``path`` and return it."""
+    document = to_otlp_json(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return document

@@ -1,0 +1,400 @@
+"""Unit tests for ``repro.faults``: plans, the injector, clocks, policies.
+
+The contracts under test: rule validation rejects trigger-less rules,
+the injector's (site, key, index) coordinates make fault schedules
+replayable and order-independent, fake/scaled clocks keep every policy
+test sleep-free, and the three policies (retry, deadline, breaker) make
+the decisions their docstrings promise — in virtual time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.faults import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceeded,
+    FakeClock,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    RetryError,
+    RetryPolicy,
+    ScaledClock,
+    TransientFault,
+)
+from repro.faults.plan import MESSAGE_KINDS, _coordinate_hash
+
+
+@pytest.fixture(autouse=True)
+def _faults_off():
+    faults.disable()
+    yield
+    faults.disable()
+
+
+class TestFaultRule:
+    def test_requires_a_trigger(self):
+        with pytest.raises(ValueError, match="trigger"):
+            FaultRule("mr.task", FaultKind.CRASH)
+
+    @pytest.mark.parametrize("bad", [
+        dict(every=0),
+        dict(probability=1.5),
+        dict(probability=-0.1),
+        dict(at=(-1,)),
+        dict(at=(0,), delay_s=-1),
+        dict(at=(0,), delay_slots=0),
+        dict(at=(0,), max_fires=0),
+    ])
+    def test_rejects_bad_parameters(self, bad):
+        with pytest.raises(ValueError):
+            FaultRule("site", FaultKind.CRASH, **bad)
+
+    def test_site_glob_matching(self):
+        rule = FaultRule("mpi.*", FaultKind.DROP, at=(0,))
+        assert rule.matches_site("mpi.send")
+        assert rule.matches_site("mpi.recv")
+        assert not rule.matches_site("mr.task")
+
+    def test_where_is_a_subset_match(self):
+        rule = FaultRule("mr.task", FaultKind.CRASH, at=(0,),
+                         where={"phase": "map"})
+        assert rule.matches_context({"phase": "map", "task": 3})
+        assert not rule.matches_context({"phase": "reduce", "task": 3})
+        assert not rule.matches_context({})
+
+    def test_index_selection_at_and_every(self):
+        at_rule = FaultRule("s", FaultKind.CRASH, at=(2, 5))
+        assert [i for i in range(8) if at_rule.selects_index(0, "s", "", i)] == [2, 5]
+        every_rule = FaultRule("s", FaultKind.CRASH, every=3)
+        assert [i for i in range(8) if every_rule.selects_index(0, "s", "", i)] == [0, 3, 6]
+
+    def test_probability_draw_is_seeded_and_order_independent(self):
+        rule = FaultRule("s", FaultKind.CRASH, probability=0.3)
+        picks = [i for i in range(100) if rule.selects_index(7, "s", "k", i)]
+        again = [i for i in reversed(range(100)) if rule.selects_index(7, "s", "k", i)]
+        assert picks == sorted(again)      # order of evaluation is irrelevant
+        other_seed = [i for i in range(100) if rule.selects_index(8, "s", "k", i)]
+        assert picks != other_seed
+        # The draw is a real Bernoulli: roughly 30 of 100 coordinates.
+        assert 10 < len(picks) < 50
+
+    def test_coordinate_hash_avoids_builtin_hash(self):
+        # CRC-32 of the coordinate string: stable across interpreters and
+        # PYTHONHASHSEED (the subprocess test covers the end-to-end claim).
+        assert _coordinate_hash(7, "mr.task", "map:0", 0) == pytest.approx(
+            _coordinate_hash(7, "mr.task", "map:0", 0))
+        assert 0.0 <= _coordinate_hash(1, "a", "b", 2) < 1.0
+
+
+class TestFaultPlan:
+    def test_rules_for_filters_by_site(self):
+        plan = FaultPlan(rules=(
+            FaultRule("mr.task", FaultKind.CRASH, at=(0,)),
+            FaultRule("mpi.send", FaultKind.DROP, at=(0,)),
+        ))
+        assert len(plan.rules_for("mr.task")) == 1
+        assert plan.rules_for("omp.thread") == ()
+
+    def test_describe_mentions_every_rule(self):
+        plan = FaultPlan(name="demo", seed=3, rules=(
+            FaultRule("mr.task", FaultKind.CRASH, at=(0,), where={"task": 1}),
+            FaultRule("mpi.send", FaultKind.DROP, probability=0.5),
+        ))
+        text = plan.describe()
+        assert "demo" in text and "crash" in text and "drop" in text
+
+
+class TestFaultInjector:
+    def plan(self) -> FaultPlan:
+        return FaultPlan(seed=7, rules=(
+            FaultRule("mr.task", FaultKind.CRASH, at=(1,), where={"phase": "map"}),
+            FaultRule("mr.task", FaultKind.EXCEPTION, at=(1,)),
+        ))
+
+    def test_indices_advance_per_site_key(self):
+        injector = FaultInjector(self.plan())
+        assert injector.check("mr.task", key="map:0", phase="map") is None
+        fault = injector.check("mr.task", key="map:0", phase="map")
+        assert fault is not None and fault.index == 1
+        # A different key has its own counter, still at 0.
+        assert injector.check("mr.task", key="map:1", phase="map") is None
+
+    def test_first_matching_rule_wins(self):
+        injector = FaultInjector(self.plan())
+        injector.check("mr.task", key="k", phase="map")
+        fault = injector.check("mr.task", key="k", phase="map")
+        assert fault.kind is FaultKind.CRASH and fault.rule_index == 0
+        # Context not matching rule 0 falls through to rule 1.
+        injector2 = FaultInjector(self.plan())
+        injector2.check("mr.task", key="k", phase="reduce")
+        fault2 = injector2.check("mr.task", key="k", phase="reduce")
+        assert fault2.kind is FaultKind.EXCEPTION and fault2.rule_index == 1
+
+    def test_max_fires_caps_a_rule(self):
+        plan = FaultPlan(rules=(
+            FaultRule("s", FaultKind.EXCEPTION, every=1, max_fires=2),
+        ))
+        injector = FaultInjector(plan)
+        fired = [injector.check("s", key=str(i)) for i in range(5)]
+        assert sum(f is not None for f in fired) == 2
+
+    def test_fire_raises_crash_and_transient(self):
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("a", FaultKind.CRASH, at=(0,)),
+            FaultRule("b", FaultKind.EXCEPTION, at=(0,)),
+        )))
+        with pytest.raises(InjectedCrash):
+            injector.fire("a")
+        with pytest.raises(TransientFault):
+            injector.fire("b")
+
+    def test_fire_stall_sleeps_on_the_injector_clock(self):
+        clock = FakeClock()
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("s", FaultKind.STALL, at=(0,), delay_s=2.5),
+        )), clock=clock)
+        fault = injector.fire("s")
+        assert fault is not None and clock.slept == [2.5]
+
+    def test_log_lines_are_canonical_and_sorted(self):
+        injector = FaultInjector(FaultPlan(rules=(
+            FaultRule("s", FaultKind.CRASH, every=1),
+        )))
+        for key in ("z", "a", "m"):
+            injector.check("s", key=key)
+        assert injector.log_lines() == [
+            "s|a|0|crash|r0", "s|m|0|crash|r0", "s|z|0|crash|r0",
+        ]
+        assert injector.counts_by_kind() == {"crash": 3}
+
+    def test_replay_is_identical_under_thread_interleaving(self):
+        plan = FaultPlan(seed=3, rules=(
+            FaultRule("s", FaultKind.EXCEPTION, probability=0.4),
+        ))
+
+        def drive(injector: FaultInjector, parallel: bool) -> list[str]:
+            def worker(key: str) -> None:
+                for _ in range(20):
+                    injector.check("s", key=key)
+            if parallel:
+                threads = [threading.Thread(target=worker, args=(k,))
+                           for k in ("a", "b", "c", "d")]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            else:
+                for k in ("d", "c", "b", "a"):
+                    worker(k)
+            return injector.log_lines()
+
+        assert drive(FaultInjector(plan), True) == drive(FaultInjector(plan), False)
+
+
+class TestHooksSession:
+    def test_hooks_are_noops_when_disabled(self):
+        from repro.faults import hooks
+        assert not hooks.enabled()
+        assert hooks.fire("any.site", key="k") is None
+        assert hooks.message("any.site", key="k") is None
+        assert hooks.corrupt("any.site", key="k") is False
+
+    def test_inject_context_activates_and_deactivates(self):
+        plan = FaultPlan(rules=(FaultRule("s", FaultKind.CRASH, at=(0,)),))
+        with faults.inject(plan) as injector:
+            assert faults.is_enabled()
+            from repro.faults import hooks
+            with pytest.raises(InjectedCrash):
+                hooks.fire("s", key="k")
+            assert injector.log_lines() == ["s|k|0|crash|r0"]
+        assert not faults.is_enabled()
+
+    def test_sessions_do_not_nest(self):
+        plan = FaultPlan(rules=(FaultRule("s", FaultKind.CRASH, at=(0,)),))
+        with faults.inject(plan):
+            with pytest.raises(RuntimeError, match="nest"):
+                faults.enable(FaultInjector(plan))
+
+    def test_message_kinds_are_split_from_call_kinds(self):
+        assert MESSAGE_KINDS == {
+            FaultKind.DROP, FaultKind.DELAY, FaultKind.DUPLICATE, FaultKind.CORRUPT,
+        }
+        plan = FaultPlan(rules=(
+            FaultRule("net", FaultKind.DROP, at=(0,)),
+            FaultRule("net", FaultKind.CORRUPT, at=(1,)),
+        ))
+        with faults.inject(plan):
+            from repro.faults import hooks
+            verdict = hooks.message("net", key="ch")
+            assert verdict is not None and verdict[0] is FaultKind.DROP
+            assert hooks.corrupt("net", key="ch") is True
+
+
+class TestClocks:
+    def test_fake_clock_sleep_advances_without_blocking(self):
+        clock = FakeClock(start=10.0)
+        clock.sleep(5.0)
+        assert clock.monotonic() == 15.0
+        assert clock.slept == [5.0]
+        clock.advance(1.0)
+        assert clock.monotonic() == 16.0
+
+    def test_fake_clock_wait_charges_the_timeout_on_miss(self):
+        clock = FakeClock()
+        event = threading.Event()
+        assert clock.wait(event, timeout=3.0) is False
+        assert clock.monotonic() == 3.0
+        event.set()
+        assert clock.wait(event, timeout=3.0) is True
+        assert clock.monotonic() == 3.0          # no extra charge when set
+
+    def test_scaled_clock_compresses_real_sleeps(self):
+        import time
+        clock = ScaledClock(0.01)
+        t0 = time.monotonic()
+        clock.sleep(1.0)                          # really ~10 ms
+        assert time.monotonic() - t0 < 0.5
+        nominal = clock.monotonic()
+        assert nominal > 0                        # reports nominal units
+
+    def test_scaled_clock_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            ScaledClock(0)
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_seeded_and_capped(self):
+        policy = RetryPolicy(max_attempts=6, base_s=0.1, cap_s=1.0, seed=42)
+        first = [next(policy.backoffs()) for _ in range(3)]
+        assert first[0] == first[1] == first[2]   # reproducible
+        schedule = policy.backoffs()
+        sleeps = [next(schedule) for _ in range(20)]
+        assert all(0.1 <= s <= 1.0 for s in sleeps)
+
+    def test_recovers_without_real_sleeping(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=5, base_s=1.0, cap_s=30.0,
+                             clock=clock, retry_on=(TransientFault,))
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 4:
+                raise TransientFault("blip")
+            return "done"
+
+        assert policy.call(flaky) == "done"
+        assert len(attempts) == 4
+        assert len(clock.slept) == 3              # a backoff between each
+        assert clock.monotonic() >= 3.0           # virtual seconds, zero real
+
+    def test_exhaustion_raises_retry_error_with_cause(self):
+        policy = RetryPolicy(max_attempts=3, base_s=0.0, cap_s=0.0,
+                             clock=FakeClock(), retry_on=(TransientFault,))
+        with pytest.raises(RetryError) as info:
+            policy.call(lambda: (_ for _ in ()).throw(TransientFault("always")))
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last, TransientFault)
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, clock=FakeClock(),
+                             retry_on=(TransientFault,))
+        calls = []
+
+        def bug():
+            calls.append(1)
+            raise ValueError("a bug is not a blip")
+
+        with pytest.raises(ValueError):
+            policy.call(bug)
+        assert len(calls) == 1
+
+    def test_deadline_stops_the_retry_loop(self):
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=100, base_s=1.0, cap_s=1.0,
+                             clock=clock, retry_on=(TransientFault,))
+        deadline = Deadline.after(2.5, clock)
+        with pytest.raises((RetryError, DeadlineExceeded)):
+            policy.call(lambda: (_ for _ in ()).throw(TransientFault("x")),
+                        deadline=deadline)
+        # Far fewer than 100 attempts: the 2.5 s budget admits ~2 backoffs.
+        assert clock.monotonic() <= 3.5
+
+
+class TestDeadline:
+    def test_remaining_and_expiry_on_a_fake_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock)
+        assert deadline.remaining() == 5.0
+        clock.advance(5.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("halo exchange")
+
+    def test_subdeadline_has_min_semantics(self):
+        clock = FakeClock()
+        parent = Deadline.after(10.0, clock)
+        child = parent.subdeadline(30.0)
+        assert child.remaining() == 10.0          # clamped to the parent
+        tighter = parent.subdeadline(2.0)
+        assert tighter.remaining() == 2.0
+
+    def test_rejects_negative_budgets(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0, FakeClock())
+        with pytest.raises(ValueError):
+            Deadline.after(1.0, FakeClock()).subdeadline(-0.5)
+
+
+class TestCircuitBreaker:
+    def test_trips_open_after_threshold_and_fails_fast(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0,
+                                 clock=clock)
+
+        def failing():
+            raise TransientFault("down")
+
+        for _ in range(3):
+            with pytest.raises(TransientFault):
+                breaker.call(failing)
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(failing)                  # rejected without running
+        assert breaker.rejected == 1
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow() is True            # the probe
+        assert breaker.allow() is False           # everyone else waits
+
+    def test_probe_success_closes_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CircuitBreaker.CLOSED
+        # Trip again; a failing probe re-opens and restarts the window.
+        breaker.record_failure()
+        clock.advance(5.0)
+        with pytest.raises(TransientFault):
+            breaker.call(lambda: (_ for _ in ()).throw(TransientFault("still down")))
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "ok")

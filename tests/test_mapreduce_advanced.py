@@ -1,7 +1,15 @@
-"""Stragglers/backup tasks and job counters."""
+"""Stragglers/backup tasks and job counters.
+
+The speculation tests run the engine on a :class:`ScaledClock`: the
+injected 0.4–0.5 s straggler delays and the speculation trigger really
+block for a quarter of their nominal length, while ``wall_seconds``
+still reads in nominal units — so the ratio assertions are unchanged
+and the suite stops sleeping through full-length stragglers.
+"""
 
 import pytest
 
+from repro.faults.clock import ScaledClock
 from repro.mapreduce import (
     CounterSet,
     MapReduceEngine,
@@ -16,11 +24,16 @@ DOCS = [(f"d{i}", "alpha beta gamma delta " * 4) for i in range(16)]
 REFERENCE = MapReduceEngine(4).run(word_count_job(), DOCS, n_map_tasks=8)
 
 
+def _clock() -> ScaledClock:
+    return ScaledClock(0.25)
+
+
 class TestSpeculation:
     def test_backups_recover_stragglers(self):
         engine = SpeculativeEngine(
             n_workers=4, straggler_wait_s=0.05,
             slow_tasks=[SlowTask(0, 0.5), SlowTask(3, 0.5)],
+            clock=_clock(),
         )
         result = engine.run(word_count_job(), DOCS, n_map_tasks=8)
         assert result.result.output == REFERENCE.output
@@ -31,6 +44,7 @@ class TestSpeculation:
         engine = SpeculativeEngine(
             n_workers=4, straggler_wait_s=0.05,
             slow_tasks=[SlowTask(1, 0.4)],
+            clock=_clock(),
         )
         with_spec = engine.run(word_count_job(), DOCS, n_map_tasks=8)
         without = engine.run(word_count_job(), DOCS, n_map_tasks=8, speculate=False)
@@ -38,7 +52,8 @@ class TestSpeculation:
         assert with_spec.wall_seconds < without.wall_seconds / 2
 
     def test_no_stragglers_no_backups(self):
-        engine = SpeculativeEngine(n_workers=4, straggler_wait_s=0.5)
+        engine = SpeculativeEngine(n_workers=4, straggler_wait_s=0.5,
+                                   clock=_clock())
         result = engine.run(word_count_job(), DOCS, n_map_tasks=8)
         assert result.backups_launched == 0
         assert result.result.output == REFERENCE.output
@@ -46,6 +61,7 @@ class TestSpeculation:
     def test_accounting(self):
         engine = SpeculativeEngine(
             n_workers=4, straggler_wait_s=0.05, slow_tasks=[SlowTask(2, 0.4)],
+            clock=_clock(),
         )
         result = engine.run(word_count_job(), DOCS, n_map_tasks=8)
         assert result.result.map_attempts == 8 + result.backups_launched

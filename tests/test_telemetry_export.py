@@ -17,8 +17,10 @@ from repro import telemetry
 from repro.telemetry.export import (
     to_chrome_trace,
     to_jsonl_records,
+    to_otlp_json,
     write_chrome_trace,
     write_jsonl,
+    write_otlp_json,
 )
 from repro.telemetry.spans import Tracer
 
@@ -147,3 +149,75 @@ class TestJsonl:
         records = to_jsonl_records(tracer)
         assert [r["name"] for r in records] == ["first", "second"]
         assert records[0]["parent_id"] is None
+
+
+class TestOtlp:
+    def _flat_spans(self, doc) -> list[dict]:
+        return [span
+                for resource in doc["resourceSpans"]
+                for scope in resource["scopeSpans"]
+                for span in scope["spans"]]
+
+    def test_trace_and_span_id_linkage(self):
+        """Every span shares one 32-hex traceId; parentSpanId values
+        resolve to sibling spanIds; roots omit parentSpanId."""
+        tracer = Tracer()
+        with tracer.span("job"):
+            with tracer.span("step"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("step2"):
+                pass
+        doc = to_otlp_json(tracer)
+        spans = self._flat_spans(doc)
+        assert len(spans) == 4
+        trace_ids = {s["traceId"] for s in spans}
+        assert len(trace_ids) == 1
+        (trace_id,) = trace_ids
+        assert len(trace_id) == 32 and int(trace_id, 16) >= 0
+        span_ids = {s["spanId"] for s in spans}
+        assert len(span_ids) == len(spans)      # unique, 16-hex
+        assert all(len(s) == 16 for s in span_ids)
+        by_name = {s["name"]: s for s in spans}
+        assert "parentSpanId" not in by_name["job"]
+        assert by_name["step"]["parentSpanId"] == by_name["job"]["spanId"]
+        assert by_name["leaf"]["parentSpanId"] == by_name["step"]["spanId"]
+        assert by_name["step2"]["parentSpanId"] == by_name["job"]["spanId"]
+
+    def test_trace_id_is_deterministic_per_capture(self):
+        tracer = _busy_tracer()
+        first = to_otlp_json(tracer)
+        second = to_otlp_json(tracer)
+        assert (self._flat_spans(first)[0]["traceId"]
+                == self._flat_spans(second)[0]["traceId"])
+
+    def test_resources_grouped_by_process(self):
+        doc = to_otlp_json(_busy_tracer())
+        services = []
+        for resource in doc["resourceSpans"]:
+            (attr,) = [a for a in resource["resource"]["attributes"]
+                       if a["key"] == "service.name"]
+            services.append(attr["value"]["stringValue"])
+        assert services == ["main", "openmp"]   # main first, rest sorted
+
+    def test_attribute_value_mapping(self):
+        tracer = Tracer()
+        with tracer.span("typed", flag=True, count=3, ratio=0.5,
+                         label="x", items=[1, "a"], blob={1, 2}):
+            pass
+        (span,) = self._flat_spans(to_otlp_json(tracer))
+        values = {a["key"]: a["value"] for a in span["attributes"]}
+        assert values["flag"] == {"boolValue": True}
+        assert values["count"] == {"intValue": "3"}     # int64 as string
+        assert values["ratio"] == {"doubleValue": 0.5}
+        assert values["label"] == {"stringValue": "x"}
+        assert values["items"]["arrayValue"]["values"][0] == {"intValue": "1"}
+        assert "stringValue" in values["blob"]          # repr fallback
+        start = int(span["startTimeUnixNano"])
+        end = int(span["endTimeUnixNano"])
+        assert end >= start >= 0
+
+    def test_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "otlp.json"
+        written = write_otlp_json(str(path), _busy_tracer())
+        assert json.loads(path.read_text()) == written
