@@ -22,6 +22,12 @@ Commands
   under deterministic fault injection and report injected-vs-recovered
   counts plus the canonical injected-event log (``--list`` shows the
   workloads; same seed ⇒ same faults).
+- ``sched <workload> [--workers N] [--seed S] [--trace out.json]
+  [--cache] [--cache-dir DIR]`` — run a workload through the
+  deterministic work-stealing scheduler and print the result, scheduler
+  statistics, cache counters, and canonical event log (``--list`` shows
+  the workloads; same seed ⇒ byte-identical stdout, and a second
+  ``--cache`` run replays the stored result as a cache hit).
 """
 
 from __future__ import annotations
@@ -119,6 +125,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", default=None, dest="trace_out",
                        help="also export a Chrome trace of the chaotic run")
     chaos.add_argument("--list", action="store_true", dest="list_names")
+
+    sched = sub.add_parser(
+        "sched", help="run a workload through the work-stealing scheduler")
+    sched.add_argument("workload", nargs="?", default=None)
+    sched.add_argument("--workers", type=int, default=4,
+                       help="scheduler worker count")
+    sched.add_argument("--seed", type=int, default=7,
+                       help="steal-order seed (same seed ⇒ same schedule)")
+    sched.add_argument("--trace", default=None, dest="trace_out",
+                       help="also export a Chrome trace of the run")
+    sched.add_argument("--cache", action="store_true",
+                       help="memoise the result (content-addressed)")
+    sched.add_argument("--cache-dir", default=None,
+                       help="on-disk cache tier (implies --cache); a second "
+                            "run against the same directory is a cache hit")
+    sched.add_argument("--list", action="store_true", dest="list_names")
 
     return parser
 
@@ -287,6 +309,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.sched.cache import ResultCache
+    from repro.sched.workloads import run_sched_workload, sched_workload_names
+
+    if args.list_names or args.workload is None:
+        print("available sched workloads: " + ", ".join(sched_workload_names()))
+        return 0
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(directory=args.cache_dir)
+    session = telemetry.session() if args.trace_out else None
+    try:
+        if session is not None:
+            with session:
+                report = run_sched_workload(
+                    args.workload, workers=args.workers, seed=args.seed,
+                    cache=cache,
+                )
+        else:
+            report = run_sched_workload(
+                args.workload, workers=args.workers, seed=args.seed,
+                cache=cache,
+            )
+    except KeyError:
+        print(f"unknown sched workload {args.workload!r}; try --list")
+        return 2
+    print(report.render())
+    if session is not None:
+        session.write_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out}: {len(session.tracer.spans)} spans, "
+              f"{len(session.tracer.events)} events")
+    return 0
+
+
 _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "study": _cmd_study,
@@ -297,6 +357,7 @@ _COMMANDS = {
     "quiz": _cmd_quiz,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
+    "sched": _cmd_sched,
 }
 
 

@@ -9,7 +9,9 @@ work is distributed:
   exemplar's ``#pragma omp parallel for`` version;
 - :func:`solve_cxx11_threads` — N explicit threads pulling ligand indices
   from an atomic counter — the structure of the exemplar's C++11
-  ``std::thread`` version.
+  ``std::thread`` version;
+- :func:`solve_sched` — the scoring sweep dispatched through the shared
+  :mod:`repro.sched` work-stealing executor, one task per ligand.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from typing import Any
 
 from repro.drugdesign.scoring import dp_cells, lcs_score
 from repro.openmp.loops import Schedule, run_parallel_for
@@ -32,6 +35,7 @@ __all__ = [
     "solve_sequential",
     "solve_openmp",
     "solve_cxx11_threads",
+    "solve_sched",
 ]
 
 
@@ -180,6 +184,41 @@ def solve_cxx11_threads(
     return DrugDesignResult(
         style="cxx11_threads",
         num_threads=num_threads,
+        max_score=max_score,
+        best_ligands=best,
+        total_cells=sum(cells),
+        per_thread_cells=tuple(cells),
+    )
+
+
+def solve_sched(
+    ligands: list[str], protein: str, scheduler: Any
+) -> DrugDesignResult:
+    """Score through a :class:`repro.sched.WorkStealingExecutor`.
+
+    One task per ligand; the steal schedule (hence the per-worker cell
+    distribution) is a pure function of the scheduler's seed in its
+    deterministic mode, so an imbalance seen once can be replayed.
+    """
+    with telemetry.span("dd.solve", category="solver", style="sched",
+                        num_threads=scheduler.n_workers):
+        handles = scheduler.submit_batch(
+            [
+                lambda lig=lig: (score_ligand(lig, protein), lig)
+                for lig in ligands
+            ],
+            name="dd.score",
+        )
+        scheduler.drain()
+        scored = [h.result() for h in handles]
+    cells = [0] * scheduler.n_workers
+    for handle, lig in zip(handles, ligands):
+        worker = handle.worker if handle.worker is not None else 0
+        cells[worker] += dp_cells(lig, protein)
+    max_score, best = _best(scored)
+    return DrugDesignResult(
+        style="sched",
+        num_threads=scheduler.n_workers,
         max_score=max_score,
         best_ligands=best,
         total_cells=sum(cells),

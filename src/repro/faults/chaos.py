@@ -14,6 +14,17 @@ command demonstrating fault → detection → recovery end to end:
   dedup recovers all three.
 - ``drugdesign`` — seeded per-ligand transient failures absorbed by a
   retry policy with decorrelated-jitter backoff on a fake clock.
+- ``stencil`` — a dropped halo message in the heat-diffusion exchange;
+  a short deadlock timeout detects it and a whole-run retry converges
+  to the fault-free sequential answer (float-for-float).
+- ``collectives`` — messages dropped inside ``bcast`` and ``gather``;
+  detection by recv timeout, recovery by re-running the collective
+  phase (the dropped channels' invocation indices have advanced, so the
+  retry goes clean).
+- ``partition`` — :func:`partition_rank` cuts one rank off entirely; a
+  master with a :class:`~repro.faults.policies.Deadline` budget detects
+  the silent worker and reassigns its items, finishing with the full
+  answer despite the dead rank.
 
 Every scenario is replayable: the same ``--seed`` produces byte-identical
 injected-event logs (see :meth:`FaultInjector.log_lines`).
@@ -31,7 +42,7 @@ from typing import Callable
 from repro.faults.clock import FakeClock
 from repro.faults.injector import FaultInjector, TransientFault
 from repro.faults.plan import FaultKind, FaultPlan, FaultRule
-from repro.faults.policies import RetryError, RetryPolicy
+from repro.faults.policies import Deadline, RetryError, RetryPolicy
 
 __all__ = [
     "ChaosReport",
@@ -142,6 +153,34 @@ def _drugdesign_plan(seed: int) -> FaultPlan:
         FaultRule("dd.score", FaultKind.EXCEPTION, probability=0.25,
                   note="transient scoring failure"),
     ))
+
+
+def _stencil_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="stencil", seed=seed, rules=(
+        # The leftmost rank's very first halo send (rightward shift,
+        # channel 0->1): its neighbour's sendrecv starves and times out.
+        FaultRule("mpi.send", FaultKind.DROP, at=(0,),
+                  where={"source": 0, "dest": 1, "tag": 1},
+                  note="drop first halo 0->1"),
+    ))
+
+
+def _collectives_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="collectives", seed=seed, rules=(
+        # Inside bcast: root's copy to rank 1 vanishes (tag base 1_000_000).
+        FaultRule("mpi.send", FaultKind.DROP, at=(0,),
+                  where={"dest": 1, "tag": 1_000_000},
+                  note="drop bcast to rank 1"),
+        # Inside gather: rank 2's contribution to root vanishes
+        # (tag base 1_000_002).
+        FaultRule("mpi.send", FaultKind.DROP, at=(0,),
+                  where={"source": 2, "tag": 1_000_002},
+                  note="drop gather from rank 2"),
+    ))
+
+
+def _partition_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="partition", seed=seed, rules=partition_rank(2))
 
 
 def named_plan(workload: str, seed: int) -> FaultPlan:
@@ -314,11 +353,145 @@ def _run_drugdesign(injector: FaultInjector, seed: int, threads: int) -> tuple[i
     return failures_absorbed, detail, ok
 
 
+def _run_stencil(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.mpi.comm import MPIError
+    from repro.mpi.stencil import heat_mpi, heat_sequential
+
+    n_ranks = max(2, min(4, threads))
+    u0 = [100.0] + [0.0] * 22 + [50.0]
+    alpha, steps = 0.25, 12
+    expected = heat_sequential(u0, alpha=alpha, steps=steps)
+
+    attempts = {"n": 0}
+
+    def run() -> list[float]:
+        attempts["n"] += 1
+        # A tight deadlock budget: the dropped halo turns into an
+        # MPIError in well under a second instead of a long hang.
+        return heat_mpi(u0, alpha=alpha, steps=steps, n_ranks=n_ranks,
+                        timeout_s=0.6)
+
+    policy = RetryPolicy(max_attempts=3, base_s=0.0, cap_s=0.0, seed=seed,
+                         retry_on=(MPIError,))
+    result = policy.call(run, what="stencil.heat")
+    ok = result == expected
+    recovered = attempts["n"] - 1
+    detail = [
+        f"heat diffusion on {n_ranks} ranks survived a dropped halo "
+        f"message: {recovered} whole-run retry(ies)",
+        f"result matches heat_sequential float-for-float: {ok}",
+    ]
+    return recovered, detail, ok
+
+
+def _run_collectives(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.mpi.comm import Communicator, MPIError, mpi_run
+
+    n_ranks = max(3, min(4, threads))
+    lo, hi = 0, 40
+    expected = sum(range(lo, hi))
+
+    def program(comm: Communicator) -> int | None:
+        config = comm.bcast({"lo": lo, "hi": hi} if comm.rank == 0 else None,
+                            root=0)
+        partial = sum(range(config["lo"] + comm.rank, config["hi"], comm.size))
+        totals = comm.gather(partial, root=0)
+        if comm.rank == 0:
+            return sum(totals)
+        return None
+
+    attempts = {"n": 0}
+
+    def run() -> int:
+        attempts["n"] += 1
+        return mpi_run(n_ranks, program, timeout=0.6)[0]
+
+    policy = RetryPolicy(max_attempts=4, base_s=0.0, cap_s=0.0, seed=seed,
+                         retry_on=(MPIError,))
+    total = policy.call(run, what="mpi.collectives")
+    ok = total == expected
+    recovered = attempts["n"] - 1
+    detail = [
+        f"bcast+gather sum on {n_ranks} ranks survived drops inside both "
+        f"collectives: {recovered} whole-run retry(ies)",
+        f"total={total} (expected {expected})",
+    ]
+    return recovered, detail, ok
+
+
+_WORK_TAG, _RESULT_TAG, _STOP_TAG = 11, 12, 13
+
+
+def _run_partition(injector: FaultInjector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.mpi.comm import Communicator, MPIError, mpi_run
+
+    n_ranks = 4                       # the plan partitions rank 2
+    items = list(range(12))
+    expected = sum(x * x for x in items)
+
+    def program(comm: Communicator) -> dict | None:
+        if comm.rank == 0:
+            workers = list(range(1, comm.size))
+            assigned = {
+                w: [x for i, x in enumerate(items) if i % len(workers) == j]
+                for j, w in enumerate(workers)
+            }
+            for w in workers:
+                comm.send(assigned[w], dest=w, tag=_WORK_TAG)
+            # Detection: a deadline budget for the whole collection phase;
+            # a worker whose results never arrive within it is declared
+            # partitioned and its items are reassigned to the master.
+            deadline = Deadline.after(3.0)
+            results: dict[int, int] = {}
+            dead: list[int] = []
+            for w in workers:
+                try:
+                    deadline.check(what=f"collect from rank {w}")
+                    results.update(comm.recv(
+                        source=w, tag=_RESULT_TAG,
+                        timeout=min(0.4, deadline.remaining()),
+                    ))
+                except MPIError:
+                    dead.append(w)
+            reassigned = [x for w in dead for x in assigned[w]]
+            results.update({x: x * x for x in reassigned})
+            for w in workers:
+                comm.send(None, dest=w, tag=_STOP_TAG)
+            return {
+                "total": sum(results.values()),
+                "dead": dead,
+                "reassigned": len(reassigned),
+            }
+        try:
+            batch = comm.recv(source=0, tag=_WORK_TAG, timeout=0.8)
+        except MPIError:
+            return None               # partitioned from the master: stand down
+        comm.send({x: x * x for x in batch}, dest=0, tag=_RESULT_TAG)
+        try:
+            comm.recv(source=0, tag=_STOP_TAG, timeout=2.0)
+        except MPIError:
+            pass
+        return None
+
+    master = mpi_run(n_ranks, program, timeout=6.0)[0]
+    ok = master["total"] == expected and master["dead"] == [2]
+    detail = [
+        f"rank 2 partitioned: master detected {len(master['dead'])} dead "
+        f"worker(s) by deadline and reassigned {master['reassigned']} "
+        f"item(s)",
+        f"total={master['total']} (expected {expected})",
+    ]
+    return master["reassigned"], detail, ok
+
+
 _PLANS: dict[str, Callable[[int], FaultPlan]] = {
     "mapreduce": _mapreduce_plan,
     "openmp": _openmp_plan,
     "mpi": _mpi_plan,
     "drugdesign": _drugdesign_plan,
+    "stencil": _stencil_plan,
+    "collectives": _collectives_plan,
+    "partition": _partition_plan,
 }
 
 CHAOS_WORKLOADS: dict[str, Callable[[FaultInjector, int, int], tuple[int, list[str], bool]]] = {
@@ -326,6 +499,9 @@ CHAOS_WORKLOADS: dict[str, Callable[[FaultInjector, int, int], tuple[int, list[s
     "openmp": _run_openmp,
     "mpi": _run_mpi,
     "drugdesign": _run_drugdesign,
+    "stencil": _run_stencil,
+    "collectives": _run_collectives,
+    "partition": _run_partition,
 }
 
 

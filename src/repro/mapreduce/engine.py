@@ -14,7 +14,13 @@ Execution model (a faithful miniature of the Google paper's):
 6. the job output is the union of reduce outputs, sorted by key —
    deterministic regardless of worker scheduling.
 
-Map and reduce tasks run on thread pools.  **Fault injection**: the engine
+Map and reduce tasks run on thread pools — or, when a ``scheduler``
+(:class:`repro.sched.WorkStealingExecutor`) is supplied, through the
+repo-wide work-stealing dispatch layer, whose deterministic mode makes
+the whole job's schedule replayable.  An optional ``breaker``
+(:class:`repro.faults.policies.CircuitBreaker`) guards worker dispatch:
+while open, task attempts are rejected without running (admission
+control under persistent failure).  **Fault injection**: the engine
 can be told to kill specific task attempts (``TaskFailure``); failed tasks
 are retried on another "worker" up to ``max_attempts`` — re-execution, the
 paper's fault-tolerance story.  Mappers and reducers must therefore be
@@ -33,6 +39,7 @@ from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 from repro.faults import hooks as faults
 from repro.faults.injector import InjectedCrash, TransientFault
+from repro.faults.policies import CircuitBreaker, CircuitOpenError
 from repro.telemetry import instrument as telemetry
 
 __all__ = [
@@ -161,6 +168,8 @@ class MapReduceEngine:
         n_workers: int = 4,
         max_attempts: int = 3,
         failures: Sequence[TaskFailure] = (),
+        scheduler: Any | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -171,6 +180,20 @@ class MapReduceEngine:
         self._failures = {(f.phase, f.task_index, f.attempt) for f in failures}
         self._attempt_counts: dict[tuple[str, int], int] = defaultdict(int)
         self._attempt_lock = threading.Lock()
+        #: Optional repro.sched dispatch layer (duck-typed: needs .map).
+        self.scheduler = scheduler
+        #: Optional circuit breaker guarding every task-attempt dispatch.
+        self.breaker = breaker
+
+    def _dispatch(self, fns: list[Callable[[], Any]], phase: str) -> list[Any]:
+        """Run phase tasks: through the shared scheduler when configured,
+        else on this engine's private thread pool (the legacy path)."""
+        if self.scheduler is not None:
+            return self.scheduler.map(fns, name=f"mr.{phase}")
+        with ThreadPoolExecutor(max_workers=self.n_workers,
+                                thread_name_prefix="mr-worker") as pool:
+            futures = [pool.submit(fn) for fn in fns]
+            return [f.result() for f in futures]
 
     # -- internals ----------------------------------------------------------
 
@@ -189,6 +212,16 @@ class MapReduceEngine:
     ) -> Any:
         last_error: BaseException | None = None
         for _ in range(self.max_attempts):
+            if self.breaker is not None and not self.breaker.allow():
+                # Admission control: while the breaker is open this task
+                # attempt is shed instead of executed (ROADMAP follow-up).
+                telemetry.instant("mr.dispatch.rejected", phase=phase,
+                                  task=index)
+                telemetry.inc("mr.dispatch.rejected")
+                last_error = CircuitOpenError(
+                    f"{phase} task {index} rejected: dispatch breaker open"
+                )
+                continue
             attempt = self._attempt(phase, index)
             if attempt > 0:
                 # A retry: the previous attempt of this task died.
@@ -200,6 +233,8 @@ class MapReduceEngine:
                 telemetry.instant("mr.task.killed", phase=phase, task=index,
                                   attempt=attempt)
                 telemetry.inc("mr.tasks.killed")
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 last_error = _InjectedWorkerDeath(
                     f"{phase} task {index} attempt {attempt} killed"
                 )
@@ -214,11 +249,16 @@ class MapReduceEngine:
                 with telemetry.span(f"mr.{phase}.task", category="task",
                                     parent_id=parent_id, task=index,
                                     attempt=attempt):
-                    return fn()
+                    value = fn()
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return value
             except (InjectedCrash, TransientFault) as exc:
                 telemetry.instant("mr.task.killed", phase=phase, task=index,
                                   attempt=attempt)
                 telemetry.inc("mr.tasks.killed")
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 last_error = exc
             except _InjectedWorkerDeath as exc:  # pragma: no cover - defensive
                 last_error = exc
@@ -303,14 +343,15 @@ class MapReduceEngine:
                                 records=len(records))
         with job_cm as job_span:
             job_id = job_span.span_id if job_span is not None else None
-            with ThreadPoolExecutor(max_workers=self.n_workers,
-                                    thread_name_prefix="mr-worker") as pool:
-                map_futures = [
-                    pool.submit(self._run_task, "map", i,
-                                lambda s=split: map_task(s), job_id)
+            map_outputs = self._dispatch(
+                [
+                    lambda i=i, s=split: self._run_task(
+                        "map", i, lambda s=s: map_task(s), job_id
+                    )
                     for i, split in enumerate(splits)
-                ]
-                map_outputs = [f.result() for f in map_futures]
+                ],
+                "map",
+            )
 
             if faults.enabled():
                 map_outputs = [
@@ -347,14 +388,15 @@ class MapReduceEngine:
                     for k in sorted(bucket, key=sort_key)
                 ]
 
-            with ThreadPoolExecutor(max_workers=self.n_workers,
-                                    thread_name_prefix="mr-worker") as pool:
-                reduce_futures = [
-                    pool.submit(self._run_task, "reduce", r,
-                                lambda b=bucket: reduce_task(b), job_id)
+            reduce_outputs = self._dispatch(
+                [
+                    lambda r=r, b=bucket: self._run_task(
+                        "reduce", r, lambda b=b: reduce_task(b), job_id
+                    )
                     for r, bucket in enumerate(buckets)
-                ]
-                reduce_outputs = [f.result() for f in reduce_futures]
+                ],
+                "reduce",
+            )
 
         output = sorted(
             (pair for chunk in reduce_outputs for pair in chunk),

@@ -50,12 +50,16 @@ def heat_mpi(
     alpha: float = 0.25,
     steps: int = 100,
     n_ranks: int = 4,
+    timeout_s: float | None = None,
 ) -> list[float]:
     """The same diffusion, block-decomposed with halo exchange.
 
     Each rank owns a contiguous block; before every step it trades its
     edge cells with its neighbours via ``sendrecv`` (ghost cells), then
     updates its interior.  Rank 0 gathers the blocks back at the end.
+    ``timeout_s`` bounds every blocking operation (a small value turns a
+    lost halo message into a prompt ``MPIError`` instead of a long hang
+    — what the ``stencil`` chaos scenario relies on for detection).
     """
     _validate(u0, alpha, steps)
     if n_ranks < 1:
@@ -124,5 +128,5 @@ def heat_mpi(
             return [cell for chunk in gathered for cell in chunk]
         return None
 
-    results = mpi_run(n_ranks, program)
+    results = mpi_run(n_ranks, program, timeout=timeout_s)
     return results[0]

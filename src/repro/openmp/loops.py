@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 
 from repro.openmp.reduction import Reduction
 from repro.openmp.runtime import OpenMP, ParallelContext
+from repro.telemetry import instrument as telemetry
 
 __all__ = ["ScheduleKind", "Schedule", "LoopTrace", "OrderedRegion", "chunk_iterations", "run_parallel_for"]
 
@@ -153,49 +154,74 @@ def run_parallel_for(
                       per_thread=[[] for _ in range(n_threads)])
     partials: list[Any] = [reduction.identity if reduction else None] * n_threads
 
-    if schedule.kind is ScheduleKind.STATIC:
-        mapping = chunk_iterations(n_iterations, n_threads, schedule)
+    # One span for the whole work-shared loop, one per thread's share, and
+    # (dynamic/guided) one instant per chunk grab — the trace view of the
+    # schedule lesson: static shows fixed shares, dynamic shows threads
+    # racing for chunks.
+    loop_cm = telemetry.span("omp.parallel_for", category="loop",
+                             schedule=str(schedule),
+                             iterations=n_iterations, num_threads=n_threads)
+    with loop_cm as loop_span:
+        loop_id = loop_span.span_id if loop_span is not None else None
+        if schedule.kind is ScheduleKind.STATIC:
+            mapping = chunk_iterations(n_iterations, n_threads, schedule)
 
-        def static_body(ctx: ParallelContext) -> None:
-            acc = reduction.identity if reduction else None
-            for i in mapping[ctx.thread_num]:
-                body(i, ctx)
-                if reduction:
-                    acc = reduction.op(acc, value(i))
-                trace.per_thread[ctx.thread_num].append(i)
-            partials[ctx.thread_num] = acc
+            def static_body(ctx: ParallelContext) -> None:
+                acc = reduction.identity if reduction else None
+                with telemetry.span("omp.loop.share", category="loop",
+                                    parent_id=loop_id,
+                                    thread=ctx.thread_num,
+                                    iterations=len(mapping[ctx.thread_num])):
+                    for i in mapping[ctx.thread_num]:
+                        body(i, ctx)
+                        if reduction:
+                            acc = reduction.op(acc, value(i))
+                        trace.per_thread[ctx.thread_num].append(i)
+                partials[ctx.thread_num] = acc
 
-        omp.parallel(static_body, num_threads=n_threads)
-    else:
-        next_start = [0]
-        grab = threading.Lock()
-        min_chunk = schedule.chunk or 1
+            omp.parallel(static_body, num_threads=n_threads)
+        else:
+            next_start = [0]
+            grab = threading.Lock()
+            min_chunk = schedule.chunk or 1
 
-        def take() -> range | None:
-            with grab:
-                start = next_start[0]
-                if start >= n_iterations:
-                    return None
-                if schedule.kind is ScheduleKind.GUIDED:
-                    remaining = n_iterations - start
-                    size = max(remaining // n_threads, min_chunk)
-                else:
-                    size = min_chunk
-                end = min(start + size, n_iterations)
-                next_start[0] = end
+            def take(thread_num: int) -> range | None:
+                with grab:
+                    start = next_start[0]
+                    if start >= n_iterations:
+                        return None
+                    if schedule.kind is ScheduleKind.GUIDED:
+                        remaining = n_iterations - start
+                        size = max(remaining // n_threads, min_chunk)
+                    else:
+                        size = min_chunk
+                    end = min(start + size, n_iterations)
+                    next_start[0] = end
+                if telemetry.enabled():
+                    telemetry.instant("omp.loop.chunk", thread=thread_num,
+                                      start=start, size=end - start)
+                    telemetry.inc("omp.loop.chunks")
                 return range(start, end)
 
-        def dynamic_body(ctx: ParallelContext) -> None:
-            acc = reduction.identity if reduction else None
-            while (chunk := take()) is not None:
-                for i in chunk:
-                    body(i, ctx)
-                    if reduction:
-                        acc = reduction.op(acc, value(i))
-                    trace.per_thread[ctx.thread_num].append(i)
-            partials[ctx.thread_num] = acc
+            def dynamic_body(ctx: ParallelContext) -> None:
+                acc = reduction.identity if reduction else None
+                executed = 0
+                with telemetry.span("omp.loop.share", category="loop",
+                                    parent_id=loop_id,
+                                    thread=ctx.thread_num):
+                    while (chunk := take(ctx.thread_num)) is not None:
+                        for i in chunk:
+                            body(i, ctx)
+                            if reduction:
+                                acc = reduction.op(acc, value(i))
+                            trace.per_thread[ctx.thread_num].append(i)
+                            executed += 1
+                partials[ctx.thread_num] = acc
+                if telemetry.enabled():
+                    telemetry.counter_event("omp.loop.iterations", executed,
+                                            series=f"t{ctx.thread_num}")
 
-        omp.parallel(dynamic_body, num_threads=n_threads)
+            omp.parallel(dynamic_body, num_threads=n_threads)
 
     result = reduction.combine(partials) if reduction else None
     return result, trace

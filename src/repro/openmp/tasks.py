@@ -73,10 +73,20 @@ class TaskHandle:
 
 
 class TaskGroup:
-    """A shared task pool bound to an :class:`OpenMP` runtime."""
+    """A shared task pool bound to an :class:`OpenMP` runtime.
 
-    def __init__(self, omp: OpenMP) -> None:
+    With ``scheduler`` (a :class:`repro.sched.WorkStealingExecutor`) the
+    group dispatches through the repo-wide work-stealing layer instead of
+    its own deque: ``submit`` returns a scheduler handle (same ``done()``
+    / ``result()`` surface, including inline help), and ``run`` drains
+    the scheduler rather than forking the OpenMP team — which makes the
+    task schedule seed-replayable in the scheduler's deterministic mode.
+    """
+
+    def __init__(self, omp: OpenMP, scheduler: Any | None = None) -> None:
         self._omp = omp
+        self._scheduler = scheduler
+        self._sched_handles: list[Any] = []
         self._deque: collections.deque = collections.deque()
         self._lock = threading.Lock()
         self._outstanding = 0
@@ -120,8 +130,17 @@ class TaskGroup:
 
     # -- API ----------------------------------------------------------------
 
-    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> TaskHandle:
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
         """Queue a task for any team member to execute."""
+        if self._scheduler is not None:
+            handle = self._scheduler.submit(
+                lambda: fn(*args, **kwargs),
+                name=f"omp.{getattr(fn, '__name__', 'task')}",
+            )
+            with self._lock:
+                self._sched_handles.append(handle)
+            telemetry.inc("omp.tasks.submitted")
+            return handle
         handle = TaskHandle(_group=self)
         with self._lock:
             self._deque.append((handle, fn, args, kwargs))
@@ -131,6 +150,22 @@ class TaskGroup:
 
     def taskwait(self, timeout: float = 60.0) -> None:
         """Execute queued tasks until every submitted task has completed."""
+        if self._scheduler is not None:
+            with telemetry.span("omp.taskwait", category="sync"):
+                deadline = time.monotonic() + timeout
+                while True:
+                    with self._lock:
+                        pending = [
+                            h for h in self._sched_handles if not h.done()
+                        ]
+                    if not pending:
+                        return
+                    if time.monotonic() > deadline:
+                        raise TimeoutError("taskwait exceeded its timeout")
+                    try:
+                        pending[0].result(timeout=timeout)
+                    except Exception:  # noqa: BLE001
+                        pass  # surfaced via the owner's own result() call
         with telemetry.span("omp.taskwait", category="sync"):
             deadline = time.monotonic() + timeout
             while True:
@@ -151,6 +186,13 @@ class TaskGroup:
         :class:`~repro.openmp.runtime.ParallelError`; the workers are
         always shut down, even then.
         """
+        if self._scheduler is not None:
+            handle = self._scheduler.submit(
+                lambda: root(*args, **kwargs), name="omp.root"
+            )
+            self._scheduler.drain()
+            return handle.result()
+
         result_box: list[Any] = [None]
 
         def body(ctx) -> None:

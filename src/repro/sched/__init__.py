@@ -1,0 +1,72 @@
+"""``repro.sched`` — unified scheduling, queuing, and result caching.
+
+PR 1 gave the repo eyes (:mod:`repro.telemetry`), PR 2 a hand on the
+chaos dial (:mod:`repro.faults`); this package gives it **one execution
+substrate**.  Each runtime used to spin up its own ad-hoc thread pool;
+now MapReduce phases, OpenMP-style task groups, and drug-design scoring
+sweeps can all dispatch through the same deterministic work-stealing
+executor, behind the same admission queue, in front of the same result
+cache.
+
+Layers:
+
+- :mod:`repro.sched.core` — tasks, handles, canonical scheduler events,
+  the seeded :class:`StealOrder`, and the owner-LIFO/thief-FIFO
+  :class:`WorkerDeque`;
+- :mod:`repro.sched.queue` — :class:`JobQueue`: priority admission with
+  batched submission, bounded backpressure, and cancellation;
+- :mod:`repro.sched.executor` — :class:`WorkStealingExecutor`:
+  deterministic stepping mode (event log byte-identical across
+  processes and ``PYTHONHASHSEED`` values) or threaded mode (wall-clock
+  concurrency), with retry of injected faults and an optional
+  :class:`~repro.faults.policies.CircuitBreaker` on dispatch;
+- :mod:`repro.sched.cache` — :class:`ResultCache`: content-addressed
+  memoisation (``fingerprint(workload, spec, seed)`` → stored result),
+  in-memory plus an optional on-disk tier for cross-process warm runs;
+- :mod:`repro.sched.workloads` — the demonstrations behind
+  ``python -m repro sched``.
+
+Usage::
+
+    from repro import sched
+
+    ex = sched.WorkStealingExecutor(n_workers=4, seed=7)
+    results = ex.map([lambda i=i: i * i for i in range(100)])
+    ex.stats().steal_rate          # how much balancing happened
+    ex.log_lines()                 # canonical, replayable event log
+"""
+
+from __future__ import annotations
+
+from repro.sched.cache import ResultCache, canonical_repr, fingerprint
+from repro.sched.core import (
+    BackpressureError,
+    CancelledError,
+    SchedError,
+    SchedEvent,
+    StealOrder,
+    Task,
+    TaskHandle,
+    TaskState,
+    WorkerDeque,
+)
+from repro.sched.executor import SchedStats, WorkStealingExecutor
+from repro.sched.queue import JobQueue
+
+__all__ = [
+    "BackpressureError",
+    "CancelledError",
+    "SchedError",
+    "SchedEvent",
+    "SchedStats",
+    "StealOrder",
+    "Task",
+    "TaskHandle",
+    "TaskState",
+    "WorkerDeque",
+    "JobQueue",
+    "WorkStealingExecutor",
+    "ResultCache",
+    "canonical_repr",
+    "fingerprint",
+]

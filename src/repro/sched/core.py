@@ -1,0 +1,188 @@
+"""Scheduler value objects: tasks, handles, events, steal order, deques.
+
+Determinism is the organising principle, the same one :mod:`repro.faults`
+uses: every quantity that influences scheduling is derived from explicit
+coordinates (the scheduler seed, a worker index, a steal-attempt index,
+a task's submission sequence) hashed through stable functions — never
+from the salted builtin ``hash``, thread arrival order, or wall-clock
+time.  In the executor's deterministic mode that makes the *entire*
+event log a pure function of (workload, workers, seed), byte-identical
+across processes and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = [
+    "SchedError",
+    "BackpressureError",
+    "CancelledError",
+    "TaskState",
+    "Task",
+    "TaskHandle",
+    "SchedEvent",
+    "StealOrder",
+    "WorkerDeque",
+]
+
+
+class SchedError(RuntimeError):
+    """Scheduler invariant violation or a task that exhausted retries."""
+
+
+class BackpressureError(SchedError):
+    """The bounded job queue rejected a submission (admission control)."""
+
+
+class CancelledError(SchedError):
+    """The task was cancelled before it ran; its result does not exist."""
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work (a zero-argument callable)."""
+
+    task_id: int
+    fn: Callable[[], Any]
+    name: str = "task"
+    priority: int = 0            # higher runs sooner off the admission queue
+    state: TaskState = TaskState.PENDING
+    taken: bool = False          # claimed by a worker / inline helper / cancel
+    attempts: int = 0
+
+
+@dataclass
+class TaskHandle:
+    """The caller's view of a submitted task (a deterministic future)."""
+
+    _executor: Any
+    task: Task
+    _done: threading.Event = field(default_factory=threading.Event)
+    _value: Any = None
+    _error: BaseException | None = None
+    worker: int | None = None    # worker that completed the task
+
+    @property
+    def task_id(self) -> int:
+        return self.task.task_id
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def cancelled(self) -> bool:
+        return self.task.state is TaskState.CANCELLED
+
+    def cancel(self) -> bool:
+        """Cancel if still pending; True when the task will never run."""
+        return self._executor._cancel(self)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The task's value.
+
+        If the task is still queued, the calling thread claims and runs it
+        inline (targeted help — the idiom of
+        :meth:`repro.openmp.tasks.TaskHandle.result`), so a parent task
+        waiting on its child never deadlocks the scheduler.
+        """
+        if not self._done.is_set():
+            self._executor._help(self, timeout)
+        if not self._done.is_set():
+            raise SchedError(
+                f"task {self.task.task_id} ({self.task.name}) result not "
+                f"available in time"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass(frozen=True)
+class SchedEvent:
+    """One scheduler decision, rendered into the canonical event log.
+
+    ``step`` is the stepping round in deterministic mode and a per-worker
+    monotonic counter in threaded mode; ``detail`` is a stable string
+    (e.g. ``from=w2`` for a steal).  No timestamps — logs must replay.
+    """
+
+    step: int
+    worker: int
+    kind: str           # submit | pop | queue | steal | done | retry |
+                        # fail | cancel | reject
+    task_id: int
+    detail: str = ""
+
+    def canonical(self) -> str:
+        suffix = f"|{self.detail}" if self.detail else ""
+        return f"{self.step:05d}|w{self.worker}|{self.kind}|t{self.task_id}{suffix}"
+
+
+class StealOrder:
+    """Seeded victim permutations: which deques a thief probes, in order.
+
+    ``victims(worker, attempt)`` is a pure function of (seed, worker,
+    attempt): the RNG is seeded with a *string* (CPython hashes str/bytes
+    seeds through SHA-512, stable across processes), never a tuple (tuple
+    seeding goes through the salted builtin ``hash``).
+    """
+
+    def __init__(self, seed: int, n_workers: int) -> None:
+        self.seed = seed
+        self.n_workers = n_workers
+
+    def victims(self, worker: int, attempt: int) -> tuple[int, ...]:
+        others = [w for w in range(self.n_workers) if w != worker]
+        random.Random(f"{self.seed}:{worker}:{attempt}").shuffle(others)
+        return tuple(others)
+
+
+class WorkerDeque:
+    """One worker's double-ended task queue.
+
+    The owner pushes and pops at the *bottom* (LIFO — fresh, cache-warm
+    work first); thieves steal from the *top* (FIFO — the oldest task,
+    the classic Cilk/ABP discipline that minimises owner/thief contention
+    and steals the largest remaining subtree in divide-and-conquer
+    workloads).  Entries whose task was already taken (cancelled, claimed
+    by an inline helper) are skipped lazily.
+    """
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self._items: deque[Task] = deque()
+
+    def __len__(self) -> int:
+        return sum(1 for t in self._items if not t.taken)
+
+    def push(self, task: Task) -> None:
+        self._items.append(task)
+
+    def pop_bottom(self) -> Task | None:
+        """Owner side: newest untaken task, or None."""
+        while self._items:
+            task = self._items.pop()
+            if not task.taken:
+                return task
+        return None
+
+    def steal_top(self) -> Task | None:
+        """Thief side: oldest untaken task, or None."""
+        while self._items:
+            task = self._items.popleft()
+            if not task.taken:
+                return task
+        return None

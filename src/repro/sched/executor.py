@@ -1,0 +1,515 @@
+"""The work-stealing executor: one execution substrate for every runtime.
+
+Structure (the classic shape — Cilk, TBB, ForkJoinPool, and the PDC
+patternlets' master/worker generalisation):
+
+- an **admission queue** (:class:`~repro.sched.queue.JobQueue`):
+  priority-ordered, batch submission, bounded backpressure;
+- **per-worker deques**: owners push/pop at the bottom (LIFO), thieves
+  steal from the top (FIFO);
+- a **seeded steal order** (:class:`~repro.sched.core.StealOrder`): which
+  victim an idle worker probes is a pure function of (seed, worker,
+  attempt), never of timing or ``hash`` salt.
+
+Two execution modes share all of that machinery:
+
+- ``deterministic=True`` (default) — a single-threaded *stepping* loop:
+  each round polls workers in index order; a worker runs one task per
+  round (own deque → admission queue → steal).  Scheduling becomes a
+  pure function of (workload, workers, seed): the event log replays
+  byte-identically across processes and ``PYTHONHASHSEED`` values — the
+  property ``python -m repro sched`` demonstrates and the tests pin.
+- ``deterministic=False`` — real worker threads for wall-clock
+  concurrency (the mode ``benchmarks/bench_sched.py`` measures against
+  the per-runtime thread pools).  Same deques, same seeded steal order;
+  the log is rendered sorted because arrival order is genuinely racy.
+
+Every dispatch is a :mod:`repro.faults` injection site (``sched.task``);
+injected crashes/transients are retried up to ``max_attempts`` by
+re-queueing on the executing worker's deque.  An optional
+:class:`~repro.faults.policies.CircuitBreaker` guards dispatch: while
+open, tasks are rejected without running (admission control under
+persistent failure).  Every decision emits :mod:`repro.telemetry`
+spans/metrics.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.config import resolve_timeout_s
+from repro.faults import hooks as faults
+from repro.faults.injector import InjectedCrash, TransientFault
+from repro.faults.policies import CircuitBreaker, CircuitOpenError
+from repro.sched.core import (
+    CancelledError,
+    SchedError,
+    SchedEvent,
+    StealOrder,
+    Task,
+    TaskHandle,
+    TaskState,
+    WorkerDeque,
+)
+from repro.sched.queue import JobQueue
+from repro.telemetry import instrument as telemetry
+
+__all__ = ["SchedStats", "WorkStealingExecutor"]
+
+#: Default ceiling on one drain (same override rule as the runtimes).
+DRAIN_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class SchedStats:
+    """Aggregate counters of one executor's lifetime."""
+
+    n_workers: int
+    seed: int
+    deterministic: bool
+    submitted: int = 0
+    executed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    retries: int = 0
+    rejected: int = 0
+    local_pops: int = 0
+    queue_takes: int = 0
+    steals: int = 0
+    steps: int = 0
+    high_water: int = 0
+
+    @property
+    def steal_rate(self) -> float:
+        """Fraction of task acquisitions that crossed worker deques."""
+        acquisitions = self.local_pops + self.queue_takes + self.steals
+        return self.steals / acquisitions if acquisitions else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n_workers": self.n_workers,
+            "seed": self.seed,
+            "deterministic": self.deterministic,
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "retries": self.retries,
+            "rejected": self.rejected,
+            "local_pops": self.local_pops,
+            "queue_takes": self.queue_takes,
+            "steals": self.steals,
+            "steal_rate": round(self.steal_rate, 6),
+            "steps": self.steps,
+            "high_water": self.high_water,
+        }
+
+
+class WorkStealingExecutor:
+    """Deterministic (or threaded) work-stealing task executor."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        seed: int = 0,
+        deterministic: bool = True,
+        max_attempts: int = 3,
+        max_pending: int | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.n_workers = n_workers
+        self.seed = seed
+        self.deterministic = deterministic
+        self.max_attempts = max_attempts
+        self.breaker = breaker
+        self.queue = JobQueue(max_pending=max_pending)
+        self.steal_order = StealOrder(seed, n_workers)
+        # Seeded placement of admitted tasks onto deques.  A string seed
+        # (SHA-512 path in CPython) keeps the deal independent of
+        # PYTHONHASHSEED; drawing per task makes placement — and hence
+        # the whole steal schedule — a function of the scheduler seed.
+        self._deal_rng = random.Random(f"{seed}:deal")
+        self.events: list[SchedEvent] = []
+        self._deques = [WorkerDeque(w) for w in range(n_workers)]
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._next_task_id = 0
+        self._handles: dict[int, TaskHandle] = {}
+        self._outstanding = 0        # submitted but not finished
+        self._pending = 0            # admitted but not yet acquired
+        self._step = 0
+        self._steal_attempts = [0] * n_workers
+        self._worker_seq = [0] * n_workers
+        self._counts = {
+            "submitted": 0, "executed": 0, "failed": 0, "cancelled": 0,
+            "retries": 0, "rejected": 0, "local_pops": 0, "queue_takes": 0,
+            "steals": 0,
+        }
+        self._high_water = 0
+
+    # -- events --------------------------------------------------------------
+
+    def _event_step(self, worker: int) -> int:
+        if self.deterministic:
+            return self._step
+        if 0 <= worker < self.n_workers:
+            self._worker_seq[worker] += 1
+            return self._worker_seq[worker]
+        return 0
+
+    def _record(self, worker: int, kind: str, task_id: int, detail: str = "") -> None:
+        with self._lock:
+            self.events.append(
+                SchedEvent(self._event_step(worker), worker, kind, task_id, detail)
+            )
+
+    def log_lines(self) -> list[str]:
+        """The canonical event log.
+
+        Deterministic mode: in execution order — a pure function of
+        (workload, workers, seed), byte-identical across processes and
+        hash seeds.  Threaded mode: sorted (arrival order is racy; the
+        sorted multiset of decisions is still comparable run to run).
+        """
+        with self._lock:
+            lines = [event.canonical() for event in self.events]
+        return lines if self.deterministic else sorted(lines)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        name: str = "task",
+        priority: int = 0,
+    ) -> TaskHandle:
+        """Admit one task; see :meth:`submit_batch` for semantics."""
+        return self.submit_batch([fn], name=name, priority=priority)[0]
+
+    def submit_batch(
+        self,
+        fns: Sequence[Callable[[], Any]],
+        name: str = "task",
+        priority: int = 0,
+    ) -> list[TaskHandle]:
+        """Admit a batch atomically (all or :class:`BackpressureError`).
+
+        Submissions from *inside* a running task bypass the admission
+        queue onto the submitting worker's own deque — nested work is
+        already admitted, and bouncing it through backpressure could
+        deadlock a fork-join decomposition against its own children.
+        """
+        worker = getattr(self._local, "worker", None)
+        with self._lock:
+            handles: list[TaskHandle] = []
+            tasks: list[Task] = []
+            for i, fn in enumerate(fns):
+                task = Task(
+                    task_id=self._next_task_id,
+                    fn=fn,
+                    name=name if len(fns) == 1 else f"{name}[{i}]",
+                    priority=priority,
+                )
+                self._next_task_id += 1
+                tasks.append(task)
+                handles.append(TaskHandle(_executor=self, task=task))
+            if worker is None:
+                self.queue.push_batch(tasks)      # may raise BackpressureError
+            else:
+                for task in tasks:
+                    self._deques[worker].push(task)
+            for handle in handles:
+                self._handles[handle.task_id] = handle
+            self._outstanding += len(tasks)
+            self._pending += len(tasks)
+            self._high_water = max(self._high_water, self._pending)
+            self._counts["submitted"] += len(tasks)
+            origin = -1 if worker is None else worker
+            for task in tasks:
+                self.events.append(SchedEvent(
+                    self._event_step(origin), origin, "submit", task.task_id
+                ))
+        if telemetry.enabled():
+            telemetry.inc("sched.tasks.submitted", len(tasks))
+            telemetry.counter_event("sched.queue.depth", self._pending)
+        return handles
+
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    # -- cancellation --------------------------------------------------------
+
+    def _cancel(self, handle: TaskHandle) -> bool:
+        task = handle.task
+        with self._lock:
+            if task.taken or task.state is not TaskState.PENDING:
+                return task.state is TaskState.CANCELLED
+            task.taken = True
+            task.state = TaskState.CANCELLED
+            self._outstanding -= 1
+            self._pending -= 1
+            self._counts["cancelled"] += 1
+            self.events.append(SchedEvent(
+                self._event_step(-1), -1, "cancel", task.task_id
+            ))
+        handle._error = CancelledError(
+            f"task {task.task_id} ({task.name}) was cancelled"
+        )
+        handle._done.set()
+        telemetry.instant("sched.task.cancelled", task=task.task_id)
+        telemetry.inc("sched.tasks.cancelled")
+        return True
+
+    # -- acquisition ---------------------------------------------------------
+
+    def _deal_locked(self) -> None:
+        """Move every queued task onto a seeded-random worker deque.
+
+        The queue yields priority-descending; dealing in *ascending*
+        order leaves the highest priority bottom-most on its deque, so
+        owners (LIFO) run priorities first while thieves (FIFO) take the
+        back of the line.
+        """
+        batch: list[Task] = []
+        while (task := self.queue.pop()) is not None:
+            batch.append(task)
+        for task in reversed(batch):
+            worker = self._deal_rng.randrange(self.n_workers)
+            task.taken = False            # re-armed now that it has a home
+            self._deques[worker].push(task)
+            self.events.append(SchedEvent(
+                self._event_step(worker), worker, "deal", task.task_id
+            ))
+
+    def _acquire_locked(self, worker: int) -> tuple[Task, str, str] | None:
+        """One acquisition attempt for ``worker`` (caller holds the lock):
+        own deque, then the admission queue, then a seeded steal sweep."""
+        task = self._deques[worker].pop_bottom()
+        if task is not None:
+            task.taken = True
+            self._counts["local_pops"] += 1
+            return task, "pop", ""
+        task = self.queue.pop()                   # marks taken itself
+        if task is not None:
+            self._counts["queue_takes"] += 1
+            return task, "queue", ""
+        attempt = self._steal_attempts[worker]
+        self._steal_attempts[worker] += 1
+        for victim in self.steal_order.victims(worker, attempt):
+            task = self._deques[victim].steal_top()
+            if task is not None:
+                task.taken = True
+                self._counts["steals"] += 1
+                return task, "steal", f"from=w{victim}"
+        return None
+
+    # -- execution -----------------------------------------------------------
+
+    def _run(self, task: Task, worker: int, kind: str, detail: str) -> None:
+        """Execute one acquired task on ``worker`` (outside the lock)."""
+        self._record(worker, kind, task.task_id, detail)
+        if kind == "steal":
+            telemetry.instant("sched.steal", thief=worker, task=task.task_id,
+                              victim=detail)
+            telemetry.inc("sched.steals")
+        with self._lock:
+            self._pending -= 1
+            attempt = task.attempts
+            task.attempts += 1
+            task.state = TaskState.RUNNING
+        if self.breaker is not None and not self.breaker.allow():
+            with self._lock:
+                self._counts["rejected"] += 1
+            self._record(worker, "reject", task.task_id, f"a{attempt}")
+            telemetry.instant("sched.task.rejected", task=task.task_id,
+                              worker=worker)
+            telemetry.inc("sched.tasks.rejected")
+            self._finish(task, worker, error=CircuitOpenError(
+                f"task {task.task_id} ({task.name}) rejected: breaker open"
+            ))
+            return
+        previous_worker = getattr(self._local, "worker", None)
+        self._local.worker = worker
+        try:
+            faults.fire("sched.task", key=f"t{task.task_id}",
+                        task=task.task_id, worker=worker, attempt=attempt)
+            with telemetry.span("sched.task", category="task",
+                                task=task.task_id, task_name=task.name,
+                                worker=worker, attempt=attempt):
+                value = task.fn()
+        except (InjectedCrash, TransientFault) as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            if attempt + 1 < self.max_attempts:
+                with self._lock:
+                    task.taken = False
+                    task.state = TaskState.PENDING
+                    self._deques[worker].push(task)
+                    self._pending += 1
+                    self._counts["retries"] += 1
+                self._record(worker, "retry", task.task_id, f"a{attempt}")
+                telemetry.instant("sched.task.retry", task=task.task_id,
+                                  attempt=attempt)
+                telemetry.inc("sched.retries")
+            else:
+                self._record(worker, "fail", task.task_id, f"a{attempt}")
+                self._finish(task, worker, error=SchedError(
+                    f"task {task.task_id} ({task.name}) failed after "
+                    f"{self.max_attempts} attempt(s)"
+                ), cause=exc)
+        except BaseException as exc:  # noqa: BLE001 - stored on the handle
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            self._record(worker, "fail", task.task_id, f"a{attempt}")
+            self._finish(task, worker, error=exc)
+        else:
+            if self.breaker is not None:
+                self.breaker.record_success()
+            self._record(worker, "done", task.task_id, f"a{attempt}")
+            self._finish(task, worker, value=value)
+        finally:
+            self._local.worker = previous_worker
+
+    def _finish(
+        self,
+        task: Task,
+        worker: int,
+        value: Any = None,
+        error: BaseException | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        if error is not None and cause is not None:
+            error.__cause__ = cause
+        with self._lock:
+            task.state = TaskState.FAILED if error is not None else TaskState.DONE
+            self._outstanding -= 1
+            self._counts["failed" if error is not None else "executed"] += 1
+            handle = self._handles.pop(task.task_id, None)
+        if handle is not None:
+            handle._value = value
+            handle._error = error
+            handle.worker = worker
+            handle._done.set()
+        telemetry.inc("sched.tasks.executed")
+
+    # -- inline help (for TaskHandle.result) ---------------------------------
+
+    def _help(self, handle: TaskHandle, timeout: float | None) -> None:
+        task = handle.task
+        with self._lock:
+            claim = not task.taken and task.state is TaskState.PENDING
+            if claim:
+                task.taken = True
+        if claim:
+            worker = getattr(self._local, "worker", None)
+            self._run(task, worker if worker is not None else 0,
+                      "pop", "inline")
+            return
+        handle._done.wait(resolve_timeout_s(timeout, DRAIN_TIMEOUT_S))
+
+    # -- draining ------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Run until every submitted task has finished."""
+        budget = resolve_timeout_s(timeout, DRAIN_TIMEOUT_S)
+        with telemetry.span("sched.drain", category="sched",
+                            n_workers=self.n_workers, seed=self.seed,
+                            deterministic=self.deterministic):
+            if self.deterministic:
+                self._drain_stepping(budget)
+            else:
+                self._drain_threaded(budget)
+        if telemetry.enabled():
+            telemetry.counter_event("sched.queue.depth", self._pending)
+
+    def _drain_stepping(self, budget: float) -> None:
+        """Single-threaded deterministic rounds: worker 0..W-1 each run at
+        most one task per round.  Work exists whenever tasks are pending,
+        so an empty round with outstanding work is an invariant breach."""
+        started = time.monotonic()
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    return
+            if time.monotonic() - started > budget:
+                raise SchedError(f"drain exceeded {budget}s")
+            progressed = False
+            with self._lock:
+                self._deal_locked()
+            for worker in range(self.n_workers):
+                with self._lock:
+                    acquired = self._acquire_locked(worker)
+                if acquired is not None:
+                    progressed = True
+                    self._run(acquired[0], worker, acquired[1], acquired[2])
+            with self._lock:
+                self._step += 1
+                if not progressed and self._outstanding > 0:
+                    raise SchedError(
+                        f"scheduler stalled: {self._outstanding} task(s) "
+                        f"outstanding but none acquirable"
+                    )
+
+    def _drain_threaded(self, budget: float) -> None:
+        with self._lock:
+            self._deal_locked()
+
+        def loop(worker: int) -> None:
+            telemetry.ensure_thread("sched", f"sched-worker-{worker}")
+            while True:
+                with self._lock:
+                    if self._outstanding == 0:
+                        return
+                    acquired = self._acquire_locked(worker)
+                if acquired is None:
+                    time.sleep(0.0002)
+                    continue
+                self._run(acquired[0], worker, acquired[1], acquired[2])
+
+        threads = [
+            threading.Thread(target=loop, args=(w,), name=f"sched-worker-{w}")
+            for w in range(self.n_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=budget)
+            if t.is_alive():
+                raise SchedError(f"{t.name} did not finish within {budget}s")
+
+    def map(
+        self,
+        fns: Sequence[Callable[[], Any]],
+        name: str = "task",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Batch-submit, drain, and return results in submission order.
+
+        The dispatch-layer entry point the runtimes use (MapReduce phases,
+        drug-design sweeps): one call, deterministic result order."""
+        handles = self.submit_batch(fns, name=name, priority=priority)
+        self.drain(timeout=timeout)
+        return [handle.result(timeout=timeout) for handle in handles]
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> SchedStats:
+        with self._lock:
+            return SchedStats(
+                n_workers=self.n_workers,
+                seed=self.seed,
+                deterministic=self.deterministic,
+                steps=self._step,
+                high_water=self._high_water,
+                **self._counts,
+            )

@@ -1,0 +1,85 @@
+"""The admission layer: a priority job queue with bounded backpressure.
+
+Work stealing balances load *after* admission; this queue decides what
+is admitted at all.  Tasks enter here (singly or in batches), wait in
+priority order (higher first, FIFO within a priority level), and are
+pulled by idle workers.  A bounded queue refuses work beyond
+``max_pending`` with :class:`~repro.sched.core.BackpressureError` —
+callers shed or retry, the scheduler never grows an unbounded backlog
+(the admission-control half of the serving story).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.sched.core import BackpressureError, Task, TaskState
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Priority queue of :class:`Task` with optional bounded capacity."""
+
+    def __init__(self, max_pending: int | None = None) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_pending = max_pending
+        self._lock = threading.Lock()
+        # Heap entries: (-priority, sequence, Task) — min-heap, so the
+        # highest priority pops first and ties break by submission order.
+        self._heap: list[tuple[int, int, Task]] = []
+        self._seq = 0
+        self.high_water = 0       # peak pending count (backlog telemetry)
+        self.rejected = 0         # submissions refused by backpressure
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._pending_locked()
+
+    def _pending_locked(self) -> int:
+        return sum(1 for _, _, t in self._heap if not t.taken)
+
+    def push(self, task: Task) -> None:
+        """Admit one task; raises :class:`BackpressureError` when full."""
+        self.push_batch([task])
+
+    def push_batch(self, tasks: list[Task]) -> None:
+        """Admit a batch atomically: all admitted, or none (and a
+        :class:`BackpressureError`) — a half-admitted batch would leave
+        the caller with a job it can neither run nor retry wholesale."""
+        with self._lock:
+            pending = self._pending_locked()
+            if (
+                self.max_pending is not None
+                and pending + len(tasks) > self.max_pending
+            ):
+                self.rejected += len(tasks)
+                raise BackpressureError(
+                    f"job queue full: {pending} pending + {len(tasks)} "
+                    f"submitted > max_pending={self.max_pending}"
+                )
+            for task in tasks:
+                heapq.heappush(self._heap, (-task.priority, self._seq, task))
+                self._seq += 1
+            self.high_water = max(self.high_water, pending + len(tasks))
+
+    def pop(self) -> Task | None:
+        """Highest-priority untaken task (marks it taken), or None."""
+        with self._lock:
+            while self._heap:
+                _, _, task = heapq.heappop(self._heap)
+                if not task.taken:
+                    task.taken = True
+                    return task
+            return None
+
+    def cancel(self, task: Task) -> bool:
+        """Cancel a queued task: True if it had not been claimed yet."""
+        with self._lock:
+            if task.taken or task.state is not TaskState.PENDING:
+                return False
+            task.taken = True
+            task.state = TaskState.CANCELLED
+            return True

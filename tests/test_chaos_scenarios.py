@@ -1,0 +1,69 @@
+"""The PR-3 chaos scenarios: partition, stencil, and collectives.
+
+Each one demonstrates fault → detection → recovery end to end and must
+finish with the fault-free answer; and like every chaos workload, the
+injected-event log must replay byte-identically for the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.chaos import (
+    chaos_workload_names,
+    named_plan,
+    partition_rank,
+    run_chaos,
+)
+from repro.faults.plan import FaultKind
+
+
+def test_new_scenarios_are_registered():
+    names = chaos_workload_names()
+    for name in ("partition", "stencil", "collectives"):
+        assert name in names
+        assert named_plan(name, seed=7).rules
+
+
+def test_partition_rank_rules_cut_both_directions():
+    to_rule, from_rule = partition_rank(2)
+    assert to_rule.kind is FaultKind.DROP and to_rule.where == {"dest": 2}
+    assert from_rule.kind is FaultKind.DROP and from_rule.where == {"source": 2}
+    assert to_rule.every == 1 and from_rule.every == 1
+
+
+def test_stencil_recovers_to_fault_free_result():
+    report = run_chaos("stencil", seed=7)
+    assert report.ok
+    assert report.injected_by_kind.get("drop", 0) == 1
+    assert report.recovered >= 1           # at least one whole-run retry
+
+
+def test_collectives_recover_from_bcast_and_gather_drops():
+    report = run_chaos("collectives", seed=7)
+    assert report.ok
+    assert report.injected_by_kind.get("drop", 0) == 2
+    assert report.recovered >= 1
+    channels = {line.split("|")[1] for line in report.log_lines}
+    assert "0->1" in channels              # bcast copy to rank 1
+    assert "2->0" in channels              # gather contribution from rank 2
+
+
+def test_partition_detected_by_deadline_and_items_reassigned():
+    report = run_chaos("partition", seed=7)
+    assert report.ok
+    # Both directions of rank 2's traffic were cut (work + stop message).
+    assert report.injected_by_kind.get("drop", 0) >= 2
+    assert report.recovered >= 1           # reassigned items count
+    assert all("->2" in line.split("|")[1] or
+               line.split("|")[1].startswith("2->")
+               for line in report.log_lines)
+
+
+@pytest.mark.parametrize("workload", ["stencil", "collectives", "partition"])
+def test_scenario_logs_replay_for_same_seed(workload):
+    first = run_chaos(workload, seed=11)
+    second = run_chaos(workload, seed=11)
+    assert first.ok and second.ok
+    assert first.log_lines == second.log_lines
+    assert first.injected_by_kind == second.injected_by_kind

@@ -1,0 +1,269 @@
+"""Unit tests for the repro.sched core: deques, queue, cache, executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+from repro.faults.clock import FakeClock
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.faults.policies import CircuitBreaker, CircuitOpenError
+from repro.sched import (
+    BackpressureError,
+    CancelledError,
+    JobQueue,
+    ResultCache,
+    SchedError,
+    StealOrder,
+    Task,
+    WorkerDeque,
+    WorkStealingExecutor,
+    canonical_repr,
+    fingerprint,
+)
+
+
+# -- core value objects -------------------------------------------------------
+
+
+def test_worker_deque_owner_lifo_thief_fifo():
+    dq = WorkerDeque(worker=0)
+    tasks = [Task(task_id=i, fn=lambda: None) for i in range(3)]
+    for t in tasks:
+        dq.push(t)
+    assert dq.steal_top() is tasks[0]      # thief: oldest
+    assert dq.pop_bottom() is tasks[2]     # owner: newest
+    assert dq.pop_bottom() is tasks[1]
+    assert dq.pop_bottom() is None
+
+
+def test_worker_deque_skips_taken_tasks():
+    dq = WorkerDeque(worker=0)
+    tasks = [Task(task_id=i, fn=lambda: None) for i in range(3)]
+    for t in tasks:
+        dq.push(t)
+    tasks[2].taken = True
+    tasks[0].taken = True
+    assert len(dq) == 1
+    assert dq.pop_bottom() is tasks[1]
+
+
+def test_steal_order_is_pure_function_of_coordinates():
+    a = StealOrder(seed=7, n_workers=6)
+    b = StealOrder(seed=7, n_workers=6)
+    assert a.victims(2, 0) == b.victims(2, 0)
+    assert 2 not in a.victims(2, 0)
+    assert sorted(a.victims(2, 0)) == [0, 1, 3, 4, 5]
+    # Different seed, worker, or attempt changes the permutation space.
+    c = StealOrder(seed=8, n_workers=6)
+    assert any(
+        a.victims(w, t) != c.victims(w, t)
+        for w in range(6) for t in range(4)
+    )
+
+
+# -- job queue ----------------------------------------------------------------
+
+
+def test_job_queue_priority_then_fifo():
+    q = JobQueue()
+    low = Task(task_id=0, fn=lambda: None, priority=0)
+    high = Task(task_id=1, fn=lambda: None, priority=5)
+    mid_a = Task(task_id=2, fn=lambda: None, priority=3)
+    mid_b = Task(task_id=3, fn=lambda: None, priority=3)
+    for t in (low, mid_a, high, mid_b):
+        q.push(t)
+    assert [q.pop().task_id for _ in range(4)] == [1, 2, 3, 0]
+    assert q.pop() is None
+
+
+def test_job_queue_backpressure_batch_is_atomic():
+    q = JobQueue(max_pending=2)
+    q.push(Task(task_id=0, fn=lambda: None))
+    batch = [Task(task_id=i, fn=lambda: None) for i in (1, 2)]
+    with pytest.raises(BackpressureError):
+        q.push_batch(batch)
+    assert len(q) == 1                     # nothing half-admitted
+    assert q.rejected == 2
+    q.push(Task(task_id=3, fn=lambda: None))
+    assert q.high_water == 2
+
+
+def test_job_queue_cancel_only_pending():
+    q = JobQueue()
+    t = Task(task_id=0, fn=lambda: None)
+    q.push(t)
+    assert q.cancel(t)
+    assert not q.cancel(t)
+    assert q.pop() is None
+
+
+# -- result cache -------------------------------------------------------------
+
+
+def test_canonical_repr_is_order_independent():
+    assert canonical_repr({"b": 1, "a": 2}) == canonical_repr({"a": 2, "b": 1})
+    assert canonical_repr({3, 1, 2}) == canonical_repr({2, 3, 1})
+    assert canonical_repr([1, 2]) != canonical_repr((1, 2))
+    assert fingerprint({"x": 1}, [2]) == fingerprint({"x": 1}, [2])
+    assert fingerprint("a") != fingerprint("b")
+
+
+def test_result_cache_memory_hit_and_miss_counters():
+    cache = ResultCache()
+    assert cache.get("missing") is None
+    cache.put("k", 42)
+    assert cache.get("k") == 42
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert cache.hit_ratio == 0.5
+
+
+def test_result_cache_disk_tier_survives_processes(tmp_path):
+    directory = str(tmp_path / "cache")
+    first = ResultCache(directory=directory)
+    value, hit = first.get_or_compute(("wl", 4, 7), lambda: {"answer": 99})
+    assert value == {"answer": 99} and not hit
+    # A fresh instance (fresh memory) hits via the pickle tier.
+    second = ResultCache(directory=directory)
+    value, hit = second.get_or_compute(("wl", 4, 7), lambda: {"answer": -1})
+    assert value == {"answer": 99} and hit
+    assert second.hits == 1 and second.misses == 0
+
+
+def test_get_or_compute_computes_once():
+    cache = ResultCache()
+    calls = []
+    for _ in range(3):
+        value, _hit = cache.get_or_compute(("k",), lambda: calls.append(1) or 7)
+    assert value == 7 and len(calls) == 1
+
+
+# -- executor -----------------------------------------------------------------
+
+
+def test_map_returns_results_in_submission_order():
+    ex = WorkStealingExecutor(n_workers=4, seed=7)
+    assert ex.map([lambda i=i: i * i for i in range(20)]) == [
+        i * i for i in range(20)
+    ]
+    stats = ex.stats()
+    assert stats.executed == 20 and stats.failed == 0
+
+
+def test_same_seed_replays_byte_identical_log():
+    def run(seed):
+        ex = WorkStealingExecutor(n_workers=4, seed=seed)
+        ex.map([lambda i=i: i for i in range(24)])
+        return ex.log_lines()
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)                # the seed drives the schedule
+
+
+def test_priority_runs_first_in_stepping_mode():
+    order = []
+    ex = WorkStealingExecutor(n_workers=1, seed=0)
+    ex.submit(lambda: order.append("low"), name="low", priority=0)
+    ex.submit(lambda: order.append("high"), name="high", priority=9)
+    ex.drain()
+    assert order == ["high", "low"]
+
+
+def test_cancel_before_run_raises_cancelled():
+    ex = WorkStealingExecutor(n_workers=2, seed=0)
+    keep = ex.submit(lambda: "ran")
+    victim = ex.submit(lambda: "never")
+    assert victim.cancel()
+    ex.drain()
+    assert keep.result() == "ran"
+    with pytest.raises(CancelledError):
+        victim.result()
+    assert ex.stats().cancelled == 1
+
+
+def test_bounded_executor_sheds_batches():
+    ex = WorkStealingExecutor(n_workers=2, seed=0, max_pending=3)
+    ex.submit_batch([lambda: None] * 3)
+    with pytest.raises(BackpressureError):
+        ex.submit_batch([lambda: None] * 2)
+    ex.drain()
+
+
+def test_nested_fork_join_uses_inline_help():
+    ex = WorkStealingExecutor(n_workers=4, seed=3)
+
+    def fib(n: int) -> int:
+        if n < 2:
+            return n
+        child = ex.submit(lambda: fib(n - 1), name=f"fib{n - 1}")
+        other = fib(n - 2)
+        return child.result() + other
+
+    root = ex.submit(lambda: fib(12), name="fib12")
+    ex.drain()
+    assert root.result() == 144
+
+
+def test_injected_fault_is_retried_then_recovers():
+    plan = FaultPlan(name="t", seed=0, rules=(
+        FaultRule("sched.task", FaultKind.EXCEPTION, at=(0,),
+                  where={"task": 3}),
+    ))
+    ex = WorkStealingExecutor(n_workers=2, seed=1, max_attempts=3)
+    with faults.inject(plan):
+        results = ex.map([lambda i=i: i for i in range(6)])
+    assert results == list(range(6))
+    assert ex.stats().retries == 1
+    assert any("|retry|t3" in line for line in ex.log_lines())
+
+
+def test_retry_exhaustion_raises_sched_error():
+    plan = FaultPlan(name="t", seed=0, rules=(
+        FaultRule("sched.task", FaultKind.EXCEPTION, every=1,
+                  where={"task": 0}),
+    ))
+    ex = WorkStealingExecutor(n_workers=1, seed=0, max_attempts=2)
+    handle = ex.submit(lambda: "unreachable")
+    with faults.inject(plan):
+        ex.drain()
+    with pytest.raises(SchedError):
+        handle.result()
+
+
+def test_circuit_breaker_rejects_while_open():
+    clock = FakeClock()
+    breaker = CircuitBreaker(failure_threshold=2, reset_timeout_s=10.0,
+                             clock=clock, name="sched-test")
+    ex = WorkStealingExecutor(n_workers=1, seed=0, max_attempts=1,
+                              breaker=breaker)
+
+    def boom():
+        raise ValueError("boom")
+
+    handles = [ex.submit(boom, name=f"boom{i}") for i in range(4)]
+    ex.drain()
+    errors = []
+    for handle in handles:
+        with pytest.raises(Exception) as excinfo:
+            handle.result()
+        errors.append(excinfo.value)
+    # First two real failures trip the breaker; the rest are rejected.
+    assert sum(isinstance(e, ValueError) for e in errors) == 2
+    assert sum(isinstance(e, CircuitOpenError) for e in errors) == 2
+    assert ex.stats().rejected == 2
+    # After the reset timeout a half-open probe succeeds and closes it.
+    clock.advance(11.0)
+    ok = ex.submit(lambda: "up")
+    ex.drain()
+    assert ok.result() == "up"
+    assert breaker.state == "closed"
+
+
+def test_threaded_mode_results_match_and_log_is_sorted():
+    ex = WorkStealingExecutor(n_workers=4, seed=7, deterministic=False)
+    assert ex.map([lambda i=i: i * 3 for i in range(40)]) == [
+        i * 3 for i in range(40)
+    ]
+    log = ex.log_lines()
+    assert log == sorted(log)
+    assert ex.stats().executed == 40

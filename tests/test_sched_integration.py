@@ -1,0 +1,153 @@
+"""Integration: repro.sched as the dispatch layer for every runtime,
+plus the CLI's cross-process determinism and warm-cache contracts."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.drugdesign.ligands import generate_ligands, generate_protein
+from repro.drugdesign.solvers import solve_sched, solve_sequential
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.jobs import word_count_job
+from repro.openmp.runtime import OpenMP
+from repro.openmp.tasks import TaskGroup
+from repro.sched import ResultCache, WorkStealingExecutor
+from repro.sched.workloads import run_sched_workload, sched_workload_names
+
+_DOCS = [
+    (0, "the quick brown fox jumps over the lazy dog"),
+    (1, "the dog barks and the fox runs"),
+    (2, "quick quick slow slow the end"),
+]
+
+
+def _cli(extra_args, hashseed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "sched", *extra_args],
+        capture_output=True, text=True, env=env, timeout=120, check=True,
+    ).stdout
+
+
+# -- runtimes dispatching through the scheduler -------------------------------
+
+
+def test_mapreduce_through_scheduler_matches_sequential():
+    spec = word_count_job()
+    reference = MapReduceEngine(n_workers=1).run_sequential(spec, _DOCS)
+    ex = WorkStealingExecutor(n_workers=4, seed=7)
+    result = MapReduceEngine(n_workers=4, scheduler=ex).run(spec, _DOCS)
+    assert result.output == reference.output
+    assert ex.stats().executed > 0
+
+
+def test_mapreduce_scheduler_schedule_is_seed_replayable():
+    def run(seed):
+        ex = WorkStealingExecutor(n_workers=4, seed=seed)
+        MapReduceEngine(n_workers=4, scheduler=ex).run(word_count_job(), _DOCS)
+        return ex.log_lines()
+
+    assert run(7) == run(7)
+
+
+def test_openmp_taskgroup_through_scheduler():
+    ex = WorkStealingExecutor(n_workers=4, seed=5)
+    group = TaskGroup(OpenMP(4), scheduler=ex)
+
+    def fib(n: int) -> int:
+        if n < 2:
+            return n
+        child = group.submit(fib, n - 1)
+        return fib(n - 2) + child.result()
+
+    assert group.run(fib, 13) == 233
+    assert ex.stats().executed > 0
+
+
+def test_drugdesign_through_scheduler_matches_sequential():
+    ligands = generate_ligands(n_ligands=18, max_ligand=6, seed=11)
+    protein = generate_protein(length=40, seed=12)
+    reference = solve_sequential(ligands, protein)
+    ex = WorkStealingExecutor(n_workers=4, seed=7)
+    result = solve_sched(ligands, protein, ex)
+    assert result.same_answer_as(reference)
+    assert result.total_cells == reference.total_cells
+    assert sum(result.per_thread_cells) == result.total_cells
+
+
+# -- workload runner and cache ------------------------------------------------
+
+
+def test_workload_names_cover_all_runtimes():
+    assert sched_workload_names() == ["drugdesign", "mapreduce", "openmp"]
+
+
+@pytest.mark.parametrize("name", ["mapreduce", "openmp", "drugdesign"])
+def test_workload_report_is_deterministic(name):
+    a = run_sched_workload(name, workers=4, seed=7)
+    b = run_sched_workload(name, workers=4, seed=7)
+    assert a.render() == b.render()
+    assert a.log_lines                     # the event log is never empty
+
+
+def test_cached_workload_replays_identical_output(tmp_path):
+    cache_dir = str(tmp_path / "sched-cache")
+    cold = run_sched_workload("drugdesign", workers=4, seed=7,
+                              cache=ResultCache(directory=cache_dir))
+    assert (cold.cache_hits, cold.cache_misses) == (0, 1)
+    warm = run_sched_workload("drugdesign", workers=4, seed=7,
+                              cache=ResultCache(directory=cache_dir))
+    assert (warm.cache_hits, warm.cache_misses) == (1, 0)
+    # The replayed payload is identical: output, stats, and event log.
+    assert warm.output_lines == cold.output_lines
+    assert warm.stats == cold.stats
+    assert warm.log_lines == cold.log_lines
+
+
+def test_cache_key_distinguishes_workers_and_seed(tmp_path):
+    cache = ResultCache(directory=str(tmp_path / "c"))
+    run_sched_workload("openmp", workers=4, seed=7, cache=cache)
+    miss = run_sched_workload("openmp", workers=4, seed=8, cache=cache)
+    assert miss.cache_misses == 2          # different seed is a new address
+
+
+# -- cross-process determinism (the acceptance contract) ----------------------
+
+
+def test_cli_stdout_identical_across_hashseeds():
+    args = ["mapreduce", "--workers", "4", "--seed", "7"]
+    assert _cli(args, hashseed="1") == _cli(args, hashseed="4242")
+
+
+def test_cli_mapreduce_output_matches_run_sequential():
+    from repro.sched.workloads import _DOCUMENTS
+
+    stdout = _cli(["mapreduce", "--workers", "4", "--seed", "7"],
+                  hashseed="3")
+    spec = word_count_job()
+    records = [(i, doc) for i, doc in enumerate(_DOCUMENTS)]
+    reference = MapReduceEngine(n_workers=1).run_sequential(spec, records)
+    expected = {f"{word}={count}" for word, count in reference.output}
+    got = {line for line in stdout.splitlines() if "=" in line
+           and not line.startswith(("sched ", "stats:", "cache:"))}
+    assert expected <= got
+
+
+def test_cli_warm_cache_run_reports_hit(tmp_path):
+    cache_dir = str(tmp_path / "clicache")
+    args = ["drugdesign", "--workers", "4", "--seed", "7",
+            "--cache-dir", cache_dir]
+    cold = _cli(args, hashseed="1")
+    warm = _cli(args, hashseed="2")
+    assert "cache: hits=0 misses=1" in cold
+    assert "cache: hits=1 misses=0" in warm
+    strip = lambda out: [l for l in out.splitlines()
+                         if not l.startswith("cache:")]
+    assert strip(cold) == strip(warm)      # the hit replays the cold run
