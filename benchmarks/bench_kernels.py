@@ -1,0 +1,93 @@
+"""Kernel cost: vectorized NumPy fast paths vs the scalar oracles.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): every vectorized kernel is at least as fast as its scalar twin at
+the benchmark sizes, the batched LCS beats the per-ligand vectorized
+kernel (one padded DP amortizes the per-call setup), and chunked
+scheduler dispatch beats one-task-per-ligand (the per-task bookkeeping
+is paid once per chunk).
+
+Run as a script (``python benchmarks/bench_kernels.py``) it delegates to
+:func:`repro.kernels.bench.run_kernels_bench` — the same measurement
+behind ``python -m repro bench kernels`` — and writes the
+``BENCH_kernels.json`` trajectory point.
+"""
+
+from __future__ import annotations
+
+from repro import kernels
+from repro.drugdesign.ligands import DEFAULT_PROTEIN, generate_ligands
+from repro.kernels import lcs as lcs_kernels
+from repro.kernels import stencil as stencil_kernels
+from repro.kernels.bench import render_point, run_kernels_bench
+from repro.stats.bootstrap import bootstrap_ci
+
+_LIGANDS = generate_ligands(120, 7, seed=500)
+_SAMPLE = [4.0 + 0.001 * i for i in range(124)]
+_ROD = [float((i * 37) % 100) for i in range(512)]
+
+
+def test_lcs_scalar_baseline(benchmark):
+    """Baseline: the per-ligand scalar DP over the Assignment-5 sweep."""
+    scores = benchmark(
+        lambda: [
+            lcs_kernels.lcs_score_python(lig, DEFAULT_PROTEIN)
+            for lig in _LIGANDS
+        ]
+    )
+    assert max(scores) >= 1
+
+
+def test_lcs_batched_kernel(benchmark):
+    """The padded batch kernel must reproduce the scalar scores."""
+    scores = benchmark(
+        lambda: lcs_kernels.lcs_scores_numpy(_LIGANDS, DEFAULT_PROTEIN)
+    )
+    assert scores == [
+        lcs_kernels.lcs_score_python(lig, DEFAULT_PROTEIN) for lig in _LIGANDS
+    ]
+
+
+def test_stencil_scalar_baseline(benchmark):
+    out = benchmark(lambda: stencil_kernels.heat_steps_python(_ROD, 0.25, 50))
+    assert len(out) == len(_ROD)
+
+
+def test_stencil_vectorized_kernel(benchmark):
+    """The slice kernel must be bit-identical to the per-cell loop."""
+    out = benchmark(lambda: stencil_kernels.heat_steps_numpy(_ROD, 0.25, 50))
+    assert out == stencil_kernels.heat_steps_python(_ROD, 0.25, 50)
+
+
+def test_bootstrap_scalar_baseline(benchmark):
+    def run():
+        with kernels.use_backend("python"):
+            return bootstrap_ci(_SAMPLE, "mean", n_resamples=500, seed=3)
+
+    ci = benchmark(run)
+    assert ci.low <= ci.estimate <= ci.high
+
+
+def test_bootstrap_matrix_kernel(benchmark):
+    """The (B, n) matrix kernel must give the bit-identical CI."""
+
+    def run():
+        with kernels.use_backend("numpy"):
+            return bootstrap_ci(_SAMPLE, "mean", n_resamples=500, seed=3)
+
+    ci = benchmark(run)
+    with kernels.use_backend("python"):
+        oracle = bootstrap_ci(_SAMPLE, "mean", n_resamples=500, seed=3)
+    assert (ci.low, ci.estimate, ci.high) == (
+        oracle.low, oracle.estimate, oracle.high
+    )
+
+
+def main(out_path: str = "BENCH_kernels.json", quick: bool = False) -> dict:
+    point = run_kernels_bench(quick=quick, out_path=out_path)
+    print(render_point(point))
+    return point
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,13 @@ Commands
   statistics, cache counters, and canonical event log (``--list`` shows
   the workloads; same seed ⇒ byte-identical stdout, and a second
   ``--cache`` run replays the stored result as a cache hit).
+- ``sched --cache-evict --cache-dir DIR [--cache-max-entries N]
+  [--cache-max-bytes B]`` — maintenance path: LRU-evict the on-disk
+  result-cache tier down to the given caps and report what was removed.
+- ``bench kernels [--quick] [--out BENCH_kernels.json]`` — time every
+  hot numeric loop scalar vs vectorized (LCS sweep, batched scheduler
+  dispatch, stencil, bootstrap) and write the trajectory point; exit
+  code reflects whether the vectorized backend held its ground.
 """
 
 from __future__ import annotations
@@ -140,7 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--cache-dir", default=None,
                        help="on-disk cache tier (implies --cache); a second "
                             "run against the same directory is a cache hit")
+    sched.add_argument("--cache-evict", action="store_true",
+                       help="maintenance: LRU-evict the --cache-dir tier to "
+                            "the --cache-max-* caps instead of running a "
+                            "workload")
+    sched.add_argument("--cache-max-entries", type=int, default=None,
+                       help="disk-tier cap: keep at most N entries")
+    sched.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="disk-tier cap: keep at most B bytes")
     sched.add_argument("--list", action="store_true", dest="list_names")
+
+    bench = sub.add_parser(
+        "bench", help="run a benchmark suite and write its trajectory point")
+    bench.add_argument("suite", nargs="?", default=None,
+                       help="benchmark suite name (currently: kernels)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes / few repeats (the CI smoke shape)")
+    bench.add_argument("--out", default="BENCH_kernels.json",
+                       help="trajectory point output path")
+    bench.add_argument("--list", action="store_true", dest="list_names")
 
     return parser
 
@@ -314,6 +339,25 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     from repro.sched.cache import ResultCache
     from repro.sched.workloads import run_sched_workload, sched_workload_names
 
+    if args.cache_evict:
+        if not args.cache_dir:
+            print("--cache-evict requires --cache-dir")
+            return 2
+        if args.cache_max_entries is None and args.cache_max_bytes is None:
+            print("--cache-evict requires --cache-max-entries and/or "
+                  "--cache-max-bytes")
+            return 2
+        cache = ResultCache(directory=args.cache_dir)
+        before = cache.disk_stats()
+        removed = cache.evict(max_entries=args.cache_max_entries,
+                              max_bytes=args.cache_max_bytes)
+        after = cache.disk_stats()
+        print(f"cache evict: removed {len(removed)} of {before['entries']} "
+              f"entries ({before['bytes'] - after['bytes']} bytes); "
+              f"{after['entries']} entries / {after['bytes']} bytes remain")
+        for key in removed:
+            print(f"  evicted {key}")
+        return 0
     if args.list_names or args.workload is None:
         print("available sched workloads: " + ", ".join(sched_workload_names()))
         return 0
@@ -322,7 +366,9 @@ def _cmd_sched(args: argparse.Namespace) -> int:
         return 2
     cache = None
     if args.cache or args.cache_dir:
-        cache = ResultCache(directory=args.cache_dir)
+        cache = ResultCache(directory=args.cache_dir,
+                            max_disk_entries=args.cache_max_entries,
+                            max_disk_bytes=args.cache_max_bytes)
     session = telemetry.session() if args.trace_out else None
     try:
         if session is not None:
@@ -347,6 +393,24 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
+_BENCH_SUITES = ("kernels",)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.list_names or args.suite is None:
+        print("available bench suites: " + ", ".join(_BENCH_SUITES))
+        return 0
+    if args.suite != "kernels":
+        print(f"unknown bench suite {args.suite!r}; try --list")
+        return 2
+    from repro.kernels.bench import render_point, run_kernels_bench
+
+    point = run_kernels_bench(quick=args.quick, out_path=args.out)
+    print(render_point(point))
+    print(f"wrote {args.out}")
+    return 0 if point["ok"] else 1
+
+
 _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "study": _cmd_study,
@@ -358,6 +422,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "sched": _cmd_sched,
+    "bench": _cmd_bench,
 }
 
 

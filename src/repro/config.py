@@ -5,16 +5,49 @@ detection): an explicit constructor argument wins, else the
 ``REPRO_TIMEOUT_S`` environment variable, else the runtime's
 compiled-in default.  Slow CI machines raise the ceiling with one
 exported variable instead of editing source.
+
+The same rule selects the numeric-kernel backend: an explicit argument
+wins, else ``REPRO_KERNELS`` (``numpy`` or ``python``), else the
+compiled-in default (``numpy``).  ``python`` keeps every hot loop on the
+scalar reference implementations — the correctness oracle the
+:mod:`repro.kernels` property tests compare against.
 """
 
 from __future__ import annotations
 
 import os
 
-__all__ = ["REPRO_TIMEOUT_ENV", "resolve_timeout_s"]
+__all__ = [
+    "REPRO_TIMEOUT_ENV",
+    "resolve_timeout_s",
+    "REPRO_KERNELS_ENV",
+    "KERNEL_BACKENDS",
+    "resolve_kernels_backend",
+]
 
 #: Environment override for every runtime's deadlock/join ceiling.
 REPRO_TIMEOUT_ENV = "REPRO_TIMEOUT_S"
+
+#: Environment override for the numeric-kernel backend.
+REPRO_KERNELS_ENV = "REPRO_KERNELS"
+
+#: Valid kernel backends: vectorized NumPy fast path, scalar oracle.
+KERNEL_BACKENDS = ("numpy", "python")
+
+
+def resolve_kernels_backend(
+    explicit: str | None = None, default: str = "numpy"
+) -> str:
+    """Resolve the kernel backend: ``explicit`` > ``$REPRO_KERNELS`` > default."""
+    value = explicit
+    if value is None:
+        raw = os.environ.get(REPRO_KERNELS_ENV)
+        value = raw.strip().lower() if raw is not None and raw.strip() else default
+    if value not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {value!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    return value
 
 
 def resolve_timeout_s(explicit: float | None, default: float) -> float:

@@ -12,7 +12,7 @@ global winner is found with an allreduce over (score, ligands) pairs.
 from __future__ import annotations
 
 from repro.drugdesign.scoring import dp_cells
-from repro.drugdesign.solvers import DrugDesignResult, score_ligand
+from repro.drugdesign.solvers import DrugDesignResult, score_ligands
 from repro.mpi.comm import Communicator, mpi_run
 from repro.telemetry import instrument as telemetry
 
@@ -51,8 +51,9 @@ def solve_mpi(ligands: list[str], protein: str, n_ranks: int = 4) -> DrugDesignR
         local_cells = 0
         with telemetry.span("dd.rank_block", category="solver",
                             rank=comm.rank, block_size=len(mine)):
-            for ligand in mine:
-                score = score_ligand(ligand, protein)
+            # One batched kernel call per rank block: the whole block's
+            # DP advances together instead of ligand by ligand.
+            for ligand, score in zip(mine, score_ligands(list(mine), protein)):
                 local_cells += dp_cells(ligand, protein)
                 local_best = _merge(local_best, (score, (ligand,)))
 

@@ -21,7 +21,8 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from repro.drugdesign.scoring import dp_cells, lcs_score
+from repro import kernels
+from repro.drugdesign.scoring import dp_cells
 from repro.openmp.loops import Schedule, run_parallel_for
 from repro.openmp.reduction import Reduction
 from repro.openmp.runtime import OpenMP
@@ -32,6 +33,7 @@ from repro.telemetry import instrument as telemetry
 __all__ = [
     "DrugDesignResult",
     "score_ligand",
+    "score_ligands",
     "solve_sequential",
     "solve_openmp",
     "solve_cxx11_threads",
@@ -53,14 +55,33 @@ def score_ligand(ligand: str, protein: str) -> int:
     # caller's RetryPolicy (see repro.faults.chaos.drugdesign).
     faults.fire("dd.score", key=ligand, ligand=ligand)
     if not telemetry.enabled():
-        return lcs_score(ligand, protein)
+        return kernels.lcs_score(ligand, protein)
     start = time.perf_counter()
     with telemetry.span("dd.score", category="ligand",
                         ligand=ligand, length=len(ligand)):
-        score = lcs_score(ligand, protein)
+        score = kernels.lcs_score(ligand, protein)
     telemetry.observe_us("dd.ligand_us", (time.perf_counter() - start) * 1e6)
     telemetry.inc("dd.ligands_scored")
     return score
+
+
+def score_ligands(ligands: list[str], protein: str) -> list[int]:
+    """Score a batch of ligands in one kernel call.
+
+    The batched fast path: one padded DP advances every ligand together
+    (:func:`repro.kernels.lcs_scores`), so the per-ligand Python
+    overhead is paid once per *batch*.  The per-ligand chaos hook still
+    fires for each ligand — a fault schedule keyed by ligand must not
+    change because the caller batched — and one ``dd.score_batch`` span
+    covers the batch.
+    """
+    for ligand in ligands:
+        faults.fire("dd.score", key=ligand, ligand=ligand)
+    with telemetry.span("dd.score_batch", category="ligand",
+                        batch=len(ligands)):
+        scores = kernels.lcs_scores(ligands, protein)
+    telemetry.inc("dd.ligands_scored", len(ligands))
+    return scores
 
 
 @dataclass(frozen=True)
@@ -90,9 +111,9 @@ def _best(scored: list[tuple[int, str]]) -> tuple[int, tuple[str, ...]]:
 
 
 def solve_sequential(ligands: list[str], protein: str) -> DrugDesignResult:
-    """One thread, one loop."""
+    """One thread, one batched kernel call."""
     with telemetry.span("dd.solve", category="solver", style="sequential"):
-        scored = [(score_ligand(lig, protein), lig) for lig in ligands]
+        scored = list(zip(score_ligands(ligands, protein), ligands))
     max_score, best = _best(scored)
     cells = sum(dp_cells(lig, protein) for lig in ligands)
     return DrugDesignResult(
@@ -192,29 +213,52 @@ def solve_cxx11_threads(
 
 
 def solve_sched(
-    ligands: list[str], protein: str, scheduler: Any
+    ligands: list[str], protein: str, scheduler: Any, chunk: int = 1
 ) -> DrugDesignResult:
     """Score through a :class:`repro.sched.WorkStealingExecutor`.
 
-    One task per ligand; the steal schedule (hence the per-worker cell
-    distribution) is a pure function of the scheduler's seed in its
-    deterministic mode, so an imbalance seen once can be replayed.
+    ``chunk=1`` (default) submits one task per ligand; the steal
+    schedule (hence the per-worker cell distribution) is a pure function
+    of the scheduler's seed in its deterministic mode, so an imbalance
+    seen once can be replayed.  ``chunk=k`` submits one task per k
+    ligands, each scored with one batched kernel call
+    (:func:`score_ligands`) — the amortized dispatch path the kernel
+    benchmark measures: k ligands ride one scheduler round-trip instead
+    of k.
     """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
     with telemetry.span("dd.solve", category="solver", style="sched",
-                        num_threads=scheduler.n_workers):
-        handles = scheduler.submit_batch(
-            [
-                lambda lig=lig: (score_ligand(lig, protein), lig)
-                for lig in ligands
-            ],
-            name="dd.score",
-        )
+                        num_threads=scheduler.n_workers, chunk=chunk):
+        if chunk == 1:
+            groups = [[lig] for lig in ligands]
+            handles = scheduler.submit_batch(
+                [
+                    lambda lig=lig: [(score_ligand(lig, protein), lig)]
+                    for lig in ligands
+                ],
+                name="dd.score",
+            )
+        else:
+            groups = [
+                list(ligands[i : i + chunk])
+                for i in range(0, len(ligands), chunk)
+            ]
+            handles = scheduler.submit_batch(
+                [
+                    lambda batch=batch: list(
+                        zip(score_ligands(batch, protein), batch)
+                    )
+                    for batch in groups
+                ],
+                name="dd.score_chunk",
+            )
         scheduler.drain()
-        scored = [h.result() for h in handles]
+        scored = [pair for handle in handles for pair in handle.result()]
     cells = [0] * scheduler.n_workers
-    for handle, lig in zip(handles, ligands):
+    for handle, group in zip(handles, groups):
         worker = handle.worker if handle.worker is not None else 0
-        cells[worker] += dp_cells(lig, protein)
+        cells[worker] += sum(dp_cells(lig, protein) for lig in group)
     max_score, best = _best(scored)
     return DrugDesignResult(
         style="sched",

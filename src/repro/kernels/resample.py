@@ -1,0 +1,209 @@
+"""Fully vectorized bootstrap resampling.
+
+The scalar loop in :mod:`repro.stats.bootstrap` draws one index vector
+per resample and applies a Python callable B times.  For the statistics
+the reproduction actually bootstraps — the mean, the sample SD, the
+paper's average-variance Cohen's d, and the Pearson r — the whole
+procedure collapses to array expressions: draw the complete (B, n)
+index matrix in one call and reduce along ``axis=1``.
+
+Bit-identity with the scalar path holds by construction and is pinned
+by property tests:
+
+- ``Generator.integers(0, n, size=(B, n))`` consumes the PCG64 stream
+  in exactly the order of B successive ``size=n`` draws, so both
+  backends see the *same resamples*;
+- NumPy's pairwise summation depends only on the length and layout of
+  the reduced axis, so ``mat.mean(axis=1)`` equals ``np.mean(row)`` for
+  every C-contiguous row, float for float — and the per-row oracle here
+  uses the same expressions the vectorized path uses.
+
+Statistics are *named* (:data:`STATISTICS` / :data:`PAIRED_STATISTICS`);
+:func:`resolve_statistic` also recognises ``np.mean`` itself so the
+common ``bootstrap_ci(xs, np.mean)`` call takes the fast path without
+any caller change.  Unknown callables stay on the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "STATISTICS",
+    "PAIRED_STATISTICS",
+    "resolve_statistic",
+    "resolve_paired_statistic",
+    "statistic_value",
+    "paired_statistic_value",
+    "bootstrap_estimates_python",
+    "bootstrap_estimates_numpy",
+    "paired_bootstrap_estimates_python",
+    "paired_bootstrap_estimates_numpy",
+]
+
+#: Named one-sample statistics with a vectorized implementation.
+STATISTICS = ("mean", "std")
+
+#: Named paired statistics with a vectorized implementation.
+PAIRED_STATISTICS = ("mean_diff", "cohens_d", "pearson_r")
+
+
+def resolve_statistic(statistic: Any) -> str | None:
+    """Map a ``bootstrap_ci`` statistic to a kernel name, or ``None``.
+
+    Strings must name a known statistic (anything else is an error —
+    a typo should not silently fall back to calling a string).  The
+    ``np.mean`` callable is recognised by identity.
+    """
+    if isinstance(statistic, str):
+        if statistic not in STATISTICS:
+            raise ValueError(
+                f"unknown bootstrap statistic {statistic!r}; "
+                f"expected one of {STATISTICS} (or pass a callable)"
+            )
+        return statistic
+    if statistic is np.mean:
+        return "mean"
+    return None
+
+
+def resolve_paired_statistic(statistic: Any) -> str | None:
+    """Paired counterpart of :func:`resolve_statistic`."""
+    if isinstance(statistic, str):
+        if statistic not in PAIRED_STATISTICS:
+            raise ValueError(
+                f"unknown paired bootstrap statistic {statistic!r}; "
+                f"expected one of {PAIRED_STATISTICS} (or pass a callable)"
+            )
+        return statistic
+    return None
+
+
+# -- the statistics themselves (1-D row and (B, n) matrix forms) -------------
+#
+# Row and matrix forms use the same expressions in the same order; the
+# matrix form only swaps ``.mean()`` for ``.mean(axis=1)`` etc., which
+# NumPy reduces with the identical pairwise algorithm per row.
+
+def statistic_value(data: np.ndarray, name: str) -> float:
+    """The plug-in estimate of a named statistic on the full sample."""
+    if name == "mean":
+        return float(data.mean())
+    if name == "std":
+        return float(data.std(ddof=1))
+    raise ValueError(f"unknown statistic {name!r}")
+
+
+def _rows_statistic(matrix: np.ndarray, name: str) -> np.ndarray:
+    if name == "mean":
+        return matrix.mean(axis=1)
+    if name == "std":
+        return matrix.std(axis=1, ddof=1)
+    raise ValueError(f"unknown statistic {name!r}")
+
+
+def paired_statistic_value(a: np.ndarray, b: np.ndarray, name: str) -> float:
+    """The plug-in estimate of a named paired statistic."""
+    if name == "mean_diff":
+        return float(b.mean() - a.mean())
+    if name == "cohens_d":
+        m1, m2 = a.mean(), b.mean()
+        s1, s2 = a.std(ddof=1), b.std(ddof=1)
+        return float((m2 - m1) / np.sqrt((s1 * s1 + s2 * s2) / 2.0))
+    if name == "pearson_r":
+        am = a - a.mean()
+        bm = b - b.mean()
+        r = (am * bm).sum() / np.sqrt((am * am).sum() * (bm * bm).sum())
+        return float(np.clip(r, -1.0, 1.0))
+    raise ValueError(f"unknown paired statistic {name!r}")
+
+
+def _rows_paired_statistic(
+    a: np.ndarray, b: np.ndarray, name: str
+) -> np.ndarray:
+    if name == "mean_diff":
+        return b.mean(axis=1) - a.mean(axis=1)
+    if name == "cohens_d":
+        m1, m2 = a.mean(axis=1), b.mean(axis=1)
+        s1, s2 = a.std(axis=1, ddof=1), b.std(axis=1, ddof=1)
+        return (m2 - m1) / np.sqrt((s1 * s1 + s2 * s2) / 2.0)
+    if name == "pearson_r":
+        am = a - a.mean(axis=1, keepdims=True)
+        bm = b - b.mean(axis=1, keepdims=True)
+        r = (am * bm).sum(axis=1) / np.sqrt(
+            (am * am).sum(axis=1) * (bm * bm).sum(axis=1)
+        )
+        return np.clip(r, -1.0, 1.0)
+    raise ValueError(f"unknown paired statistic {name!r}")
+
+
+# -- backends ----------------------------------------------------------------
+
+#: Rows per block of the vectorized draw.  The index matrix is drawn and
+#: reduced in (``_BLOCK_ROWS``, n) blocks instead of one (B, n) slab:
+#: the stream is filled row-major, so blockwise draws consume PCG64
+#: identically, every row statistic reduces the same bytes — and the
+#: working set stays cache-resident instead of paying page faults on a
+#: fresh multi-megabyte allocation each call (~2× on B=2000, n=124).
+_BLOCK_ROWS = 256
+
+
+def bootstrap_estimates_python(
+    data: np.ndarray, name: str, n_resamples: int, seed: int
+) -> np.ndarray:
+    """Scalar oracle: B sequential draws, one row statistic per draw."""
+    rng = np.random.default_rng(seed)
+    n = data.size
+    estimates = np.empty(n_resamples)
+    row: Callable[[np.ndarray], np.ndarray] = lambda m: _rows_statistic(m, name)
+    for b in range(n_resamples):
+        resample = data[rng.integers(0, n, size=n)]
+        estimates[b] = row(resample[None, :])[0]
+    return estimates
+
+
+def bootstrap_estimates_numpy(
+    data: np.ndarray, name: str, n_resamples: int, seed: int
+) -> np.ndarray:
+    """The whole index matrix at once, reduced along ``axis=1``."""
+    rng = np.random.default_rng(seed)
+    n = data.size
+    estimates = np.empty(n_resamples)
+    for start in range(0, n_resamples, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n_resamples)
+        index = rng.integers(0, n, size=(stop - start, n))
+        estimates[start:stop] = _rows_statistic(data[index], name)
+    return estimates
+
+
+def paired_bootstrap_estimates_python(
+    a: np.ndarray, b: np.ndarray, name: str, n_resamples: int, seed: int
+) -> np.ndarray:
+    """Scalar oracle for the paired case: one index vector per resample."""
+    rng = np.random.default_rng(seed)
+    n = a.size
+    estimates = np.empty(n_resamples)
+    for i in range(n_resamples):
+        index = rng.integers(0, n, size=n)
+        estimates[i] = _rows_paired_statistic(
+            a[index][None, :], b[index][None, :], name
+        )[0]
+    return estimates
+
+
+def paired_bootstrap_estimates_numpy(
+    a: np.ndarray, b: np.ndarray, name: str, n_resamples: int, seed: int
+) -> np.ndarray:
+    """Paired draw: one index matrix applied to both samples."""
+    rng = np.random.default_rng(seed)
+    n = a.size
+    estimates = np.empty(n_resamples)
+    for start in range(0, n_resamples, _BLOCK_ROWS):
+        stop = min(start + _BLOCK_ROWS, n_resamples)
+        index = rng.integers(0, n, size=(stop - start, n))
+        estimates[start:stop] = _rows_paired_statistic(
+            a[index], b[index], name
+        )
+    return estimates

@@ -1,0 +1,107 @@
+"""Slice-arithmetic heat-diffusion kernels.
+
+The scalar loop in :mod:`repro.mpi.stencil` applies
+
+    u[i] = prev[i] + alpha * (prev[i-1] - 2 prev[i] + prev[i+1])
+
+one cell at a time.  Each cell is independent within a step, so the
+update is one slice expression; written with the *same* left-to-right
+operation order as the scalar code, IEEE-754 gives bit-identical floats
+(NumPy evaluates ``a - b + c`` elementwise in the same order as Python),
+which is what lets ``heat_mpi`` keep its float-for-float property test
+against ``heat_sequential`` while both run on either backend.
+
+Two entry points: :func:`heat_steps_numpy` advances a whole rod with
+fixed Dirichlet boundaries for ``steps`` iterations; and
+:func:`heat_block_step_numpy` advances one rank's block of the
+decomposed rod for a single step given its ghost cells — the per-step
+unit ``heat_mpi`` calls between halo exchanges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "heat_steps_python",
+    "heat_steps_numpy",
+    "heat_block_step_python",
+    "heat_block_step_numpy",
+]
+
+
+def heat_steps_python(
+    u0: Sequence[float], alpha: float, steps: int
+) -> list[float]:
+    """Scalar oracle: the original per-cell loop."""
+    u = list(map(float, u0))
+    n = len(u)
+    for _ in range(steps):
+        prev = u[:]
+        for i in range(1, n - 1):
+            u[i] = prev[i] + alpha * (prev[i - 1] - 2.0 * prev[i] + prev[i + 1])
+    return u
+
+
+def heat_steps_numpy(
+    u0: Sequence[float], alpha: float, steps: int
+) -> list[float]:
+    """The same diffusion as one slice expression per step."""
+    u = np.asarray(u0, dtype=np.float64).copy()
+    for _ in range(steps):
+        u[1:-1] = u[1:-1] + alpha * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+    return u.tolist()
+
+
+def heat_block_step_python(
+    block: Sequence[float],
+    ghost_left: float | None,
+    ghost_right: float | None,
+    alpha: float,
+    start: int,
+    n: int,
+) -> list[float]:
+    """Scalar oracle for one block step (``start`` = global index of cell 0)."""
+    previous = list(block)
+    updated = list(previous)
+    for i in range(len(previous)):
+        global_index = start + i
+        if global_index in (0, n - 1):
+            continue                     # fixed boundary
+        left_value = previous[i - 1] if i > 0 else ghost_left
+        right_value = previous[i + 1] if i + 1 < len(previous) else ghost_right
+        updated[i] = previous[i] + alpha * (
+            left_value - 2.0 * previous[i] + right_value
+        )
+    return updated
+
+
+def heat_block_step_numpy(
+    block: Sequence[float],
+    ghost_left: float | None,
+    ghost_right: float | None,
+    alpha: float,
+    start: int,
+    n: int,
+) -> list[float]:
+    """One block step as a slice update over a ghost-padded array.
+
+    Missing ghosts (``None``) only ever occur on blocks whose edge cell
+    is a global Dirichlet boundary, so the pad value is never read: the
+    boundary cells are restored from ``previous`` after the update.
+    """
+    previous = np.asarray(block, dtype=np.float64)
+    padded = np.empty(previous.size + 2, dtype=np.float64)
+    padded[1:-1] = previous
+    padded[0] = 0.0 if ghost_left is None else ghost_left
+    padded[-1] = 0.0 if ghost_right is None else ghost_right
+    updated = padded[1:-1] + alpha * (
+        padded[:-2] - 2.0 * padded[1:-1] + padded[2:]
+    )
+    if start == 0:
+        updated[0] = previous[0]
+    if start + previous.size == n:
+        updated[-1] = previous[-1]
+    return updated.tolist()

@@ -50,7 +50,11 @@ from repro.sched.core import (
     TaskState,
     WorkerDeque,
 )
-from repro.sched.executor import SchedStats, WorkStealingExecutor
+from repro.sched.executor import (
+    STEAL_PROBE_BUCKETS,
+    SchedStats,
+    WorkStealingExecutor,
+)
 from repro.sched.queue import JobQueue
 
 __all__ = [
@@ -66,6 +70,7 @@ __all__ = [
     "WorkerDeque",
     "JobQueue",
     "WorkStealingExecutor",
+    "STEAL_PROBE_BUCKETS",
     "ResultCache",
     "canonical_repr",
     "fingerprint",

@@ -12,6 +12,14 @@ Two tiers: an in-memory dict (always), and an optional directory of
 pickle files so hits survive across processes — that is what makes the
 second CLI invocation warm.  Hit/miss counters feed both the CLI report
 and ``repro.telemetry`` (``sched.cache.hits`` / ``sched.cache.misses``).
+
+The disk tier is **LRU-capped**: ``max_disk_entries`` / ``max_disk_bytes``
+bound it, recency is the entry file's mtime (refreshed on every disk
+hit), and :meth:`ResultCache.evict` removes oldest-first until the caps
+hold — automatically after each ``put``, or on demand via the
+``python -m repro sched --cache-evict`` maintenance path.  Without caps
+the tier grows without bound, exactly the failure mode the ROADMAP
+called out.
 """
 
 from __future__ import annotations
@@ -59,12 +67,28 @@ class ResultCache:
     read back on a memory miss — the cross-process tier.
     """
 
-    def __init__(self, directory: str | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | None = None,
+        max_disk_entries: int | None = None,
+        max_disk_bytes: int | None = None,
+    ) -> None:
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ValueError(
+                f"max_disk_entries must be >= 1, got {max_disk_entries}"
+            )
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError(
+                f"max_disk_bytes must be >= 1, got {max_disk_bytes}"
+            )
         self.directory = directory
+        self.max_disk_entries = max_disk_entries
+        self.max_disk_bytes = max_disk_bytes
         self._lock = threading.Lock()
         self._memory: dict[str, Any] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -87,6 +111,11 @@ class ResultCache:
             else:
                 with self._lock:
                     self._memory[key] = value
+                try:
+                    # Refresh mtime so the disk tier's LRU order tracks use.
+                    os.utime(self._path(key))
+                except OSError:
+                    pass
         with self._lock:
             if value is _MISSING:
                 self.misses += 1
@@ -115,6 +144,82 @@ class ResultCache:
                 except OSError:
                     pass
                 raise
+            if self.max_disk_entries is not None or self.max_disk_bytes is not None:
+                self.evict()
+
+    # -- disk-tier maintenance (LRU) -----------------------------------------
+
+    def _disk_entries(self) -> list[tuple[float, int, str]]:
+        """(mtime, size, path) for every disk entry; skips vanished files."""
+        assert self.directory is not None
+        entries = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        for name in names:
+            if not name.endswith(".pkl"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def disk_stats(self) -> dict[str, int]:
+        """Size of the on-disk tier: ``{"entries": n, "bytes": total}``."""
+        if self.directory is None:
+            return {"entries": 0, "bytes": 0}
+        entries = self._disk_entries()
+        return {
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+        }
+
+    def evict(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> list[str]:
+        """Remove least-recently-used disk entries until the caps hold.
+
+        Explicit arguments override the instance caps (the CLI
+        maintenance path passes them); with neither, the instance caps
+        apply.  Returns the removed keys, oldest first.  Evicted entries
+        are also dropped from the memory tier so a stale value cannot
+        outlive its disk eviction within this process.
+        """
+        if self.directory is None:
+            return []
+        cap_entries = max_entries if max_entries is not None else self.max_disk_entries
+        cap_bytes = max_bytes if max_bytes is not None else self.max_disk_bytes
+        if cap_entries is None and cap_bytes is None:
+            return []
+        entries = sorted(self._disk_entries())          # oldest mtime first
+        total_bytes = sum(size for _, size, _ in entries)
+        removed: list[str] = []
+        index = 0
+        while index < len(entries) and (
+            (cap_entries is not None and len(entries) - index > cap_entries)
+            or (cap_bytes is not None and total_bytes > cap_bytes)
+        ):
+            _mtime, size, path = entries[index]
+            index += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total_bytes -= size
+            key = os.path.splitext(os.path.basename(path))[0]
+            removed.append(key)
+            with self._lock:
+                self._memory.pop(key, None)
+                self.evictions += 1
+        if removed:
+            telemetry.inc("sched.cache.evictions", len(removed))
+        return removed
 
     def get_or_compute(self, key_parts: Sequence[Any], compute) -> tuple[Any, bool]:
         """``(value, was_hit)`` for ``fingerprint(*key_parts)``."""
@@ -132,6 +237,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "entries": len(self._memory),
+                "evictions": self.evictions,
             }
 
     @property

@@ -35,6 +35,7 @@ spans/metrics.
 
 from __future__ import annotations
 
+import bisect
 import random
 import threading
 import time
@@ -58,10 +59,16 @@ from repro.sched.core import (
 from repro.sched.queue import JobQueue
 from repro.telemetry import instrument as telemetry
 
-__all__ = ["SchedStats", "WorkStealingExecutor"]
+__all__ = ["SchedStats", "WorkStealingExecutor", "STEAL_PROBE_BUCKETS"]
 
 #: Default ceiling on one drain (same override rule as the runtimes).
 DRAIN_TIMEOUT_S = 60.0
+
+#: Bucket upper bounds for the per-worker steal-contention histogram:
+#: how many victims a thief probed before a steal landed.  1 means the
+#: first victim had work; higher buckets mean other thieves drained the
+#: deques first — the collision signature the threaded mode exhibits.
+STEAL_PROBE_BUCKETS: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0)
 
 
 @dataclass(frozen=True)
@@ -148,6 +155,13 @@ class WorkStealingExecutor:
         self._step = 0
         self._steal_attempts = [0] * n_workers
         self._worker_seq = [0] * n_workers
+        # Steal-contention accounting: per-worker histogram of probes
+        # per successful steal (buckets per STEAL_PROBE_BUCKETS plus an
+        # overflow bin) and a count of dry sweeps (every victim empty).
+        self._probe_hist = [
+            [0] * (len(STEAL_PROBE_BUCKETS) + 1) for _ in range(n_workers)
+        ]
+        self._dry_sweeps = [0] * n_workers
         self._counts = {
             "submitted": 0, "executed": 0, "failed": 0, "cancelled": 0,
             "retries": 0, "rejected": 0, "local_pops": 0, "queue_takes": 0,
@@ -304,13 +318,46 @@ class WorkStealingExecutor:
             return task, "queue", ""
         attempt = self._steal_attempts[worker]
         self._steal_attempts[worker] += 1
+        probes = 0
         for victim in self.steal_order.victims(worker, attempt):
+            probes += 1
             task = self._deques[victim].steal_top()
             if task is not None:
                 task.taken = True
                 self._counts["steals"] += 1
+                self._observe_probes(worker, probes)
                 return task, "steal", f"from=w{victim}"
+        if probes:
+            self._dry_sweeps[worker] += 1
         return None
+
+    def _observe_probes(self, worker: int, probes: int) -> None:
+        """Record one successful steal's probe count (caller holds lock)."""
+        index = bisect.bisect_left(STEAL_PROBE_BUCKETS, float(probes))
+        self._probe_hist[worker][index] += 1
+        telemetry.observe(f"sched.steal.probes.w{worker}", probes,
+                          boundaries=STEAL_PROBE_BUCKETS)
+
+    def steal_contention(self) -> dict[int, dict[str, Any]]:
+        """Per-worker steal-contention histogram.
+
+        ``buckets`` counts successful steals by how many victims the
+        thief probed first (upper bounds :data:`STEAL_PROBE_BUCKETS`,
+        last bin is overflow); ``dry_sweeps`` counts full sweeps that
+        found every victim empty.  In threaded mode this is where
+        thieves collide: a healthy run steals from the first victim
+        probed, a contended run climbs into the higher buckets.
+        """
+        with self._lock:
+            return {
+                worker: {
+                    "boundaries": STEAL_PROBE_BUCKETS,
+                    "buckets": tuple(self._probe_hist[worker]),
+                    "steals": sum(self._probe_hist[worker]),
+                    "dry_sweeps": self._dry_sweeps[worker],
+                }
+                for worker in range(self.n_workers)
+            }
 
     # -- execution -----------------------------------------------------------
 
@@ -500,6 +547,45 @@ class WorkStealingExecutor:
         handles = self.submit_batch(fns, name=name, priority=priority)
         self.drain(timeout=timeout)
         return [handle.result(timeout=timeout) for handle in handles]
+
+    def map_chunked(
+        self,
+        items: Sequence[Any],
+        batch_fn: Callable[[list[Any]], Sequence[Any]],
+        chunk_size: int,
+        name: str = "chunk",
+        priority: int = 0,
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Batched dispatch: one task per ``chunk_size`` items.
+
+        ``batch_fn(chunk)`` must return one result per item of the
+        chunk; the flattened per-item results come back in submission
+        order.  This is the amortization lever for fine-grained work:
+        the scheduler's per-task bookkeeping (admission, deal, events,
+        handle) is paid once per chunk while ``batch_fn`` runs a
+        vectorized kernel over the whole chunk — the shape
+        ``solve_sched(..., chunk=k)`` dispatches.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        chunks = [
+            list(items[i : i + chunk_size])
+            for i in range(0, len(items), chunk_size)
+        ]
+        results = self.map(
+            [lambda c=c: list(batch_fn(c)) for c in chunks],
+            name=name, priority=priority, timeout=timeout,
+        )
+        flat: list[Any] = []
+        for chunk, values in zip(chunks, results):
+            if len(values) != len(chunk):
+                raise SchedError(
+                    f"batch_fn returned {len(values)} results for a chunk "
+                    f"of {len(chunk)} items"
+                )
+            flat.extend(values)
+        return flat
 
     # -- reporting -----------------------------------------------------------
 

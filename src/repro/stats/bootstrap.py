@@ -6,6 +6,15 @@ sample; :func:`bootstrap_paired_ci` resamples *pairs* (the right unit
 for the paper's within-student design) for statistics of two aligned
 samples, e.g. Cohen's d between waves or the emphasis↔growth
 correlation.  Deterministic for a given seed.
+
+Common statistics take the vectorized fast path in
+:mod:`repro.kernels.resample`: pass ``"mean"`` / ``"std"`` (or the
+``np.mean`` callable, recognised by identity) to :func:`bootstrap_ci`,
+or ``"mean_diff"`` / ``"cohens_d"`` / ``"pearson_r"`` to
+:func:`bootstrap_paired_ci`, and the whole (B, n) index matrix is drawn
+in one call with the statistic reduced along an axis — no Python loop,
+same RNG stream, bit-identical estimates (property-tested).  Any other
+callable keeps the original per-resample loop.
 """
 
 from __future__ import annotations
@@ -14,6 +23,14 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
+
+from repro import kernels
+from repro.kernels.resample import (
+    paired_statistic_value,
+    resolve_paired_statistic,
+    resolve_statistic,
+    statistic_value,
+)
 
 __all__ = ["BootstrapCI", "bootstrap_ci", "bootstrap_paired_ci"]
 
@@ -55,22 +72,32 @@ def _validate(level: float, n_resamples: int, n: int) -> None:
 
 def bootstrap_ci(
     xs: Sequence[float],
-    statistic: Callable[[Sequence[float]], float],
+    statistic: Callable[[Sequence[float]], float] | str,
     level: float = 0.95,
     n_resamples: int = DEFAULT_RESAMPLES,
     seed: int = 0,
 ) -> BootstrapCI:
-    """Percentile bootstrap CI for ``statistic(xs)``."""
+    """Percentile bootstrap CI for ``statistic(xs)``.
+
+    ``statistic`` may be a callable (looped) or the name of a kernel
+    statistic — ``"mean"`` or ``"std"`` — for the vectorized path.
+    """
     _validate(level, n_resamples, len(xs))
     data = np.asarray(xs, dtype=float)
-    rng = np.random.default_rng(seed)
-    estimates = np.empty(n_resamples)
-    n = len(data)
-    for b in range(n_resamples):
-        estimates[b] = statistic(data[rng.integers(0, n, size=n)])
+    name = resolve_statistic(statistic)
+    if name is not None:
+        estimates = kernels.bootstrap_estimates(data, name, n_resamples, seed)
+        estimate = statistic_value(data, name)
+    else:
+        rng = np.random.default_rng(seed)
+        estimates = np.empty(n_resamples)
+        n = len(data)
+        for b in range(n_resamples):
+            estimates[b] = statistic(data[rng.integers(0, n, size=n)])
+        estimate = float(statistic(data))
     alpha = (1.0 - level) / 2.0
     return BootstrapCI(
-        estimate=float(statistic(data)),
+        estimate=estimate,
         low=float(np.quantile(estimates, alpha)),
         high=float(np.quantile(estimates, 1.0 - alpha)),
         level=level,
@@ -81,7 +108,7 @@ def bootstrap_ci(
 def bootstrap_paired_ci(
     xs: Sequence[float],
     ys: Sequence[float],
-    statistic: Callable[[Sequence[float], Sequence[float]], float],
+    statistic: Callable[[Sequence[float], Sequence[float]], float] | str,
     level: float = 0.95,
     n_resamples: int = DEFAULT_RESAMPLES,
     seed: int = 0,
@@ -90,7 +117,10 @@ def bootstrap_paired_ci(
 
     ``xs[i]`` and ``ys[i]`` belong to the same unit (student), so
     resampling draws index vectors, preserving the pairing — required for
-    paired effect sizes and correlations.
+    paired effect sizes and correlations.  ``statistic`` may be a
+    callable (looped) or a kernel name — ``"mean_diff"``, ``"cohens_d"``
+    (the paper's average-variance d), or ``"pearson_r"`` — for the
+    vectorized path.
     """
     if len(xs) != len(ys):
         raise ValueError(f"paired bootstrap needs equal lengths, got "
@@ -98,15 +128,23 @@ def bootstrap_paired_ci(
     _validate(level, n_resamples, len(xs))
     a = np.asarray(xs, dtype=float)
     b = np.asarray(ys, dtype=float)
-    rng = np.random.default_rng(seed)
-    n = len(a)
-    estimates = np.empty(n_resamples)
-    for i in range(n_resamples):
-        index = rng.integers(0, n, size=n)
-        estimates[i] = statistic(a[index], b[index])
+    name = resolve_paired_statistic(statistic)
+    if name is not None:
+        estimates = kernels.paired_bootstrap_estimates(
+            a, b, name, n_resamples, seed
+        )
+        estimate = paired_statistic_value(a, b, name)
+    else:
+        rng = np.random.default_rng(seed)
+        n = len(a)
+        estimates = np.empty(n_resamples)
+        for i in range(n_resamples):
+            index = rng.integers(0, n, size=n)
+            estimates[i] = statistic(a[index], b[index])
+        estimate = float(statistic(a, b))
     alpha = (1.0 - level) / 2.0
     return BootstrapCI(
-        estimate=float(statistic(a, b)),
+        estimate=estimate,
         low=float(np.quantile(estimates, alpha)),
         high=float(np.quantile(estimates, 1.0 - alpha)),
         level=level,

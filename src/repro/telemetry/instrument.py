@@ -31,6 +31,7 @@ __all__ = [
     "counter_event",
     "inc",
     "gauge",
+    "observe",
     "observe_us",
     "set_thread",
     "ensure_thread",
@@ -111,6 +112,24 @@ def gauge(name: str, value: float) -> None:
     if state is None:
         return
     state[1].gauge(name).set(value)
+
+
+def observe(name: str, value: float, boundaries: Any = None) -> None:
+    """Record into a histogram with explicit bucket ``boundaries``.
+
+    The boundaries only matter on the call that *creates* the histogram
+    (first use); later observations reuse the registered instrument.
+    Use this for non-latency shapes — steal-probe counts, queue depths —
+    where the default microsecond buckets would collapse everything into
+    one bin.
+    """
+    state = _STATE
+    if state is None:
+        return
+    if boundaries is None:
+        state[1].histogram(name).observe(value)
+    else:
+        state[1].histogram(name, boundaries).observe(value)
 
 
 def observe_us(name: str, value_us: float) -> None:

@@ -1,0 +1,239 @@
+"""Integration tests for the kernel fast paths' riders: chunked
+scheduler dispatch, the cache LRU cap, the steal-contention histogram,
+and the ``bench`` / ``--cache-evict`` CLI paths."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import kernels, telemetry
+from repro.cli import main
+from repro.drugdesign.ligands import DEFAULT_PROTEIN, generate_ligands
+from repro.drugdesign.solvers import (
+    score_ligands,
+    solve_sched,
+    solve_sequential,
+)
+from repro.sched import (
+    STEAL_PROBE_BUCKETS,
+    ResultCache,
+    SchedError,
+    WorkStealingExecutor,
+)
+
+
+# -- chunked dispatch --------------------------------------------------------
+
+
+class TestChunkedDispatch:
+    LIGANDS = generate_ligands(30, 6, seed=500)
+
+    def test_chunked_solve_matches_sequential(self):
+        oracle = solve_sequential(self.LIGANDS, DEFAULT_PROTEIN)
+        for chunk in (1, 4, 16, 64):
+            ex = WorkStealingExecutor(n_workers=4, seed=7)
+            result = solve_sched(self.LIGANDS, DEFAULT_PROTEIN, ex,
+                                 chunk=chunk)
+            assert result.same_answer_as(oracle)
+            assert result.total_cells == oracle.total_cells
+
+    def test_chunked_solve_matches_across_backends(self):
+        def run(backend, chunk):
+            with kernels.use_backend(backend):
+                ex = WorkStealingExecutor(n_workers=4, seed=7)
+                return solve_sched(self.LIGANDS, DEFAULT_PROTEIN, ex,
+                                   chunk=chunk)
+
+        assert run("python", 8).same_answer_as(run("numpy", 8))
+
+    def test_chunking_reduces_task_count(self):
+        one = WorkStealingExecutor(n_workers=4, seed=7)
+        solve_sched(self.LIGANDS, DEFAULT_PROTEIN, one, chunk=1)
+        chunked = WorkStealingExecutor(n_workers=4, seed=7)
+        solve_sched(self.LIGANDS, DEFAULT_PROTEIN, chunked, chunk=8)
+        assert one.stats().executed == len(self.LIGANDS)
+        assert chunked.stats().executed == (len(self.LIGANDS) + 7) // 8
+
+    def test_chunk_must_be_positive(self):
+        ex = WorkStealingExecutor(n_workers=2, seed=0)
+        with pytest.raises(ValueError):
+            solve_sched(self.LIGANDS, DEFAULT_PROTEIN, ex, chunk=0)
+
+    def test_score_ligands_matches_singles(self):
+        batch = score_ligands(list(self.LIGANDS), DEFAULT_PROTEIN)
+        with kernels.use_backend("python"):
+            oracle = score_ligands(list(self.LIGANDS), DEFAULT_PROTEIN)
+        assert batch == oracle
+
+    def test_map_chunked_flattens_in_order(self):
+        ex = WorkStealingExecutor(n_workers=3, seed=5)
+        out = ex.map_chunked(
+            list(range(23)), lambda chunk: [x * x for x in chunk], 4
+        )
+        assert out == [x * x for x in range(23)]
+        assert ex.stats().executed == 6          # ceil(23 / 4) tasks
+
+    def test_map_chunked_rejects_wrong_arity(self):
+        ex = WorkStealingExecutor(n_workers=2, seed=0)
+        with pytest.raises(SchedError):
+            ex.map_chunked([1, 2, 3, 4], lambda chunk: chunk[:1], 2)
+        with pytest.raises(ValueError):
+            ex.map_chunked([1], lambda chunk: chunk, 0)
+
+
+# -- steal-contention histogram ----------------------------------------------
+
+
+class TestStealContention:
+    def test_contention_histogram_counts_steals(self):
+        ex = WorkStealingExecutor(n_workers=4, seed=7)
+        ex.map([lambda i=i: sum(range(50 * (i % 5))) for i in range(40)])
+        contention = ex.steal_contention()
+        assert set(contention) == {0, 1, 2, 3}
+        total_steals = sum(row["steals"] for row in contention.values())
+        assert total_steals == ex.stats().steals > 0
+        for row in contention.values():
+            assert row["boundaries"] == STEAL_PROBE_BUCKETS
+            assert len(row["buckets"]) == len(STEAL_PROBE_BUCKETS) + 1
+            assert sum(row["buckets"]) == row["steals"]
+            assert row["dry_sweeps"] >= 0
+
+    def test_contention_exported_through_metrics(self):
+        with telemetry.session() as session:
+            ex = WorkStealingExecutor(n_workers=4, seed=7)
+            ex.map([lambda i=i: i for i in range(40)])
+            contention = ex.steal_contention()
+        exported = [
+            name for name in session.metrics.names()
+            if name.startswith("sched.steal.probes.w")
+        ]
+        stealers = [w for w, row in contention.items() if row["steals"]]
+        assert exported == sorted(f"sched.steal.probes.w{w}"
+                                  for w in stealers)
+        for worker in stealers:
+            snap = session.metrics.histogram(
+                f"sched.steal.probes.w{worker}"
+            ).snapshot()
+            assert snap["count"] == contention[worker]["steals"]
+
+    def test_threaded_mode_also_records(self):
+        ex = WorkStealingExecutor(n_workers=4, seed=7, deterministic=False)
+        ex.map([lambda i=i: sum(range(200)) for i in range(60)])
+        contention = ex.steal_contention()
+        assert sum(r["steals"] for r in contention.values()) == (
+            ex.stats().steals
+        )
+
+
+# -- cache LRU eviction ------------------------------------------------------
+
+
+class TestCacheEviction:
+    def _fill(self, cache, n):
+        for i in range(n):
+            cache.put(f"key{i}", {"payload": "x" * 64, "i": i})
+            # mtime resolution can be coarse; force a strict LRU order.
+            os.utime(os.path.join(cache.directory, f"key{i}.pkl"),
+                     (i, i))
+
+    def test_entry_cap_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), max_disk_entries=3)
+        self._fill(cache, 3)
+        cache.put("key3", {"payload": "x" * 64, "i": 3})
+        assert cache.disk_stats()["entries"] == 3
+        assert cache.get("key0") is None            # oldest got evicted
+        assert cache.get("key3") == {"payload": "x" * 64, "i": 3}
+        assert cache.stats()["evictions"] == 1
+
+    def test_byte_cap_evicts_until_under(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        self._fill(cache, 6)
+        size = cache.disk_stats()["bytes"] // 6
+        removed = cache.evict(max_bytes=3 * size)
+        assert removed == ["key0", "key1", "key2"]
+        assert cache.disk_stats()["bytes"] <= 3 * size
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        self._fill(cache, 3)
+        fresh = ResultCache(directory=str(tmp_path))   # empty memory tier
+        assert fresh.get("key0") is not None           # touches key0
+        removed = fresh.evict(max_entries=1)
+        assert "key0" not in removed                   # recency was refreshed
+        assert set(removed) == {"key1", "key2"}
+
+    def test_eviction_drops_memory_tier_too(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path), max_disk_entries=1)
+        self._fill(cache, 2)
+        assert cache.get("key0") is None
+        assert cache.get("key1") is not None
+
+    def test_no_caps_no_eviction(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        self._fill(cache, 4)
+        assert cache.evict() == []
+        assert cache.disk_stats()["entries"] == 4
+
+    def test_memory_only_cache_never_evicts(self):
+        cache = ResultCache(max_disk_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.evict() == []
+        assert cache.get("a") == 1
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_disk_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_disk_bytes=0)
+
+    def test_eviction_counter_reaches_telemetry(self, tmp_path):
+        with telemetry.session() as session:
+            cache = ResultCache(directory=str(tmp_path), max_disk_entries=1)
+            self._fill(cache, 3)
+        assert session.metrics.counter("sched.cache.evictions").value == 2
+
+
+# -- CLI paths ---------------------------------------------------------------
+
+
+class TestCLI:
+    def test_bench_kernels_quick(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_kernels.json")
+        assert main(["bench", "kernels", "--quick", "--out", out]) == 0
+        printed = capsys.readouterr().out
+        assert "kernels bench" in printed and "batched" in printed
+        with open(out, encoding="utf-8") as handle:
+            point = json.load(handle)
+        assert point["ok"] is True
+        assert point["lcs_batched_speedup"] >= 1.0
+        assert point["bootstrap_speedup"] >= 1.0
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "kernels", "--list"]) == 0
+        assert "kernels" in capsys.readouterr().out
+
+    def test_cache_evict_command(self, tmp_path, capsys):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache(directory=directory)
+        for i in range(4):
+            cache.put(f"key{i}", i)
+            os.utime(os.path.join(directory, f"key{i}.pkl"), (i, i))
+        code = main([
+            "sched", "--cache-evict", "--cache-dir", directory,
+            "--cache-max-entries", "2",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "removed 2 of 4 entries" in printed
+        assert ResultCache(directory=directory).disk_stats()["entries"] == 2
+
+    def test_cache_evict_requires_dir_and_cap(self, capsys):
+        assert main(["sched", "--cache-evict"]) != 0
+        assert main([
+            "sched", "--cache-evict", "--cache-dir", "/tmp/nowhere-unused",
+        ]) != 0

@@ -114,7 +114,8 @@ def test_result_cache_memory_hit_and_miss_counters():
     assert cache.get("missing") is None
     cache.put("k", 42)
     assert cache.get("k") == 42
-    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                             "evictions": 0}
     assert cache.hit_ratio == 0.5
 
 
