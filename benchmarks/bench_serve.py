@@ -1,0 +1,27 @@
+"""Job-service load: many concurrent HTTP clients vs one server.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): every submitted job reaches ``done``, the warm phase — identical
+requests from every client — is served (almost) entirely from the
+content-addressed result cache, and warm p50 latency beats cold p50
+(a cache hit costs a dict lookup, not a scheduler execution).
+
+Run as a script (``python benchmarks/bench_serve.py``) it delegates to
+:func:`repro.serve.bench.run_serve_bench` — the same measurement behind
+``python -m repro bench serve`` — and writes the ``BENCH_serve.json``
+trajectory point.
+"""
+
+from __future__ import annotations
+
+from repro.serve.bench import render_point, run_serve_bench
+
+
+def main(out_path: str = "BENCH_serve.json", quick: bool = False) -> dict:
+    point = run_serve_bench(quick=quick, out_path=out_path)
+    print(render_point(point))
+    return point
+
+
+if __name__ == "__main__":
+    main()

@@ -15,9 +15,10 @@ Commands
 - ``timeline`` — print the Fig. 1 semester schedule.
 - ``quiz <n>`` — print quiz *n* with its auto-graded answers.
 - ``trace <workload> [--out trace.json] [--jsonl events.jsonl]
-  [--otlp spans.json]`` — run a workload under telemetry and export a
-  Chrome ``trace_event`` file (open it in ``chrome://tracing`` or
-  https://ui.perfetto.dev; ``--list`` shows the workloads).
+  [--otlp spans.json] [--follow]`` — run a workload under telemetry and
+  export a Chrome ``trace_event`` file (open it in ``chrome://tracing``
+  or https://ui.perfetto.dev); ``--follow`` also streams span opens/
+  closes and counter updates live to stdout while the workload runs.
 - ``chaos <workload> [--seed N] [--trace out.json]`` — run a workload
   under deterministic fault injection and report injected-vs-recovered
   counts plus the canonical injected-event log (``--list`` shows the
@@ -31,10 +32,25 @@ Commands
 - ``sched --cache-evict --cache-dir DIR [--cache-max-entries N]
   [--cache-max-bytes B]`` — maintenance path: LRU-evict the on-disk
   result-cache tier down to the given caps and report what was removed.
+- ``serve [--host H] [--port P] [--workers N] [--backlog B]`` — run the
+  async HTTP job service: POST any registered workload to ``/jobs``,
+  poll ``GET /jobs/<id>`` (or stream with ``?follow=1``), fetch results,
+  scrape ``/metrics``.  Backpressure (429), circuit-breaker shedding
+  (503), and content-addressed result caching come from the scheduler
+  and fault-tolerance layers.  SIGINT/SIGTERM drains gracefully.
 - ``bench kernels [--quick] [--out BENCH_kernels.json]`` — time every
   hot numeric loop scalar vs vectorized (LCS sweep, batched scheduler
   dispatch, stencil, bootstrap) and write the trajectory point; exit
   code reflects whether the vectorized backend held its ground.
+- ``bench serve [--quick] [--out BENCH_serve.json]`` — load-test the
+  job service with concurrent HTTP clients (cold unique requests, then
+  warm identical ones) and write p50/p99 latency, jobs/sec, and the
+  cache hit rate.
+
+Every workload-running subcommand (``trace``/``chaos``/``sched``/
+``serve``) shares one ``--list`` listing: the unified
+:mod:`repro.workloads` registry, annotated with the modes each
+workload supports.
 """
 
 from __future__ import annotations
@@ -120,6 +136,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="team size / worker count / rank count")
     trace.add_argument("--otlp", default=None,
                        help="also write OTLP span JSON here")
+    trace.add_argument("--follow", action="store_true",
+                       help="stream span opens/closes and counter updates "
+                            "live while the workload runs")
     trace.add_argument("--list", action="store_true", dest="list_names")
 
     chaos = sub.add_parser(
@@ -157,14 +176,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disk-tier cap: keep at most B bytes")
     sched.add_argument("--list", action="store_true", dest="list_names")
 
+    serve = sub.add_parser(
+        "serve", help="run the async HTTP job service over the scheduler")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="scheduler worker threads executing jobs")
+    serve.add_argument("--backlog", type=int, default=64,
+                       help="admission-queue bound; a full backlog "
+                            "answers 429")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="scheduler steal-order seed")
+    serve.add_argument("--cache-dir", default=None,
+                       help="on-disk result-cache tier (results survive "
+                            "restarts)")
+    serve.add_argument("--list", action="store_true", dest="list_names")
+
     bench = sub.add_parser(
         "bench", help="run a benchmark suite and write its trajectory point")
     bench.add_argument("suite", nargs="?", default=None,
-                       help="benchmark suite name (currently: kernels)")
+                       help=f"benchmark suite name ({', '.join(_BENCH_SUITES)})")
     bench.add_argument("--quick", action="store_true",
                        help="small sizes / few repeats (the CI smoke shape)")
-    bench.add_argument("--out", default="BENCH_kernels.json",
-                       help="trajectory point output path")
+    bench.add_argument("--out", default=None,
+                       help="trajectory point output path "
+                            "(default BENCH_<suite>.json)")
     bench.add_argument("--list", action="store_true", dest="list_names")
 
     return parser
@@ -265,21 +302,103 @@ def _cmd_quiz(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _render_follow_event(event) -> str:
+    """One live-feed line for a span/counter event (``trace --follow``)."""
+    stamp = f"{event.ts_s * 1e3:9.2f}ms"
+    data = event.data
+    where = f"[{data.get('process', '?')}/t{data.get('tid', '?')}]"
+    if event.kind == "span_open":
+        return f"{stamp}  open   {data['name']} {where}"
+    if event.kind == "span_close":
+        return (f"{stamp}  close  {data['name']} {where} "
+                f"{data['dur_us'] / 1e3:.2f}ms")
+    if event.kind == "counter":
+        rest = " ".join(
+            f"{key}={value}" for key, value in data.items()
+            if key not in ("name", "process", "tid")
+        )
+        return f"{stamp}  count  {data['name']} {rest}"
+    return f"{stamp}  inst   {data.get('name', '')}"
+
+
+def _run_trace_follow(args: argparse.Namespace) -> tuple[object, object]:
+    """Run the workload in a thread; stream its telemetry live.
+
+    The tracer's listener hook feeds an :class:`EventLog` (the same
+    plumbing the serve status stream uses); the main thread drains it
+    with ``wait()`` and prints one line per span open/close and counter
+    update.  Returns ``(summary_or_exception, session)``.
+    """
+    import threading
+
     from repro import telemetry
-    from repro.telemetry.workloads import run_workload, workload_names
+    from repro.serve.events import EventLog
+    from repro.telemetry.spans import Tracer
+    from repro.telemetry.workloads import run_workload
+
+    log = EventLog()
+
+    def listener(kind: str, record) -> None:
+        if kind in ("span_open", "span_close"):
+            data = {"name": record.name, "process": record.process,
+                    "tid": record.tid}
+            if kind == "span_close":
+                data["dur_us"] = round(record.duration_us, 1)
+            log.emit(kind, **data)
+        else:  # instant / counter TraceEvents
+            log.emit(kind, name=record.name, process=record.process,
+                     tid=record.tid, **record.args)
+
+    session = telemetry.session(Tracer(listener=listener))
+    outcome: dict[str, object] = {}
+
+    def work() -> None:
+        try:
+            with session:
+                outcome["summary"] = run_workload(
+                    args.workload, threads=args.threads)
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the main thread
+            outcome["error"] = exc
+        finally:
+            log.close()
+
+    worker = threading.Thread(target=work, name="trace-follow")
+    worker.start()
+    cursor = 0
+    while True:
+        log.wait(cursor, timeout=0.25)
+        for event in log.after(cursor):
+            cursor = event.seq
+            print(_render_follow_event(event))
+        if log.closed and not log.after(cursor):
+            break
+    worker.join()
+    return outcome.get("error", outcome.get("summary")), session
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import telemetry, workloads
+    from repro.telemetry.workloads import run_workload
 
     if args.list_names or args.workload is None:
-        print("available workloads: " + ", ".join(workload_names()))
+        print(workloads.render_listing())
         return 0
     if args.threads < 1:
         print(f"--threads must be >= 1, got {args.threads}")
         return 2
     try:
-        with telemetry.session() as session:
-            summary = run_workload(args.workload, threads=args.threads)
+        if args.follow:
+            summary, session = _run_trace_follow(args)
+            if isinstance(summary, BaseException):
+                raise summary
+        else:
+            with telemetry.session() as session:
+                summary = run_workload(args.workload, threads=args.threads)
     except KeyError:
         print(f"unknown workload {args.workload!r}; try --list")
+        return 2
+    except workloads.WorkloadModeError as exc:
+        print(str(exc))
         return 2
     session.write_chrome_trace(args.out)
     tracer = session.tracer
@@ -304,12 +423,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _unknown_workload_message(mode: str, name: str) -> str:
+    """Distinguish "no such workload" from "registered, wrong mode"."""
+    from repro import workloads
+
+    try:
+        entry = workloads.get(name)
+    except KeyError:
+        return f"unknown workload {name!r}; try --list"
+    return (f"workload {entry.name!r} does not support mode {mode!r} "
+            f"(supports: {', '.join(entry.modes)})")
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro import telemetry
-    from repro.faults.chaos import chaos_workload_names, run_chaos
+    from repro import telemetry, workloads
+    from repro.faults.chaos import run_chaos
 
     if args.list_names or args.workload is None:
-        print("available chaos workloads: " + ", ".join(chaos_workload_names()))
+        print(workloads.render_listing())
         return 0
     if args.threads < 1:
         print(f"--threads must be >= 1, got {args.threads}")
@@ -324,7 +455,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             report = run_chaos(args.workload, seed=args.seed,
                                threads=args.threads)
     except KeyError:
-        print(f"unknown chaos workload {args.workload!r}; try --list")
+        print(_unknown_workload_message("chaos", args.workload))
         return 2
     print(report.render())
     if session is not None:
@@ -335,9 +466,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_sched(args: argparse.Namespace) -> int:
-    from repro import telemetry
+    from repro import telemetry, workloads
     from repro.sched.cache import ResultCache
-    from repro.sched.workloads import run_sched_workload, sched_workload_names
+    from repro.sched.workloads import run_sched_workload
 
     if args.cache_evict:
         if not args.cache_dir:
@@ -359,7 +490,7 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             print(f"  evicted {key}")
         return 0
     if args.list_names or args.workload is None:
-        print("available sched workloads: " + ", ".join(sched_workload_names()))
+        print(workloads.render_listing())
         return 0
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}")
@@ -383,7 +514,7 @@ def _cmd_sched(args: argparse.Namespace) -> int:
                 cache=cache,
             )
     except KeyError:
-        print(f"unknown sched workload {args.workload!r}; try --list")
+        print(_unknown_workload_message("sched", args.workload))
         return 2
     print(report.render())
     if session is not None:
@@ -393,22 +524,69 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_SUITES = ("kernels",)
+_BENCH_SUITES = ("kernels", "serve")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     if args.list_names or args.suite is None:
         print("available bench suites: " + ", ".join(_BENCH_SUITES))
         return 0
-    if args.suite != "kernels":
+    if args.suite not in _BENCH_SUITES:
         print(f"unknown bench suite {args.suite!r}; try --list")
         return 2
-    from repro.kernels.bench import render_point, run_kernels_bench
+    out_path = args.out or f"BENCH_{args.suite}.json"
+    if args.suite == "kernels":
+        from repro.kernels.bench import render_point, run_kernels_bench
 
-    point = run_kernels_bench(quick=args.quick, out_path=args.out)
+        point = run_kernels_bench(quick=args.quick, out_path=out_path)
+    else:
+        from repro.serve.bench import render_point, run_serve_bench
+
+        point = run_serve_bench(quick=args.quick, out_path=out_path)
     print(render_point(point))
-    print(f"wrote {args.out}")
+    print(f"wrote {out_path}")
     return 0 if point["ok"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import workloads
+
+    if args.list_names:
+        print(workloads.render_listing())
+        return 0
+    import asyncio
+    import signal
+
+    from repro.serve.http import ServeApp
+    from repro.serve.service import JobService
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    service = JobService(workers=args.workers, backlog=args.backlog,
+                         seed=args.seed, cache_dir=args.cache_dir)
+    app = ServeApp(service)
+
+    async def run() -> None:
+        server = await asyncio.start_server(app.handle, args.host, args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(f"repro serve listening on http://{args.host}:{port} "
+              f"({args.workers} workers, backlog {args.backlog})")
+        print("POST /jobs, GET /jobs/<id>[?follow=1], GET /jobs/<id>/result, "
+              "GET /workloads, GET /metrics — Ctrl-C drains and exits")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        server.close()
+        await server.wait_closed()
+
+    asyncio.run(run())
+    summary = service.shutdown()
+    print(f"serve shutdown: {summary['drained']} in-flight jobs drained, "
+          f"{summary['cancelled']} queued jobs cancelled")
+    return 0
 
 
 _COMMANDS = {
@@ -422,6 +600,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "sched": _cmd_sched,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
 }
 

@@ -32,6 +32,10 @@ injected-event logs (see :meth:`FaultInjector.log_lines`).
 Runtime imports live inside the workload functions (the CLI pattern of
 :mod:`repro.telemetry.workloads`) so importing :mod:`repro.faults` does
 not drag every runtime in.
+
+Scenarios register as the ``chaos`` mode (runner + plan builder) of the
+unified :mod:`repro.workloads` registry — the only name table they
+appear in.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import workloads as registry
 from repro.faults.clock import FakeClock
 from repro.faults.injector import FaultInjector, TransientFault
 from repro.faults.plan import FaultKind, FaultPlan, FaultRule
@@ -46,7 +51,6 @@ from repro.faults.policies import Deadline, RetryError, RetryPolicy
 
 __all__ = [
     "ChaosReport",
-    "CHAOS_WORKLOADS",
     "chaos_workload_names",
     "named_plan",
     "partition_rank",
@@ -185,11 +189,10 @@ def _partition_plan(seed: int) -> FaultPlan:
 
 def named_plan(workload: str, seed: int) -> FaultPlan:
     """The default plan the CLI runs for ``workload``."""
-    try:
-        builder = _PLANS[workload]
-    except KeyError:
-        raise KeyError(workload) from None
-    return builder(seed)
+    entry = registry.get(workload)
+    if entry.chaos_plan is None:
+        raise KeyError(workload)
+    return entry.chaos_plan(seed)
 
 
 # -- workloads ---------------------------------------------------------------
@@ -484,29 +487,20 @@ def _run_partition(injector: FaultInjector, seed: int, threads: int) -> tuple[in
     return master["reassigned"], detail, ok
 
 
-_PLANS: dict[str, Callable[[int], FaultPlan]] = {
-    "mapreduce": _mapreduce_plan,
-    "openmp": _openmp_plan,
-    "mpi": _mpi_plan,
-    "drugdesign": _drugdesign_plan,
-    "stencil": _stencil_plan,
-    "collectives": _collectives_plan,
-    "partition": _partition_plan,
-}
-
-CHAOS_WORKLOADS: dict[str, Callable[[FaultInjector, int, int], tuple[int, list[str], bool]]] = {
-    "mapreduce": _run_mapreduce,
-    "openmp": _run_openmp,
-    "mpi": _run_mpi,
-    "drugdesign": _run_drugdesign,
-    "stencil": _run_stencil,
-    "collectives": _run_collectives,
-    "partition": _run_partition,
-}
+for _name, _run, _plan in (
+    ("mapreduce", _run_mapreduce, _mapreduce_plan),
+    ("openmp", _run_openmp, _openmp_plan),
+    ("mpi", _run_mpi, _mpi_plan),
+    ("drugdesign", _run_drugdesign, _drugdesign_plan),
+    ("stencil", _run_stencil, _stencil_plan),
+    ("collectives", _run_collectives, _collectives_plan),
+    ("partition", _run_partition, _partition_plan),
+):
+    registry.register(_name, chaos=_run, chaos_plan=_plan)
 
 
 def chaos_workload_names() -> list[str]:
-    return sorted(CHAOS_WORKLOADS)
+    return registry.names("chaos")
 
 
 def run_chaos(
@@ -522,12 +516,13 @@ def run_chaos(
     """
     from repro import faults
 
-    normalized = workload.replace("-", "_").lower()
-    if normalized not in CHAOS_WORKLOADS:
+    entry = registry.get(workload)
+    if entry.chaos is None:
         raise KeyError(workload)
+    normalized = entry.name
     active_plan = plan if plan is not None else named_plan(normalized, seed)
     with faults.inject(active_plan) as injector:
-        recovered, detail, ok = CHAOS_WORKLOADS[normalized](injector, seed, threads)
+        recovered, detail, ok = entry.chaos(injector, seed, threads)
     return ChaosReport(
         workload=normalized,
         seed=seed,

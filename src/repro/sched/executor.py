@@ -168,6 +168,10 @@ class WorkStealingExecutor:
             "steals": 0,
         }
         self._high_water = 0
+        # Long-lived serving (start()/shutdown()): worker threads that
+        # outlive any single drain, for the repro.serve job service.
+        self._serve_threads: list[threading.Thread] = []
+        self._stop_serving = threading.Event()
 
     # -- events --------------------------------------------------------------
 
@@ -467,6 +471,11 @@ class WorkStealingExecutor:
 
     def drain(self, timeout: float | None = None) -> None:
         """Run until every submitted task has finished."""
+        if self._serve_threads:
+            raise SchedError(
+                "executor is serving; submissions run as they arrive "
+                "(use shutdown() to stop, not drain())"
+            )
         budget = resolve_timeout_s(timeout, DRAIN_TIMEOUT_S)
         with telemetry.span("sched.drain", category="sched",
                             n_workers=self.n_workers, seed=self.seed,
@@ -532,6 +541,84 @@ class WorkStealingExecutor:
             t.join(timeout=budget)
             if t.is_alive():
                 raise SchedError(f"{t.name} did not finish within {budget}s")
+
+    # -- long-lived serving ---------------------------------------------------
+
+    def start(self) -> None:
+        """Begin serving: worker threads that run tasks as they arrive.
+
+        Unlike :meth:`drain` — which exits as soon as the current batch
+        finishes — serving keeps the workers alive until
+        :meth:`shutdown`, which is what a long-lived job service needs:
+        submissions trickle in from many clients and must start without
+        a caller standing in ``drain``.  Requires ``deterministic=False``
+        (a stepping loop has no meaning for an open-ended task stream).
+        """
+        if self.deterministic:
+            raise SchedError("serving requires deterministic=False")
+        if self._serve_threads:
+            raise SchedError("executor is already serving")
+        self._stop_serving.clear()
+        for worker in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._serve_loop, args=(worker,),
+                name=f"sched-serve-{worker}", daemon=True,
+            )
+            self._serve_threads.append(thread)
+            thread.start()
+
+    def serving(self) -> bool:
+        return bool(self._serve_threads)
+
+    def _serve_loop(self, worker: int) -> None:
+        telemetry.ensure_thread("sched", f"sched-serve-{worker}")
+        while True:
+            with self._lock:
+                acquired = self._acquire_locked(worker)
+            if acquired is None:
+                if self._stop_serving.is_set():
+                    return
+                time.sleep(0.001)
+                continue
+            self._run(acquired[0], worker, acquired[1], acquired[2])
+
+    def shutdown(
+        self, cancel_pending: bool = True, timeout: float | None = None
+    ) -> int:
+        """Stop serving; returns how many queued tasks were cancelled.
+
+        In-flight tasks always finish (workers complete their current
+        task before exiting).  With ``cancel_pending`` (the graceful-
+        shutdown default) queued-but-unstarted tasks are cancelled — each
+        handle resolves with :class:`CancelledError` — so the drain is
+        bounded by the work already running; with ``cancel_pending=False``
+        the workers first empty the backlog.  Idempotent; raises
+        :class:`SchedError` if a worker fails to stop within the budget.
+        """
+        if not self._serve_threads:
+            return 0
+        cancelled = 0
+        if cancel_pending:
+            with self._lock:
+                pending = [
+                    handle for handle in self._handles.values()
+                    if not handle.task.taken
+                    and handle.task.state is TaskState.PENDING
+                ]
+            for handle in pending:
+                if self._cancel(handle):
+                    cancelled += 1
+        self._stop_serving.set()
+        budget = resolve_timeout_s(timeout, DRAIN_TIMEOUT_S)
+        deadline = time.monotonic() + budget
+        for thread in self._serve_threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+            if thread.is_alive():
+                raise SchedError(
+                    f"{thread.name} did not stop within {budget}s"
+                )
+        self._serve_threads = []
+        return cancelled
 
     def map(
         self,

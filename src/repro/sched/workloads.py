@@ -17,8 +17,8 @@ event log) without executing, and the ``cache:`` line shows the hit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
+from repro import workloads as registry
 from repro.sched.cache import ResultCache
 from repro.sched.executor import WorkStealingExecutor
 
@@ -96,17 +96,16 @@ def _wl_drugdesign(executor: WorkStealingExecutor, workers: int,
     return summary, lines
 
 
-SCHED_WORKLOADS: dict[
-    str, Callable[[WorkStealingExecutor, int, int], tuple[str, list[str]]]
-] = {
-    "mapreduce": _wl_mapreduce,
-    "openmp": _wl_openmp,
-    "drugdesign": _wl_drugdesign,
-}
+for _name, _fn in (
+    ("mapreduce", _wl_mapreduce),
+    ("openmp", _wl_openmp),
+    ("drugdesign", _wl_drugdesign),
+):
+    registry.register(_name, sched=_fn)
 
 
 def sched_workload_names() -> list[str]:
-    return sorted(SCHED_WORKLOADS)
+    return registry.names("sched")
 
 
 @dataclass
@@ -160,7 +159,11 @@ def run_sched_workload(
     under the content address of (workload, workers, seed), so a warm
     run replays identical output without executing.
     """
-    fn = SCHED_WORKLOADS[name]
+    entry = registry.get(name)
+    if entry.sched is None:
+        raise KeyError(name)
+    name = entry.name
+    fn = entry.sched
 
     def compute() -> dict:
         executor = WorkStealingExecutor(n_workers=workers, seed=seed)

@@ -1,0 +1,25 @@
+"""repro.serve — async job service over the scheduler.
+
+A stdlib-only asyncio HTTP service (``python -m repro serve``) that
+exposes every workload in the unified :mod:`repro.workloads` registry
+as a job API: POST a request, poll or stream its status, fetch the
+result.  Admission runs through the bounded scheduler queue (429 on a
+full backlog), overload shedding through a circuit breaker (503 while
+open), and identical requests are served from the content-addressed
+result cache without re-execution.
+"""
+
+from repro.serve.events import Event, EventLog
+from repro.serve.http import BackgroundServer, ServeApp, render_metrics_text
+from repro.serve.service import TERMINAL_STATES, Job, JobService
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "Job",
+    "JobService",
+    "TERMINAL_STATES",
+    "ServeApp",
+    "BackgroundServer",
+    "render_metrics_text",
+]

@@ -1,0 +1,96 @@
+"""Status-event plumbing shared by the job service and ``trace --follow``.
+
+An :class:`EventLog` is an append-only, thread-safe sequence of small
+records, each with a monotonically increasing ``seq``.  Producers
+``emit`` from any thread (a scheduler worker flipping a job to
+``running``, a tracer listener reporting a span close); consumers read
+incrementally with :meth:`after` — "everything since the last seq I
+saw" — which is exactly the shape both a chunked HTTP status stream and
+a live terminal feed need: no consumer registration, no backpressure on
+producers, any number of independent readers each holding only a cursor.
+
+``wait(seq, timeout)`` blocks a *thread* until something newer than
+``seq`` exists (the CLI follower uses it); the asyncio side never
+blocks — the HTTP streamer polls :meth:`after` between short sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One status record: a kind plus JSON-safe payload fields."""
+
+    seq: int
+    ts_s: float              # seconds since the log was created (monotonic)
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"seq": self.seq, "ts_s": round(self.ts_s, 6),
+                "kind": self.kind, **self.data}
+
+
+class EventLog:
+    """Append-only event sequence with cursor-based incremental reads."""
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self._cond = threading.Condition()
+        self._events: list[Event] = []
+        self._closed = False
+
+    def emit(self, kind: str, **data: Any) -> Event:
+        """Append one event (any thread); wakes blocked :meth:`wait` ers."""
+        with self._cond:
+            event = Event(
+                seq=len(self._events) + 1,
+                ts_s=time.monotonic() - self._origin,
+                kind=kind,
+                data=data,
+            )
+            self._events.append(event)
+            self._cond.notify_all()
+        return event
+
+    def close(self) -> None:
+        """Mark the stream complete; wakes waiters so followers can exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def snapshot(self) -> list[Event]:
+        with self._cond:
+            return list(self._events)
+
+    def after(self, seq: int) -> list[Event]:
+        """Every event with ``seq`` greater than the given cursor."""
+        with self._cond:
+            # seq values are 1..len, dense — slice instead of scanning.
+            return list(self._events[max(seq, 0):])
+
+    def wait(self, seq: int, timeout: float | None = None) -> bool:
+        """Block until an event newer than ``seq`` exists or the log is
+        closed; True if there is something new to read."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: len(self._events) > seq or self._closed,
+                timeout=timeout,
+            )
+            return len(self._events) > seq

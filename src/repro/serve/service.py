@@ -1,0 +1,309 @@
+"""The job service core: admission, execution, status, graceful drain.
+
+:class:`JobService` is the transport-independent heart of
+``python -m repro serve`` — the HTTP layer in :mod:`repro.serve.http`
+is a thin translation onto it, and the tests drive it directly.  It
+composes the substrate built in earlier PRs as production components:
+
+- **admission control** — jobs are tasks on a
+  :class:`~repro.sched.executor.WorkStealingExecutor` in long-lived
+  serving mode whose bounded :class:`~repro.sched.queue.JobQueue`
+  refuses work past ``backlog`` with
+  :class:`~repro.sched.core.BackpressureError` (HTTP 429);
+- **overload shedding** — a
+  :class:`~repro.faults.policies.CircuitBreaker` fed by job outcomes
+  rejects new *executions* while open with
+  :class:`~repro.faults.policies.CircuitOpenError` (HTTP 503).  Cached
+  results are still served while shedding: a hit costs no execution,
+  so refusing it would protect nothing;
+- **request memoisation** — results are content-addressed in a
+  :class:`~repro.sched.cache.ResultCache` under the fingerprint of the
+  canonicalised request ``(mode, workload, params)``; an identical
+  request completes instantly as a ``cached`` job without re-execution;
+- **observability** — every transition bumps ``serve.*`` counters, the
+  queue-depth gauge tracks the backlog, and per-job latency lands in a
+  histogram; with telemetry enabled each execution runs under a
+  ``serve.job`` span.
+
+Workloads are resolved **only** through the unified
+:mod:`repro.workloads` registry (the DESIGN rule): the service can run
+exactly what the CLIs can, nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro import telemetry, workloads
+from repro.faults.policies import CircuitBreaker, CircuitOpenError
+from repro.sched.cache import ResultCache, fingerprint
+from repro.sched.core import BackpressureError
+from repro.sched.executor import WorkStealingExecutor
+from repro.serve.events import EventLog
+from repro.telemetry import instrument
+
+__all__ = ["Job", "JobService", "TERMINAL_STATES"]
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+_MISSING = object()
+
+
+@dataclass
+class Job:
+    """One client request's lifecycle: queued → running → terminal."""
+
+    job_id: str
+    mode: str
+    workload: str
+    params: dict[str, int]
+    priority: int
+    key: str                                  # content-address of the request
+    state: str = "queued"
+    cached: bool = False
+    created_s: float = field(default_factory=time.time)
+    started_s: float | None = None
+    finished_s: float | None = None
+    result: dict[str, Any] | None = None
+    error: str | None = None
+    events: EventLog = field(default_factory=EventLog)
+    handle: Any = None                        # sched TaskHandle (None if cached)
+
+    def _transition(self, state: str, **extra: Any) -> None:
+        self.state = state
+        self.events.emit("state", state=state, **extra)
+        if state in TERMINAL_STATES:
+            self.finished_s = time.time()
+            self.events.close()
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe status view (what ``GET /jobs/<id>`` returns)."""
+        return {
+            "id": self.job_id,
+            "mode": self.mode,
+            "workload": self.workload,
+            "params": dict(self.params),
+            "priority": self.priority,
+            "key": self.key,
+            "state": self.state,
+            "cached": self.cached,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "error": self.error,
+            "events": len(self.events),
+        }
+
+
+class JobService:
+    """Long-lived workload execution service over the scheduler."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        backlog: int = 64,
+        seed: int = 0,
+        cache: ResultCache | None = None,
+        cache_dir: str | None = None,
+        breaker: CircuitBreaker | None = None,
+        manage_telemetry: bool = True,
+    ) -> None:
+        if backlog < 1:
+            raise ValueError(f"backlog must be >= 1, got {backlog}")
+        self.backlog = backlog
+        self.executor = WorkStealingExecutor(
+            n_workers=workers, seed=seed, deterministic=False,
+            max_pending=backlog,
+        )
+        self.cache = cache if cache is not None else ResultCache(directory=cache_dir)
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            failure_threshold=5, reset_timeout_s=1.0, name="serve"
+        )
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._next_id = 0
+        self._closed = False
+        # One observable metrics surface for /metrics: enable a session
+        # for the service's lifetime unless the caller already runs one.
+        self._session = None
+        if manage_telemetry and not telemetry.is_enabled():
+            self._session = telemetry.enable()
+        self.executor.start()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        mode: str,
+        workload: str,
+        params: Mapping[str, Any] | None = None,
+        priority: int = 0,
+    ) -> Job:
+        """Admit one job request; returns the (possibly already done) job.
+
+        Raises ``KeyError`` for an unknown workload, ``ValueError`` /
+        :class:`~repro.workloads.WorkloadModeError` for a bad mode or
+        parameters (HTTP 400/404), :class:`CircuitOpenError` while
+        shedding (503), and
+        :class:`~repro.sched.core.BackpressureError` when the backlog is
+        full (429).
+        """
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        entry = workloads.get(workload)
+        workloads.runner_for(entry, mode)       # raises WorkloadModeError
+        clean = workloads.validate_params(mode, params)
+        key = fingerprint("serve", mode, entry.name, clean)
+        with self._lock:
+            self._next_id += 1
+            job_id = f"j{self._next_id}"
+        job = Job(job_id=job_id, mode=mode, workload=entry.name,
+                  params=clean, priority=priority, key=key)
+        job.events.emit("state", state="queued")
+        instrument.inc("serve.jobs.submitted")
+
+        cached = self.cache.get(key, _MISSING)
+        if cached is not _MISSING:
+            job.cached = True
+            job.result = cached
+            job.started_s = job.finished_s = time.time()
+            job._transition("done", cached=True)
+            instrument.inc("serve.jobs.cached")
+            with self._lock:
+                self._jobs[job_id] = job
+            return job
+
+        if not self.breaker.allow():
+            instrument.inc("serve.rejected.breaker")
+            raise CircuitOpenError(
+                "service is shedding load (circuit breaker open)"
+            )
+        try:
+            job.handle = self.executor.submit(
+                lambda: self._execute(job),
+                name=f"{mode}:{entry.name}", priority=priority,
+            )
+        except BackpressureError:
+            instrument.inc("serve.rejected.backpressure")
+            raise
+        with self._lock:
+            self._jobs[job_id] = job
+        instrument.gauge("serve.queue.depth", self.executor.pending())
+        return job
+
+    def _execute(self, job: Job) -> None:
+        """Runs on a scheduler worker; never raises (outcomes live on the
+        job, not the task handle — a failed *workload* is a served
+        result, not a scheduler fault)."""
+        job.started_s = time.time()
+        job._transition("running")
+        started = time.perf_counter()
+        with instrument.span("serve.job", category="serve", job=job.job_id,
+                             mode=job.mode, workload=job.workload):
+            try:
+                payload = workloads.run_job(job.mode, job.workload, job.params)
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                job.error = repr(exc)
+                self.breaker.record_failure()
+                instrument.inc("serve.jobs.failed")
+                job._transition("failed", error=job.error)
+            else:
+                self.cache.put(job.key, payload)
+                job.result = payload
+                self.breaker.record_success()
+                instrument.inc("serve.jobs.completed")
+                job._transition("done", cached=False)
+        instrument.observe_us(
+            "serve.job.latency_us", (time.perf_counter() - started) * 1e6
+        )
+        instrument.gauge("serve.queue.depth", self.executor.pending())
+
+    # -- inspection ----------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """Raises ``KeyError`` for unknown ids."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.created_s)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; True if it will never run."""
+        job = self.get(job_id)
+        if job.handle is None or not job.handle.cancel():
+            return job.state == "cancelled"
+        instrument.inc("serve.jobs.cancelled")
+        job._transition("cancelled")
+        instrument.gauge("serve.queue.depth", self.executor.pending())
+        return True
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            by_state: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "jobs": by_state,
+            "queue_depth": self.executor.pending(),
+            "backlog": self.backlog,
+            "breaker": self.breaker.state,
+            "cache": self.cache.stats(),
+            "workers": self.executor.n_workers,
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The active telemetry registry's instruments (for /metrics)."""
+        metrics = telemetry.get_metrics()
+        return metrics.snapshot() if metrics is not None else {}
+
+    # -- graceful shutdown ---------------------------------------------------
+
+    def shutdown(self, timeout: float | None = None) -> dict[str, int]:
+        """Drain in-flight jobs, cancel queued ones, stop the workers.
+
+        Queued-but-unstarted jobs end in a terminal ``cancelled`` state
+        (their streams close, pollers see it); running jobs finish and
+        are served normally.  Idempotent.  Returns
+        ``{"cancelled": n, "drained": m}``.
+        """
+        with self._lock:
+            if self._closed:
+                return {"cancelled": 0, "drained": 0}
+            self._closed = True
+            queued = [job for job in self._jobs.values()
+                      if job.state == "queued" and job.handle is not None]
+        cancelled = 0
+        for job in queued:
+            if job.handle.cancel():
+                instrument.inc("serve.jobs.cancelled")
+                job._transition("cancelled")
+                cancelled += 1
+        drained_from = time.time()
+        self.executor.shutdown(cancel_pending=True, timeout=timeout)
+        # Sweep stragglers: a job admitted concurrently with shutdown may
+        # have had its task cancelled at the executor without the service
+        # seeing it — reflect the terminal state on the job record too.
+        with self._lock:
+            stragglers = [job for job in self._jobs.values()
+                          if job.state == "queued"]
+        for job in stragglers:
+            if job.handle is not None and job.handle.cancelled():
+                job._transition("cancelled")
+                cancelled += 1
+        with self._lock:
+            drained = sum(
+                1 for job in self._jobs.values()
+                if job.finished_s is not None
+                and job.finished_s >= drained_from
+                and job.state in ("done", "failed")
+            )
+        if self._session is not None:
+            telemetry.disable()
+            self._session = None
+        return {"cancelled": cancelled, "drained": drained}

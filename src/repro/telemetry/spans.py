@@ -110,9 +110,18 @@ class _ActiveSpan:
 
 
 class Tracer:
-    """Collects spans and point events from any number of threads."""
+    """Collects spans and point events from any number of threads.
 
-    def __init__(self) -> None:
+    ``listener`` is an optional live feed: a callable invoked (outside
+    the tracer lock, on the recording thread) with ``("span_open", Span)``,
+    ``("span_close", Span)``, ``("instant", TraceEvent)``, or
+    ``("counter", TraceEvent)`` as each record lands.  It powers
+    ``repro trace --follow`` and the serve status stream; exporters keep
+    reading the collected lists after the fact, so a listener adds no
+    cost when absent and must itself be thread-safe when present.
+    """
+
+    def __init__(self, listener: Any = None) -> None:
         self._origin_ns = time.monotonic_ns()
         self._lock = threading.Lock()
         self._next_id = 0
@@ -121,6 +130,7 @@ class Tracer:
         self._local = _ThreadState()
         self._auto_tids: dict[tuple[str, int], int] = {}
         self._auto_tid_next: dict[str, int] = {}
+        self._listener = listener
 
     # -- clock & identity ----------------------------------------------------
 
@@ -202,6 +212,8 @@ class Tracer:
             args=dict(args),
         )
         local.stack.append(span)
+        if self._listener is not None:
+            self._listener("span_open", span)
         return _ActiveSpan(self, span)
 
     def _finish(self, span: Span) -> None:
@@ -217,6 +229,8 @@ class Tracer:
                 pass
         with self._lock:
             self._spans.append(span)
+        if self._listener is not None:
+            self._listener("span_close", span)
 
     def current_span_id(self) -> int | None:
         """Id of the innermost open span on the calling thread, if any."""
@@ -246,6 +260,10 @@ class Tracer:
         )
         with self._lock:
             self._events.append(event)
+        if self._listener is not None:
+            self._listener(
+                "instant" if phase == PHASE_INSTANT else "counter", event
+            )
 
     # -- inspection ----------------------------------------------------------
 

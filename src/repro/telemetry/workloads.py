@@ -9,13 +9,18 @@ MPI message matching, drug-design load imbalance.
 Workloads run under whatever telemetry session the caller has enabled;
 they do not manage sessions themselves (so tests can compose them).
 Every function returns a one-line human summary for the CLI to print.
+
+This module keeps no name table of its own: every workload is registered
+as the ``trace`` mode of the unified :mod:`repro.workloads` registry, so
+the same names resolve from the ``trace``/``chaos``/``sched`` CLIs and
+the ``repro.serve`` job service alike.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from repro import workloads as registry
 
-__all__ = ["TRACE_WORKLOADS", "workload_names", "run_workload"]
+__all__ = ["workload_names", "run_workload"]
 
 #: Small deterministic corpus for the MapReduce workloads.
 _DOCUMENTS: tuple[tuple[int, str], ...] = (
@@ -152,24 +157,24 @@ def _run_drugdesign(threads: int) -> str:
     )
 
 
-TRACE_WORKLOADS: dict[str, Callable[[int], str]] = {
-    "fork_join": _run_fork_join,
-    "barrier": _run_barrier,
-    "reduction": _run_reduction,
-    "mapreduce": _run_mapreduce,
-    "stragglers": _run_stragglers,
-    "mpi": _run_mpi,
-    "drugdesign": _run_drugdesign,
-}
+for _name, _fn in (
+    ("fork_join", _run_fork_join),
+    ("barrier", _run_barrier),
+    ("reduction", _run_reduction),
+    ("mapreduce", _run_mapreduce),
+    ("stragglers", _run_stragglers),
+    ("mpi", _run_mpi),
+    ("drugdesign", _run_drugdesign),
+):
+    registry.register(_name, trace=_fn)
 
 
 def workload_names() -> list[str]:
-    return sorted(TRACE_WORKLOADS)
+    return registry.names("trace")
 
 
 def run_workload(name: str, threads: int = 4) -> str:
-    """Run one named workload; raises KeyError for unknown names."""
-    normalized = name.replace("-", "_").lower()
-    if normalized not in TRACE_WORKLOADS:
-        raise KeyError(name)
-    return TRACE_WORKLOADS[normalized](threads)
+    """Run one named workload; raises KeyError for unknown names and
+    :class:`repro.workloads.WorkloadModeError` for non-trace ones."""
+    payload = registry.run_job("trace", name, {"threads": threads})
+    return payload["summary"]

@@ -1,0 +1,193 @@
+"""JobQueue under concurrent submitters: the admission-control contract.
+
+The bounded queue is the serve stack's 429 path, so its invariants are
+exercised the way the service stresses them — many threads pushing at
+once: backpressure admits *exactly* capacity, batches land all-or-
+nothing, and a cancelled queued-not-started task is never run, at the
+queue level and through a live serving executor.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.sched.core import BackpressureError, Task, TaskState
+from repro.sched.executor import WorkStealingExecutor
+from repro.sched.queue import JobQueue
+
+
+def _task(task_id, fn=None, priority=0):
+    return Task(task_id=task_id, fn=fn or (lambda: task_id),
+                priority=priority)
+
+
+def _hammer(n_threads, work):
+    """Run ``work(thread_index)`` on n threads behind a start barrier."""
+    barrier = threading.Barrier(n_threads)
+
+    def runner(index):
+        barrier.wait()
+        work(index)
+
+    threads = [threading.Thread(target=runner, args=(i,))
+               for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_concurrent_pushes_admit_exactly_capacity():
+    queue = JobQueue(max_pending=8)
+    admitted = []
+    lock = threading.Lock()
+
+    def work(index):
+        for j in range(8):
+            task = _task(index * 8 + j)
+            try:
+                queue.push(task)
+            except BackpressureError:
+                continue
+            with lock:
+                admitted.append(task.task_id)
+
+    _hammer(6, work)
+    assert len(admitted) == 8                     # exactly capacity, no more
+    assert len(queue) == 8
+    assert queue.rejected == 6 * 8 - 8
+    assert queue.high_water == 8
+    popped = {queue.pop().task_id for _ in range(8)}
+    assert popped == set(admitted)                # the admitted ones, intact
+    assert queue.pop() is None
+
+
+def test_concurrent_batches_are_all_or_nothing():
+    queue = JobQueue(max_pending=4)
+    outcomes = []
+    lock = threading.Lock()
+
+    def work(index):
+        batch = [_task(index * 10 + j) for j in range(3)]
+        try:
+            queue.push_batch(batch)
+        except BackpressureError:
+            with lock:
+                outcomes.append(("rejected", index))
+            return
+        with lock:
+            outcomes.append(("admitted", index))
+
+    _hammer(2, work)                              # 2 batches of 3 into cap 4
+    kinds = sorted(kind for kind, _ in outcomes)
+    assert kinds == ["admitted", "rejected"]      # exactly one of each
+    assert len(queue) == 3                        # the whole winning batch
+    assert queue.rejected == 3                    # the whole losing batch
+
+
+def test_failed_batch_leaves_queue_unchanged():
+    queue = JobQueue(max_pending=4)
+    queue.push_batch([_task(1), _task(2)])
+    with pytest.raises(BackpressureError):
+        queue.push_batch([_task(3), _task(4), _task(5)])
+    assert len(queue) == 2                        # nothing partial landed
+    queue.push_batch([_task(6), _task(7)])        # exact fit still admitted
+    assert len(queue) == 4
+
+
+def test_cancelled_queued_task_is_never_popped():
+    queue = JobQueue()
+    keep, victim = _task(1), _task(2)
+    queue.push(keep)
+    queue.push(victim)
+    assert queue.cancel(victim) is True
+    assert victim.state is TaskState.CANCELLED
+    assert queue.cancel(victim) is False          # second cancel is a no-op
+    popped = []
+    while (task := queue.pop()) is not None:
+        popped.append(task.task_id)
+    assert popped == [1]                          # the victim never surfaced
+    assert queue.cancel(keep) is False            # already claimed by pop
+
+
+def test_concurrent_pop_and_cancel_claim_each_task_exactly_once():
+    queue = JobQueue()
+    tasks = [_task(i) for i in range(200)]
+    queue.push_batch(tasks)
+    popped, cancelled = [], []
+
+    def popper(_index):
+        while (task := queue.pop()) is not None:
+            popped.append(task.task_id)
+
+    def canceller(_index):
+        for task in tasks:
+            if queue.cancel(task):
+                cancelled.append(task.task_id)
+
+    barrier = threading.Barrier(2)
+    threads = [
+        threading.Thread(target=lambda: (barrier.wait(), popper(0))),
+        threading.Thread(target=lambda: (barrier.wait(), canceller(0))),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert sorted(popped + cancelled) == list(range(200))  # no loss...
+    assert not (set(popped) & set(cancelled))              # ...no double claim
+
+
+# -- through a live serving executor (the serve stack's view) -----------------
+
+
+def test_serving_executor_cancel_before_start_never_runs():
+    gate = threading.Event()
+    ran = []
+    executor = WorkStealingExecutor(n_workers=1, seed=7, deterministic=False,
+                                    max_pending=8)
+    executor.start()
+    try:
+        blocker = executor.submit(lambda: gate.wait(60.0), name="blocker")
+        deadline = time.monotonic() + 30.0
+        while executor.pending() != 0:            # wait until it is taken
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        victim = executor.submit(lambda: ran.append("victim"), name="victim")
+        assert victim.cancel() is True
+        assert victim.cancelled() is True
+        assert victim.cancel() is True            # idempotent once terminal
+        gate.set()
+        assert blocker.result(timeout=30.0) is True
+    finally:
+        executor.shutdown()
+    assert ran == []                              # the victim never executed
+
+
+def test_serving_executor_backpressure_and_shutdown_cancels_queued():
+    gate = threading.Event()
+    executor = WorkStealingExecutor(n_workers=1, seed=7, deterministic=False,
+                                    max_pending=1)
+    executor.start()
+    blocker = executor.submit(lambda: gate.wait(60.0), name="blocker")
+    deadline = time.monotonic() + 30.0
+    while executor.pending() != 0:
+        assert time.monotonic() < deadline
+        time.sleep(0.005)
+    queued = executor.submit(lambda: "queued", name="queued")
+    with pytest.raises(BackpressureError):
+        executor.submit(lambda: "overflow", name="overflow")
+    gate.set()
+    assert blocker.result(timeout=30.0) is True
+    cancelled = executor.shutdown(cancel_pending=True)
+    # The queued task either ran before shutdown got to it or was
+    # cancelled by it — never lost, never both.
+    if cancelled:
+        assert queued.cancelled() is True
+    else:
+        assert queued.result(timeout=1.0) == "queued"
+    assert not any(t.name.startswith("sched-serve")
+                   for t in threading.enumerate())
