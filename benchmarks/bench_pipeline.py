@@ -1,0 +1,27 @@
+"""Durable pipeline store: enqueue/lease throughput and resume overhead.
+
+Shape criteria (absolute numbers are machine- and fsync-dependent,
+shapes are not): every batched enqueue lands, the lease→complete drain
+moves every job to ``done``, and the resumed drug-design pipeline run —
+all four checkpoints replayed from SQLite — is byte-identical to and
+cheaper than the cold run that executed its stages.
+
+Run as a script (``python benchmarks/bench_pipeline.py``) it delegates
+to :func:`repro.pipeline.bench.run_pipeline_bench` — the same
+measurement behind ``python -m repro bench pipeline`` — and writes the
+``BENCH_pipeline.json`` trajectory point.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.bench import render_point, run_pipeline_bench
+
+
+def main(out_path: str = "BENCH_pipeline.json", quick: bool = False) -> dict:
+    point = run_pipeline_bench(quick=quick, out_path=out_path)
+    print(render_point(point))
+    return point
+
+
+if __name__ == "__main__":
+    main()

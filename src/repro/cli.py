@@ -32,12 +32,22 @@ Commands
 - ``sched --cache-evict --cache-dir DIR [--cache-max-entries N]
   [--cache-max-bytes B]`` — maintenance path: LRU-evict the on-disk
   result-cache tier down to the given caps and report what was removed.
-- ``serve [--host H] [--port P] [--workers N] [--backlog B]`` — run the
-  async HTTP job service: POST any registered workload to ``/jobs``,
+- ``pipeline <workload> [--db PATH] [--resume] [--workers N] [--seed S]
+  [--out artifact.json]`` — run a workload as a durable multi-stage
+  pipeline over a SQLite-backed job store: every stage checkpoints
+  atomically, so a killed run restarted with ``--resume`` continues at
+  the first incomplete stage and (fixed seed) produces a byte-identical
+  final artifact.  ``--kill-after <stage>`` SIGKILLs the process right
+  after that stage's checkpoint commits — the crash/resume test hook.
+- ``serve [--host H] [--port P] [--workers N] [--backlog B]
+  [--pipeline-db PATH]`` — run the async HTTP job service: POST any
+  registered workload to ``/jobs`` (or a batch to ``/jobs/batch``),
   poll ``GET /jobs/<id>`` (or stream with ``?follow=1``), fetch results,
   scrape ``/metrics``.  Backpressure (429), circuit-breaker shedding
   (503), and content-addressed result caching come from the scheduler
-  and fault-tolerance layers.  SIGINT/SIGTERM drains gracefully.
+  and fault-tolerance layers; ``on_complete`` callbacks and ``pipeline``
+  jobs persist through the durable store at ``--pipeline-db``.
+  SIGINT/SIGTERM drains gracefully.
 - ``bench kernels [--quick] [--out BENCH_kernels.json]`` — time every
   hot numeric loop scalar vs vectorized (LCS sweep, batched scheduler
   dispatch, stencil, bootstrap) and write the trajectory point; exit
@@ -46,6 +56,9 @@ Commands
   job service with concurrent HTTP clients (cold unique requests, then
   warm identical ones) and write p50/p99 latency, jobs/sec, and the
   cache hit rate.
+- ``bench pipeline [--quick] [--out BENCH_pipeline.json]`` — time the
+  durable store's enqueue and lease/complete throughput plus the cold
+  vs resumed pipeline run, and write the trajectory point.
 
 Every workload-running subcommand (``trace``/``chaos``/``sched``/
 ``serve``) shares one ``--list`` listing: the unified
@@ -176,6 +189,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disk-tier cap: keep at most B bytes")
     sched.add_argument("--list", action="store_true", dest="list_names")
 
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="run a workload as a durable, resumable multi-stage pipeline")
+    pipeline.add_argument("workload", nargs="?", default=None)
+    pipeline.add_argument("--db", default=None,
+                          help="SQLite job-store path (default: "
+                               "$REPRO_PIPELINE_DB or a temp-dir store)")
+    pipeline.add_argument("--resume", action="store_true",
+                          help="resume from existing checkpoints instead of "
+                               "clearing the run and starting fresh")
+    pipeline.add_argument("--workers", type=int, default=4,
+                          help="fan-out worker count")
+    pipeline.add_argument("--seed", type=int, default=7,
+                          help="pipeline seed (same seed ⇒ byte-identical "
+                               "artifact, interrupted or not)")
+    pipeline.add_argument("--out", default=None,
+                          help="write the final artifact as canonical JSON "
+                               "(the byte-identity comparison target)")
+    pipeline.add_argument("--kill-after", default=None, metavar="STAGE",
+                          help="SIGKILL this process right after STAGE's "
+                               "checkpoint commits (crash/resume testing)")
+    pipeline.add_argument("--list", action="store_true", dest="list_names")
+
     serve = sub.add_parser(
         "serve", help="run the async HTTP job service over the scheduler")
     serve.add_argument("--host", default="127.0.0.1")
@@ -191,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None,
                        help="on-disk result-cache tier (results survive "
                             "restarts)")
+    serve.add_argument("--pipeline-db", default=None,
+                       help="durable job-store path for pipeline jobs and "
+                            "completion callbacks (default: in-memory)")
     serve.add_argument("--list", action="store_true", dest="list_names")
 
     bench = sub.add_parser(
@@ -524,7 +563,54 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_SUITES = ("kernels", "serve")
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro import workloads
+    from repro.pipeline import resolve_db
+    from repro.pipeline.stages import PipelineError
+    from repro.pipeline.store import JobStore
+    from repro.pipeline.workloads import run_pipeline_workload
+
+    if args.list_names or args.workload is None:
+        print(workloads.render_listing())
+        return 0
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}")
+        return 2
+    db = resolve_db(args.db)
+    try:
+        with JobStore(db) as store:
+            run = run_pipeline_workload(
+                args.workload, store, workers=args.workers, seed=args.seed,
+                resume=args.resume, kill_after=args.kill_after,
+            )
+    except KeyError:
+        print(_unknown_workload_message("pipeline", args.workload))
+        return 2
+    except workloads.WorkloadModeError as exc:
+        print(str(exc))
+        return 2
+    except (PipelineError, ValueError) as exc:
+        print(str(exc))
+        return 1
+    print(run.render())
+    print(f"store: {db}")
+    if args.out:
+        import json
+
+        artifact = {
+            "pipeline": run.pipeline,
+            "run_id": run.run_id,
+            "seed": run.seed,
+            "workers": run.workers,
+            "output": run.output,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(artifact, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+_BENCH_SUITES = ("kernels", "serve", "pipeline")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -539,6 +625,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.kernels.bench import render_point, run_kernels_bench
 
         point = run_kernels_bench(quick=args.quick, out_path=out_path)
+    elif args.suite == "pipeline":
+        from repro.pipeline.bench import render_point, run_pipeline_bench
+
+        point = run_pipeline_bench(quick=args.quick, out_path=out_path)
     else:
         from repro.serve.bench import render_point, run_serve_bench
 
@@ -563,8 +653,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}")
         return 2
+    if args.pipeline_db:
+        from repro.pipeline import set_default_db
+
+        set_default_db(args.pipeline_db)
     service = JobService(workers=args.workers, backlog=args.backlog,
-                         seed=args.seed, cache_dir=args.cache_dir)
+                         seed=args.seed, cache_dir=args.cache_dir,
+                         store_path=args.pipeline_db)
     app = ServeApp(service)
 
     async def run() -> None:
@@ -600,6 +695,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
     "sched": _cmd_sched,
+    "pipeline": _cmd_pipeline,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
 }

@@ -1,0 +1,73 @@
+"""``repro.pipeline`` — the durability layer under every other substrate.
+
+Everything the repo schedules elsewhere — drug-design sweeps, MapReduce
+phases, serve jobs — lives in an in-memory
+:class:`~repro.sched.queue.JobQueue` and dies with the process.  This
+package makes long-running multi-stage work *durable*:
+
+- :mod:`repro.pipeline.store` — a SQLite-backed job store (WAL mode,
+  atomic state transitions, lease expiry so a crashed worker's jobs are
+  reclaimed, idempotent enqueue keyed by the content-addressed
+  fingerprint from :mod:`repro.sched.cache`);
+- :mod:`repro.pipeline.stages` — resumable multi-stage pipelines whose
+  per-stage outputs checkpoint to the store, so a killed run restarts at
+  the first incomplete stage and converges byte-identically to an
+  uninterrupted seeded run;
+- :mod:`repro.pipeline.rank` — a ranking scheduler that orders pending
+  work by expected score, staleness, and a seeded exploration bonus,
+  then feeds the existing :class:`~repro.sched.WorkStealingExecutor`
+  for actual dispatch.
+
+The DESIGN rule: **all durable state goes through the pipeline store**;
+the in-memory queues remain for ephemeral dispatch only.  Every store
+write is a ``pipeline.store`` fault site, so :mod:`repro.faults` can
+chaos-test the crash/resume path (``python -m repro chaos pipeline``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.pipeline.rank import RankingPolicy, RankWeights, StoreScheduler
+from repro.pipeline.stages import Pipeline, PipelineError, PipelineRun, Stage
+from repro.pipeline.store import JobRecord, JobStore, TransitionError
+
+__all__ = [
+    "JobRecord",
+    "JobStore",
+    "Pipeline",
+    "PipelineError",
+    "PipelineRun",
+    "RankWeights",
+    "RankingPolicy",
+    "Stage",
+    "StoreScheduler",
+    "TransitionError",
+    "resolve_db",
+    "set_default_db",
+]
+
+#: Process-wide default store path (set by ``repro serve --pipeline-db``)
+#: so jobs submitted through the service land in the operator's store.
+_DEFAULT_DB: str | None = None
+
+
+def set_default_db(path: str | None) -> None:
+    """Set (or clear) the process-wide default job-store path."""
+    global _DEFAULT_DB
+    _DEFAULT_DB = path
+
+
+def resolve_db(explicit: str | None = None) -> str:
+    """Resolve a job-store path: explicit argument > :func:`set_default_db`
+    > ``REPRO_PIPELINE_DB`` > a stable per-user path under the temp dir
+    (stable so that two invocations share their durable state)."""
+    if explicit:
+        return explicit
+    if _DEFAULT_DB:
+        return _DEFAULT_DB
+    env = os.environ.get("REPRO_PIPELINE_DB", "").strip()
+    if env:
+        return env
+    return os.path.join(tempfile.gettempdir(), "repro_pipeline.db")

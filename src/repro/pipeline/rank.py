@@ -1,0 +1,195 @@
+"""Risk-ranked scheduling over the durable store.
+
+Which pending job should run next?  The k8s-auto-fix pipeline answers
+with a scored ordering — acceptance probability, aging, exploration —
+and this module builds the same shape over :class:`JobStore`:
+
+- **expected score** — the caller's prior on how much the job is worth
+  (for the drug-design sweep: a proxy for the best LCS score a chunk
+  can reach), so promising candidates run first and a stopped sweep has
+  already spent its budget on the best prospects;
+- **staleness** — pending age feeds the priority linearly, so low-prior
+  work cannot starve forever (aging);
+- **exploration bonus** — a *seeded* hash of the job key in ``[0, 1)``,
+  scaled by a weight: a deterministic stand-in for epsilon-greedy
+  exploration that keeps the ranking a pure function of (seed, jobs)
+  and therefore replayable.
+
+:class:`StoreScheduler` is the pump between the durable store and the
+in-memory :class:`~repro.sched.executor.WorkStealingExecutor`: reclaim
+expired leases, rank the pending set, lease a batch in rank order,
+dispatch it through the executor, write results/failures back — until
+the store runs dry.  Durable state only ever lives in the store (the
+DESIGN rule); the executor remains the ephemeral dispatch layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.faults.injector import InjectedCrash
+from repro.pipeline.store import JobRecord, JobStore
+from repro.telemetry import instrument as telemetry
+
+__all__ = ["RankWeights", "RankingPolicy", "StoreScheduler", "exploration_bonus"]
+
+
+def exploration_bonus(seed: int, key: str) -> float:
+    """A seeded, PYTHONHASHSEED-proof draw in ``[0, 1)`` for ``key``
+    (the same canonical-hash discipline as :mod:`repro.faults.plan`)."""
+    blob = f"{seed}:explore:{key}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RankWeights:
+    """Linear weights of the ranking score (all contributions add)."""
+
+    expected_score: float = 1.0      # per unit of the caller's prior
+    staleness_per_s: float = 0.02    # aging: priority per pending second
+    exploration: float = 0.5         # scale of the seeded [0,1) bonus
+
+
+class RankingPolicy:
+    """Deterministic priority ordering over pending jobs."""
+
+    def __init__(self, seed: int = 0, weights: RankWeights | None = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.seed = seed
+        self.weights = weights if weights is not None else RankWeights()
+        self.clock = clock
+
+    def priority(self, job: JobRecord, now: float | None = None) -> float:
+        """The job's rank score at ``now`` (higher runs first)."""
+        stamp = self.clock() if now is None else now
+        w = self.weights
+        age = max(0.0, stamp - job.created_s)
+        return (
+            w.expected_score * job.expected_score
+            + w.staleness_per_s * age
+            + w.exploration * exploration_bonus(self.seed, job.key)
+        )
+
+    def rank(self, jobs: list[JobRecord],
+             now: float | None = None) -> list[JobRecord]:
+        """Jobs in dispatch order: score-descending, key-ascending ties —
+        a total order, so the ranking replays across processes."""
+        stamp = self.clock() if now is None else now
+        return sorted(jobs, key=lambda j: (-self.priority(j, stamp), j.key))
+
+
+class StoreScheduler:
+    """Drains a durable store through a work-stealing executor."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        policy: RankingPolicy | None = None,
+        owner: str = "worker",
+        lease_s: float | None = None,
+        batch_size: int = 32,
+        max_attempts: int = 3,
+        wait_s: float = 0.05,
+        max_wait_rounds: int = 1200,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.policy = policy if policy is not None else RankingPolicy()
+        self.owner = owner
+        self.lease_s = lease_s
+        self.batch_size = batch_size
+        self.max_attempts = max_attempts
+        self.wait_s = wait_s
+        self.max_wait_rounds = max_wait_rounds
+
+    def drain(
+        self,
+        executor: Any,
+        handler: Callable[[JobRecord], Any],
+        run_id: str | None = None,
+        stage: str | None = None,
+    ) -> dict[str, int]:
+        """Run every matching job to a terminal state; returns counters.
+
+        Per round: reclaim expired leases, rank the pending set, lease
+        the top ``batch_size`` in rank order, dispatch the batch through
+        ``executor.map`` (handler exceptions become ``failed`` rows,
+        retried while attempts remain), repeat.  When pending is empty
+        but another live worker still holds leases, the drain waits for
+        those jobs to finish or expire instead of returning early.
+
+        On entry any lease held under *this scheduler's own owner name*
+        is released immediately (restart fencing): a scheduler that just
+        started cannot be running anything, so such leases belong to a
+        dead previous incarnation.
+        """
+        stats = {"rounds": 0, "leased": 0, "completed": 0, "failed": 0,
+                 "retried": 0, "reclaimed": 0, "waits": 0}
+        stats["reclaimed"] += len(self.store.release_owner(self.owner))
+        waits = 0
+        with telemetry.span("pipeline.drain", category="pipeline",
+                            owner=self.owner, stage=stage or ""):
+            while True:
+                stats["reclaimed"] += len(self.store.reclaim_expired())
+                pending = self.store.pending_jobs(run_id=run_id, stage=stage)
+                if not pending:
+                    others = [
+                        job for job in self.store.jobs(
+                            run_id=run_id, stage=stage, state="leased")
+                    ]
+                    if not others:
+                        return stats
+                    # Another worker on this store holds live leases;
+                    # wait for completion or expiry (bounded).
+                    waits += 1
+                    stats["waits"] += 1
+                    if waits > self.max_wait_rounds:
+                        raise TimeoutError(
+                            f"drain stalled: {len(others)} job(s) leased by "
+                            f"other workers never finished or expired"
+                        )
+                    time.sleep(self.wait_s)
+                    continue
+                waits = 0
+                stats["rounds"] += 1
+                ranked = self.policy.rank(pending)
+                batch = self.store.lease(
+                    self.owner, [job.job_id for job in ranked[:self.batch_size]],
+                    self.lease_s,
+                )
+                if not batch:
+                    continue                    # lost every race this round
+                stats["leased"] += len(batch)
+                results = executor.map(
+                    [lambda job=job: self._run_one(handler, job)
+                     for job in batch],
+                    name="pipeline.job",
+                )
+                for job, (tag, value) in zip(batch, results):
+                    if tag == "ok":
+                        self.store.complete(job.job_id, value)
+                        stats["completed"] += 1
+                    else:
+                        retry = job.attempts < self.max_attempts
+                        self.store.fail(job.job_id, value, retry=retry)
+                        stats["retried" if retry else "failed"] += 1
+
+    @staticmethod
+    def _run_one(handler: Callable[[JobRecord], Any],
+                 job: JobRecord) -> tuple[str, Any]:
+        """Tag the outcome instead of raising: a failed *workload* is a
+        stored result, not a scheduler fault.  Injected crashes pass
+        through untouched — the executor's own ``sched.task`` retry
+        machinery (and the chaos scenarios) own that path."""
+        try:
+            return "ok", handler(job)
+        except InjectedCrash:
+            raise
+        except Exception as exc:  # noqa: BLE001 - recorded on the job row
+            return "err", repr(exc)

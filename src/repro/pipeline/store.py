@@ -1,0 +1,619 @@
+"""The durable job store: SQLite with WAL, leases, and checkpoints.
+
+One file holds three tables:
+
+- ``jobs`` — the durable work queue.  States move along
+  ``pending → leased → done | failed`` (with ``pending → cancelled``
+  and ``leased → pending`` for retry/reclaim); any other transition
+  raises :class:`TransitionError`.  Enqueue is **idempotent**: a job's
+  identity is the content-addressed fingerprint of its
+  ``(run_id, stage, payload)`` (the same SHA-256 canonicalisation as
+  :mod:`repro.sched.cache`), so re-submitting after a crash finds the
+  existing row — and its result, if the job already finished.
+- ``checkpoints`` — per-stage pipeline outputs keyed by
+  ``(run_id, stage)``; what :class:`~repro.pipeline.stages.Pipeline`
+  resumes from.
+- ``callbacks`` — durable ``on_complete`` follow-ups the serve layer
+  arms against a job key and claims exactly once at terminal state.
+
+Durability and atomicity come from SQLite itself: WAL journaling, and
+every mutation inside an explicit ``BEGIN IMMEDIATE`` transaction, so a
+``SIGKILL`` at any instant leaves either the old state or the new one,
+never a torn row.  **Leases** make worker death recoverable: claiming a
+job stamps an owner and an expiry; :meth:`JobStore.reclaim_expired`
+moves timed-out leases back to ``pending`` (attempts preserved), and
+:meth:`JobStore.release_owner` lets a restarted worker fence its own
+previous incarnation immediately.
+
+Every write transaction is a ``pipeline.store`` fault site — an
+injected crash aborts the transaction (rollback, then the exception
+propagates), which is exactly how chaos tests exercise the
+crash-mid-commit path without a real ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence
+from contextlib import contextmanager
+
+from repro.faults import hooks as faults
+from repro.sched.cache import fingerprint
+from repro.telemetry import instrument as telemetry
+
+__all__ = [
+    "JobRecord",
+    "JobStore",
+    "StoreError",
+    "TransitionError",
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+    "job_key",
+]
+
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: The legal state machine; anything else is a :class:`TransitionError`.
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    PENDING: frozenset({LEASED, CANCELLED}),
+    LEASED: frozenset({DONE, FAILED, PENDING}),
+    DONE: frozenset(),
+    FAILED: frozenset(),
+    CANCELLED: frozenset(),
+}
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id             INTEGER PRIMARY KEY AUTOINCREMENT,
+    key            TEXT NOT NULL UNIQUE,
+    run_id         TEXT NOT NULL DEFAULT '',
+    stage          TEXT NOT NULL DEFAULT '',
+    payload        TEXT NOT NULL DEFAULT '{}',
+    expected_score REAL NOT NULL DEFAULT 0.0,
+    state          TEXT NOT NULL DEFAULT 'pending',
+    attempts       INTEGER NOT NULL DEFAULT 0,
+    lease_owner    TEXT,
+    lease_expires_s REAL,
+    created_s      REAL NOT NULL,
+    updated_s      REAL NOT NULL,
+    result         TEXT,
+    error          TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, run_id, stage);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    run_id    TEXT NOT NULL,
+    stage     TEXT NOT NULL,
+    payload   TEXT NOT NULL,
+    created_s REAL NOT NULL,
+    PRIMARY KEY (run_id, stage)
+);
+CREATE TABLE IF NOT EXISTS callbacks (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    parent_key TEXT NOT NULL,
+    spec       TEXT NOT NULL,
+    state      TEXT NOT NULL DEFAULT 'armed',
+    created_s  REAL NOT NULL,
+    fired_s    REAL
+);
+CREATE INDEX IF NOT EXISTS callbacks_by_parent ON callbacks(parent_key, state);
+"""
+
+
+class StoreError(RuntimeError):
+    """A job-store operation could not be applied."""
+
+
+class TransitionError(StoreError):
+    """An illegal job state transition was requested."""
+
+
+def _canonical_json(obj: Any) -> str:
+    """Deterministic JSON — the byte identity checkpoints rely on."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def job_key(run_id: str, stage: str, payload: Any) -> str:
+    """The content-addressed identity of a job (idempotent enqueue)."""
+    return fingerprint("pipeline.job", run_id, stage, _canonical_json(payload))
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One durable job row, decoded."""
+
+    job_id: int
+    key: str
+    run_id: str
+    stage: str
+    payload: Any
+    expected_score: float
+    state: str
+    attempts: int
+    lease_owner: str | None
+    lease_expires_s: float | None
+    created_s: float
+    updated_s: float
+    result: Any
+    error: str | None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+def _decode(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        job_id=row["id"],
+        key=row["key"],
+        run_id=row["run_id"],
+        stage=row["stage"],
+        payload=json.loads(row["payload"]),
+        expected_score=row["expected_score"],
+        state=row["state"],
+        attempts=row["attempts"],
+        lease_owner=row["lease_owner"],
+        lease_expires_s=row["lease_expires_s"],
+        created_s=row["created_s"],
+        updated_s=row["updated_s"],
+        result=None if row["result"] is None else json.loads(row["result"]),
+        error=row["error"],
+    )
+
+
+class JobStore:
+    """Durable SQLite-backed job store (thread-safe, multi-process-safe).
+
+    ``path`` may be a filesystem path or ``":memory:"`` (the mechanism
+    without the durability — useful for tests and the default serve
+    callback store).  ``clock`` is injectable so lease expiry is
+    testable without real waiting.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        clock: Callable[[], float] = time.time,
+        lease_s: float = 30.0,
+        busy_timeout_s: float = 10.0,
+    ) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        self.path = path
+        self.clock = clock
+        self.lease_s = lease_s
+        directory = os.path.dirname(os.path.abspath(path))
+        if path != ":memory:" and directory:
+            os.makedirs(directory, exist_ok=True)
+        # One connection, explicit transactions, cross-thread use guarded
+        # by our own lock (SQLite serialises cross-process access itself).
+        self._conn = sqlite3.connect(
+            path, timeout=busy_timeout_s, check_same_thread=False,
+            isolation_level=None,
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.RLock()
+        with self._lock:
+            if path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    @contextmanager
+    def _write(self, op: str) -> Iterator[sqlite3.Connection]:
+        """One atomic write transaction; also the ``pipeline.store``
+        fault site.  An injected crash (or any error) rolls the whole
+        transaction back before propagating — the store never commits a
+        partial mutation."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+                faults.fire("pipeline.store", key=op, op=op)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def _now(self) -> float:
+        return float(self.clock())
+
+    # -- enqueue -------------------------------------------------------------
+
+    def enqueue(
+        self,
+        run_id: str = "",
+        stage: str = "",
+        payload: Any = None,
+        expected_score: float = 0.0,
+        key: str | None = None,
+    ) -> tuple[JobRecord, bool]:
+        """Admit one job; see :meth:`enqueue_batch`."""
+        return self.enqueue_batch([{
+            "run_id": run_id, "stage": stage, "payload": payload,
+            "expected_score": expected_score, "key": key,
+        }])[0]
+
+    def enqueue_batch(
+        self, specs: Sequence[Mapping[str, Any]]
+    ) -> list[tuple[JobRecord, bool]]:
+        """Admit jobs idempotently in one transaction.
+
+        Returns ``(record, created)`` per spec: a spec whose key already
+        exists returns the **existing** row (whatever its state —
+        including ``done`` with its stored result) and ``created=False``.
+        That is what makes a re-submitted sweep resume instead of
+        duplicate.
+        """
+        now = self._now()
+        out: list[tuple[JobRecord, bool]] = []
+        created = 0
+        with self._write("enqueue") as conn:
+            for spec in specs:
+                payload = spec.get("payload")
+                run_id = str(spec.get("run_id", ""))
+                stage = str(spec.get("stage", ""))
+                key = spec.get("key") or job_key(run_id, stage, payload)
+                cursor = conn.execute(
+                    "INSERT INTO jobs (key, run_id, stage, payload, "
+                    "  expected_score, state, created_s, updated_s) "
+                    "VALUES (?, ?, ?, ?, ?, 'pending', ?, ?) "
+                    "ON CONFLICT(key) DO NOTHING",
+                    (key, run_id, stage, _canonical_json(payload),
+                     float(spec.get("expected_score", 0.0)), now, now),
+                )
+                row = conn.execute(
+                    "SELECT * FROM jobs WHERE key = ?", (key,)
+                ).fetchone()
+                was_created = cursor.rowcount == 1
+                created += was_created
+                out.append((_decode(row), was_created))
+        if created:
+            telemetry.inc("pipeline.jobs.enqueued", created)
+        return out
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, job_id: int) -> JobRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(job_id)
+        return _decode(row)
+
+    def get_by_key(self, key: str) -> JobRecord:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(key)
+        return _decode(row)
+
+    def jobs(
+        self,
+        run_id: str | None = None,
+        stage: str | None = None,
+        state: str | None = None,
+    ) -> list[JobRecord]:
+        """Matching jobs in enqueue (id) order."""
+        clauses, params = [], []
+        for column, value in (("run_id", run_id), ("stage", stage),
+                              ("state", state)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT * FROM jobs {where} ORDER BY id", params
+            ).fetchall()
+        return [_decode(row) for row in rows]
+
+    def pending_jobs(
+        self, run_id: str | None = None, stage: str | None = None
+    ) -> list[JobRecord]:
+        return self.jobs(run_id=run_id, stage=stage, state=PENDING)
+
+    def counts(self, run_id: str | None = None) -> dict[str, int]:
+        """``{state: count}`` over (optionally one run's) jobs."""
+        where, params = ("WHERE run_id = ?", (run_id,)) if run_id is not None \
+            else ("", ())
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT state, COUNT(*) AS n FROM jobs {where} "
+                f"GROUP BY state ORDER BY state", params
+            ).fetchall()
+        return {row["state"]: row["n"] for row in rows}
+
+    # -- the state machine ---------------------------------------------------
+
+    def _transition_locked(
+        self,
+        conn: sqlite3.Connection,
+        job_id: int,
+        to_state: str,
+        *,
+        expect: str,
+        sets: str = "",
+        params: Sequence[Any] = (),
+    ) -> None:
+        """Apply one guarded transition or raise :class:`TransitionError`.
+
+        The guard is in the ``UPDATE ... WHERE state = ?`` itself, so the
+        check-and-set is a single atomic statement even with concurrent
+        writers on other connections.
+        """
+        cursor = conn.execute(
+            f"UPDATE jobs SET state = ?, updated_s = ?{sets} "
+            f"WHERE id = ? AND state = ?",
+            (to_state, self._now(), *params, job_id, expect),
+        )
+        if cursor.rowcount == 1:
+            return
+        row = conn.execute(
+            "SELECT state FROM jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(job_id)
+        raise TransitionError(
+            f"job {job_id}: illegal transition {row['state']!r} -> "
+            f"{to_state!r} (legal from {row['state']!r}: "
+            f"{sorted(_TRANSITIONS.get(row['state'], ())) or 'nothing'})"
+        )
+
+    def lease(
+        self,
+        owner: str,
+        job_ids: Sequence[int],
+        lease_s: float | None = None,
+    ) -> list[JobRecord]:
+        """Atomically claim specific pending jobs for ``owner``.
+
+        Returns the claimed records (attempts incremented, lease expiry
+        stamped).  Jobs that are no longer pending — another worker got
+        there first — are silently skipped: leasing races, it does not
+        raise.
+        """
+        ttl = self.lease_s if lease_s is None else float(lease_s)
+        now = self._now()
+        claimed: list[JobRecord] = []
+        with self._write("lease") as conn:
+            for job_id in job_ids:
+                cursor = conn.execute(
+                    "UPDATE jobs SET state = 'leased', lease_owner = ?, "
+                    "  lease_expires_s = ?, attempts = attempts + 1, "
+                    "  updated_s = ? "
+                    "WHERE id = ? AND state = 'pending'",
+                    (owner, now + ttl, now, job_id),
+                )
+                if cursor.rowcount == 1:
+                    row = conn.execute(
+                        "SELECT * FROM jobs WHERE id = ?", (job_id,)
+                    ).fetchone()
+                    claimed.append(_decode(row))
+        if claimed:
+            telemetry.inc("pipeline.jobs.leased", len(claimed))
+        return claimed
+
+    def lease_next(
+        self, owner: str, limit: int = 1, lease_s: float | None = None
+    ) -> list[JobRecord]:
+        """Claim up to ``limit`` pending jobs in plain enqueue order
+        (the unranked path; benchmarks and simple consumers)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id FROM jobs WHERE state = 'pending' "
+                "ORDER BY id LIMIT ?", (limit,)
+            ).fetchall()
+        return self.lease(owner, [row["id"] for row in rows], lease_s)
+
+    def complete(self, job_id: int, result: Any = None) -> JobRecord:
+        """``leased → done`` with a JSON-safe result payload."""
+        with self._write("complete") as conn:
+            self._transition_locked(
+                conn, job_id, DONE, expect=LEASED,
+                sets=", result = ?, lease_owner = NULL, lease_expires_s = NULL",
+                params=(_canonical_json(result),),
+            )
+        telemetry.inc("pipeline.jobs.completed")
+        return self.get(job_id)
+
+    def fail(
+        self, job_id: int, error: str, retry: bool = False
+    ) -> JobRecord:
+        """``leased → failed`` — or back to ``pending`` with ``retry``
+        (attempts are preserved, so callers can cap retry counts)."""
+        to_state = PENDING if retry else FAILED
+        with self._write("fail") as conn:
+            self._transition_locked(
+                conn, job_id, to_state, expect=LEASED,
+                sets=", error = ?, lease_owner = NULL, lease_expires_s = NULL",
+                params=(str(error),),
+            )
+        telemetry.inc("pipeline.jobs.retried" if retry
+                      else "pipeline.jobs.failed")
+        return self.get(job_id)
+
+    def cancel(self, job_id: int) -> bool:
+        """``pending → cancelled``; False if the job was already claimed
+        or terminal (cancelling a racing job is not an error)."""
+        with self._write("cancel") as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state = 'cancelled', updated_s = ? "
+                "WHERE id = ? AND state = 'pending'",
+                (self._now(), job_id),
+            )
+            ok = cursor.rowcount == 1
+        if ok:
+            telemetry.inc("pipeline.jobs.cancelled")
+        return ok
+
+    def reclaim_expired(self, now: float | None = None) -> list[int]:
+        """Move every expired lease back to ``pending``.
+
+        The crash-recovery path: a worker that died mid-job stops
+        renewing its lease; once ``lease_expires_s`` passes, any other
+        worker's reclaim sweep re-arms the job (attempts preserved).
+        Returns the reclaimed job ids.
+        """
+        stamp = self._now() if now is None else float(now)
+        with self._write("reclaim") as conn:
+            rows = conn.execute(
+                "SELECT id FROM jobs WHERE state = 'leased' "
+                "AND lease_expires_s < ? ORDER BY id", (stamp,)
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            if ids:
+                conn.execute(
+                    f"UPDATE jobs SET state = 'pending', lease_owner = NULL, "
+                    f"  lease_expires_s = NULL, updated_s = ? "
+                    f"WHERE id IN ({','.join('?' * len(ids))}) "
+                    f"AND state = 'leased'",
+                    (stamp, *ids),
+                )
+        if ids:
+            telemetry.inc("pipeline.jobs.reclaimed", len(ids))
+        return ids
+
+    def release_owner(self, owner: str) -> list[int]:
+        """Immediately re-arm every job leased by ``owner``.
+
+        Restart fencing: a worker that just started cannot be running
+        anything, so any lease under its own name belongs to a dead
+        previous incarnation — reclaim without waiting out the TTL.
+        """
+        with self._write("release") as conn:
+            rows = conn.execute(
+                "SELECT id FROM jobs WHERE state = 'leased' "
+                "AND lease_owner = ? ORDER BY id", (owner,)
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            if ids:
+                conn.execute(
+                    f"UPDATE jobs SET state = 'pending', lease_owner = NULL, "
+                    f"  lease_expires_s = NULL, updated_s = ? "
+                    f"WHERE id IN ({','.join('?' * len(ids))})",
+                    (self._now(), *ids),
+                )
+        if ids:
+            telemetry.inc("pipeline.jobs.reclaimed", len(ids))
+        return ids
+
+    # -- checkpoints ---------------------------------------------------------
+
+    def checkpoint_put(self, run_id: str, stage: str, payload: Any) -> None:
+        """Store one stage's output (idempotent overwrite)."""
+        with self._write("checkpoint") as conn:
+            conn.execute(
+                "INSERT INTO checkpoints (run_id, stage, payload, created_s) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT(run_id, stage) DO UPDATE SET "
+                "  payload = excluded.payload, created_s = excluded.created_s",
+                (run_id, stage, _canonical_json(payload), self._now()),
+            )
+        telemetry.inc("pipeline.checkpoints.written")
+
+    def checkpoint_get(self, run_id: str, stage: str) -> Any | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT payload FROM checkpoints WHERE run_id = ? AND stage = ?",
+                (run_id, stage),
+            ).fetchone()
+        return None if row is None else json.loads(row["payload"])
+
+    def checkpoint_stages(self, run_id: str) -> list[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT stage FROM checkpoints WHERE run_id = ? "
+                "ORDER BY created_s, stage", (run_id,)
+            ).fetchall()
+        return [row["stage"] for row in rows]
+
+    def clear_run(self, run_id: str) -> int:
+        """Drop a run's checkpoints and jobs (a fresh, non-resumed start)."""
+        with self._write("clear") as conn:
+            removed = conn.execute(
+                "DELETE FROM checkpoints WHERE run_id = ?", (run_id,)
+            ).rowcount
+            removed += conn.execute(
+                "DELETE FROM jobs WHERE run_id = ?", (run_id,)
+            ).rowcount
+        return removed
+
+    # -- completion callbacks ------------------------------------------------
+
+    def add_callback(self, parent_key: str, spec: Mapping[str, Any]) -> int:
+        """Arm a durable follow-up against ``parent_key``; returns its id."""
+        with self._write("callback") as conn:
+            cursor = conn.execute(
+                "INSERT INTO callbacks (parent_key, spec, state, created_s) "
+                "VALUES (?, ?, 'armed', ?)",
+                (parent_key, _canonical_json(dict(spec)), self._now()),
+            )
+        telemetry.inc("pipeline.callbacks.armed")
+        return int(cursor.lastrowid)
+
+    def claim_callbacks(self, parent_key: str) -> list[dict[str, Any]]:
+        """Atomically fire every armed callback for ``parent_key``.
+
+        Each callback is claimed exactly once (armed → fired in the same
+        transaction that reads it), so a parent completing twice — e.g.
+        a cached resubmit — cannot double-enqueue the follow-up.
+        """
+        now = self._now()
+        with self._write("callback") as conn:
+            rows = conn.execute(
+                "SELECT id, spec FROM callbacks "
+                "WHERE parent_key = ? AND state = 'armed' ORDER BY id",
+                (parent_key,),
+            ).fetchall()
+            ids = [row["id"] for row in rows]
+            if ids:
+                conn.execute(
+                    f"UPDATE callbacks SET state = 'fired', fired_s = ? "
+                    f"WHERE id IN ({','.join('?' * len(ids))})",
+                    (now, *ids),
+                )
+        if ids:
+            telemetry.inc("pipeline.callbacks.fired", len(ids))
+        return [json.loads(row["spec"]) for row in rows]
+
+    def armed_callbacks(self, parent_key: str | None = None) -> int:
+        where, params = ("AND parent_key = ?", (parent_key,)) \
+            if parent_key is not None else ("", ())
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT COUNT(*) AS n FROM callbacks "
+                f"WHERE state = 'armed' {where}", params
+            ).fetchone()
+        return int(row["n"])

@@ -9,9 +9,16 @@ should stay legible end to end.
 Endpoints
 ---------
 - ``POST /jobs`` — body ``{"workload": name, "mode": "sched"|"trace"|
-  "chaos", "params": {...}, "priority": n}``; 202 with the job status,
-  or 200 immediately when the request is a cache hit.  400 bad request,
-  404 unknown workload, 429 backlog full, 503 breaker open.
+  "chaos"|"pipeline", "params": {...}, "priority": n, "on_complete":
+  {spec}}``; 202 with the job status, or 200 immediately when the
+  request is a cache hit.  400 bad request, 404 unknown workload, 429
+  backlog full, 503 breaker open.  ``on_complete`` arms a durable
+  follow-up job submitted when this one reaches a terminal state.
+- ``POST /jobs/batch`` — body ``{"jobs": [spec, ...], "priority": n}``;
+  admits the whole list atomically through the scheduler's batch path:
+  207 Multi-Status with every job's status on success, 429 (or 503)
+  with ``"admitted": 0`` when the backlog cannot take them all — never
+  a partial admission.
 - ``GET /jobs`` — all jobs, oldest first.
 - ``GET /jobs/<id>`` — one job's status; with ``?follow=1`` a chunked
   ``application/x-ndjson`` stream of its status events that ends when
@@ -42,9 +49,10 @@ from repro.telemetry import instrument
 __all__ = ["ServeApp", "BackgroundServer", "render_metrics_text"]
 
 _REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 409: "Conflict", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
+    200: "OK", 202: "Accepted", 207: "Multi-Status", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: How often the chunked status stream polls a job's event log.
@@ -192,6 +200,9 @@ class ServeApp:
                              method=method, path=path):
             if path == "/jobs" and method == "POST":
                 return "POST /jobs", await self._post_job(request, writer)
+            if path == "/jobs/batch" and method == "POST":
+                return ("POST /jobs/batch",
+                        await self._post_batch(request, writer))
             if path == "/jobs" and method == "GET":
                 jobs = [job.describe() for job in self.service.jobs()]
                 return "GET /jobs", await self._respond(writer, 200, jobs)
@@ -239,6 +250,7 @@ class ServeApp:
                 workload=str(spec["workload"]),
                 params=spec.get("params") or {},
                 priority=int(spec.get("priority", 0)),
+                on_complete=spec.get("on_complete"),
             )
         except KeyError as exc:
             return await self._respond(
@@ -251,6 +263,42 @@ class ServeApp:
             return await self._respond(writer, 400, {"error": str(exc)})
         status = 200 if job.cached else 202
         return await self._respond(writer, status, job.describe())
+
+    async def _post_batch(self, request: _Request,
+                          writer: asyncio.StreamWriter) -> int:
+        try:
+            spec = request.json()
+        except (ValueError, UnicodeDecodeError) as exc:
+            return await self._respond(writer, 400,
+                                       {"error": f"bad JSON body: {exc}"})
+        if (not isinstance(spec, dict)
+                or not isinstance(spec.get("jobs"), list)
+                or not spec["jobs"]):
+            return await self._respond(
+                writer, 400,
+                {"error": 'body must be {"jobs": [spec, ...], '
+                          '"priority": n}', "admitted": 0})
+        try:
+            jobs = self.service.submit_batch(
+                spec["jobs"], priority=int(spec.get("priority", 0)),
+            )
+        except KeyError as exc:
+            return await self._respond(
+                writer, 404,
+                {"error": f"unknown workload {exc.args[0]!r}", "admitted": 0})
+        except BackpressureError as exc:
+            return await self._respond(writer, 429,
+                                       {"error": str(exc), "admitted": 0})
+        except CircuitOpenError as exc:
+            return await self._respond(writer, 503,
+                                       {"error": str(exc), "admitted": 0})
+        except (TypeError, ValueError) as exc:
+            return await self._respond(writer, 400,
+                                       {"error": str(exc), "admitted": 0})
+        return await self._respond(writer, 207, {
+            "admitted": len(jobs),
+            "jobs": [job.describe() for job in jobs],
+        })
 
     async def _job_routes(
         self, request: _Request, writer: asyncio.StreamWriter,

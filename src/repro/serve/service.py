@@ -23,7 +23,18 @@ composes the substrate built in earlier PRs as production components:
 - **observability** — every transition bumps ``serve.*`` counters, the
   queue-depth gauge tracks the backlog, and per-job latency lands in a
   histogram; with telemetry enabled each execution runs under a
-  ``serve.job`` span.
+  ``serve.job`` span;
+- **durable callbacks** — a submission may carry ``on_complete``: a
+  follow-up job spec armed in the durable
+  :class:`~repro.pipeline.store.JobStore` and enqueued exactly once
+  when the parent reaches a terminal state.  The armed spec lives in
+  SQLite (the DESIGN rule: durable state goes through the pipeline
+  store), so follow-ups survive a service restart; in-memory queues
+  stay ephemeral;
+- **atomic batches** — :meth:`submit_batch` admits a list of specs all
+  or nothing, riding :meth:`WorkStealingExecutor.submit_batch` /
+  :meth:`JobQueue.push_batch`: one overflowing batch is refused whole
+  (HTTP 429 with zero admissions), never half-admitted.
 
 Workloads are resolved **only** through the unified
 :mod:`repro.workloads` registry (the DESIGN rule): the service can run
@@ -35,10 +46,11 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro import telemetry, workloads
 from repro.faults.policies import CircuitBreaker, CircuitOpenError
+from repro.pipeline.store import JobStore
 from repro.sched.cache import ResultCache, fingerprint
 from repro.sched.core import BackpressureError
 from repro.sched.executor import WorkStealingExecutor
@@ -72,6 +84,7 @@ class Job:
     error: str | None = None
     events: EventLog = field(default_factory=EventLog)
     handle: Any = None                        # sched TaskHandle (None if cached)
+    follow_ups: list[str] = field(default_factory=list)  # on_complete job ids
 
     def _transition(self, state: str, **extra: Any) -> None:
         self.state = state
@@ -96,6 +109,7 @@ class Job:
             "finished_s": self.finished_s,
             "error": self.error,
             "events": len(self.events),
+            "follow_ups": list(self.follow_ups),
         }
 
 
@@ -111,10 +125,17 @@ class JobService:
         cache_dir: str | None = None,
         breaker: CircuitBreaker | None = None,
         manage_telemetry: bool = True,
+        store: JobStore | None = None,
+        store_path: str | None = None,
     ) -> None:
         if backlog < 1:
             raise ValueError(f"backlog must be >= 1, got {backlog}")
         self.backlog = backlog
+        # The durable side-channel: on_complete callback specs are armed
+        # here so they survive a restart when store_path names a file.
+        self.store = store if store is not None \
+            else JobStore(store_path or ":memory:")
+        self._owns_store = store is None
         self.executor = WorkStealingExecutor(
             n_workers=workers, seed=seed, deterministic=False,
             max_pending=backlog,
@@ -136,14 +157,39 @@ class JobService:
 
     # -- submission ----------------------------------------------------------
 
+    def _validate_follow_up(self, spec: Any) -> dict[str, Any]:
+        """Normalise an ``on_complete`` spec (recursively) or raise the
+        same errors :meth:`submit` would — *before* the parent admits."""
+        if not isinstance(spec, Mapping) or "workload" not in spec:
+            raise ValueError(
+                'on_complete must be an object with a "workload"'
+            )
+        mode = str(spec.get("mode", "sched"))
+        entry = workloads.get(str(spec["workload"]))    # KeyError → 404
+        workloads.runner_for(entry, mode)               # WorkloadModeError
+        clean = workloads.validate_params(mode, spec.get("params") or {})
+        out: dict[str, Any] = {
+            "mode": mode, "workload": entry.name, "params": clean,
+            "priority": int(spec.get("priority", 0)),
+        }
+        if spec.get("on_complete") is not None:
+            out["on_complete"] = self._validate_follow_up(spec["on_complete"])
+        return out
+
     def submit(
         self,
         mode: str,
         workload: str,
         params: Mapping[str, Any] | None = None,
         priority: int = 0,
+        on_complete: Mapping[str, Any] | None = None,
     ) -> Job:
         """Admit one job request; returns the (possibly already done) job.
+
+        ``on_complete`` is a follow-up job spec (``{"workload": ...,
+        "mode": ..., "params": ..., "on_complete": ...}``, chainable)
+        armed durably in the pipeline store and submitted exactly once
+        when this job reaches a terminal state.
 
         Raises ``KeyError`` for an unknown workload, ``ValueError`` /
         :class:`~repro.workloads.WorkloadModeError` for a bad mode or
@@ -157,6 +203,8 @@ class JobService:
         entry = workloads.get(workload)
         workloads.runner_for(entry, mode)       # raises WorkloadModeError
         clean = workloads.validate_params(mode, params)
+        follow = (self._validate_follow_up(on_complete)
+                  if on_complete is not None else None)
         key = fingerprint("serve", mode, entry.name, clean)
         with self._lock:
             self._next_id += 1
@@ -175,6 +223,9 @@ class JobService:
             instrument.inc("serve.jobs.cached")
             with self._lock:
                 self._jobs[job_id] = job
+            if follow is not None:
+                self.store.add_callback(job.key, follow)
+                self._fire_callbacks(job)
             return job
 
         if not self.breaker.allow():
@@ -192,8 +243,135 @@ class JobService:
             raise
         with self._lock:
             self._jobs[job_id] = job
+        if follow is not None:
+            # Arm after admission (a refused job must not leave a stray
+            # armed row), then close the race with an already-finished
+            # job: claim_callbacks is exactly-once, so if _execute beat
+            # us to the claim this second fire finds nothing.
+            self.store.add_callback(job.key, follow)
+            if job.state in TERMINAL_STATES:
+                self._fire_callbacks(job)
         instrument.gauge("serve.queue.depth", self.executor.pending())
         return job
+
+    def submit_batch(
+        self,
+        specs: Sequence[Mapping[str, Any]],
+        priority: int = 0,
+    ) -> list[Job]:
+        """Admit a list of job specs atomically: all, or none.
+
+        Every spec is resolved and validated before anything is
+        admitted, so one bad spec refuses the whole batch (400/404 with
+        zero admissions).  Cache hits complete instantly without
+        occupying backlog; the rest ride the executor's atomic
+        :meth:`~repro.sched.executor.WorkStealingExecutor.submit_batch`
+        — if the backlog cannot take them all,
+        :class:`~repro.sched.core.BackpressureError` propagates and
+        **nothing** is admitted, not even the cache hits.
+        """
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        specs = list(specs)
+        if not specs:
+            raise ValueError("batch must contain at least one job spec")
+        resolved = []
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, Mapping) or "workload" not in spec:
+                raise ValueError(
+                    f'batch job {i}: each spec needs a "workload"'
+                )
+            mode = str(spec.get("mode", "sched"))
+            entry = workloads.get(str(spec["workload"]))
+            workloads.runner_for(entry, mode)
+            clean = workloads.validate_params(mode, spec.get("params") or {})
+            follow = (self._validate_follow_up(spec["on_complete"])
+                      if spec.get("on_complete") is not None else None)
+            key = fingerprint("serve", mode, entry.name, clean)
+            resolved.append((mode, entry.name, clean, follow, key))
+
+        jobs: list[Job] = []
+        hits: list[tuple[Job, Any]] = []
+        misses: list[Job] = []
+        for mode, name, clean, follow, key in resolved:
+            with self._lock:
+                self._next_id += 1
+                job_id = f"j{self._next_id}"
+            job = Job(job_id=job_id, mode=mode, workload=name, params=clean,
+                      priority=priority, key=key)
+            job.follow_up_spec = follow  # type: ignore[attr-defined]
+            jobs.append(job)
+            cached = self.cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                hits.append((job, cached))
+            else:
+                misses.append(job)
+
+        if misses and not self.breaker.allow():
+            instrument.inc("serve.rejected.breaker")
+            raise CircuitOpenError(
+                "service is shedding load (circuit breaker open)"
+            )
+        if misses:
+            try:
+                handles = self.executor.submit_batch(
+                    [lambda job=job: self._execute(job) for job in misses],
+                    name="serve.batch", priority=priority,
+                )
+            except BackpressureError:
+                # Zero admissions: the cache hits are discarded too —
+                # a partially-admitted batch is exactly what this
+                # endpoint promises never to produce.
+                instrument.inc("serve.rejected.backpressure")
+                raise
+            for job, handle in zip(misses, handles):
+                job.handle = handle
+
+        for job in jobs:
+            job.events.emit("state", state="queued")
+            instrument.inc("serve.jobs.submitted")
+            with self._lock:
+                self._jobs[job.job_id] = job
+        for job, payload in hits:
+            job.cached = True
+            job.result = payload
+            job.started_s = job.finished_s = time.time()
+            job._transition("done", cached=True)
+            instrument.inc("serve.jobs.cached")
+        for job in jobs:
+            follow = getattr(job, "follow_up_spec", None)
+            if follow is not None:
+                self.store.add_callback(job.key, follow)
+                if job.state in TERMINAL_STATES:
+                    self._fire_callbacks(job)
+        instrument.gauge("serve.queue.depth", self.executor.pending())
+        return jobs
+
+    def _fire_callbacks(self, job: Job) -> None:
+        """Submit every armed follow-up for this job's key, exactly once.
+
+        During shutdown armed callbacks are deliberately left in the
+        durable store untouched: a restarted service pointed at the same
+        ``store_path`` still has them.
+        """
+        if self._closed:
+            return
+        for spec in self.store.claim_callbacks(job.key):
+            try:
+                follow = self.submit(
+                    mode=spec.get("mode", "sched"),
+                    workload=spec["workload"],
+                    params=spec.get("params") or {},
+                    priority=int(spec.get("priority", 0)),
+                    on_complete=spec.get("on_complete"),
+                )
+            except Exception as exc:  # noqa: BLE001 - parent already terminal
+                instrument.inc("serve.callbacks.dropped")
+                instrument.instant("serve.callback.dropped", job=job.job_id,
+                                   error=repr(exc))
+            else:
+                job.follow_ups.append(follow.job_id)
+                instrument.inc("serve.callbacks.fired")
 
     def _execute(self, job: Job) -> None:
         """Runs on a scheduler worker; never raises (outcomes live on the
@@ -217,6 +395,7 @@ class JobService:
                 self.breaker.record_success()
                 instrument.inc("serve.jobs.completed")
                 job._transition("done", cached=False)
+        self._fire_callbacks(job)
         instrument.observe_us(
             "serve.job.latency_us", (time.perf_counter() - started) * 1e6
         )
@@ -240,6 +419,7 @@ class JobService:
             return job.state == "cancelled"
         instrument.inc("serve.jobs.cancelled")
         job._transition("cancelled")
+        self._fire_callbacks(job)
         instrument.gauge("serve.queue.depth", self.executor.pending())
         return True
 
@@ -306,4 +486,6 @@ class JobService:
         if self._session is not None:
             telemetry.disable()
             self._session = None
+        if self._owns_store:
+            self.store.close()
         return {"cancelled": cancelled, "drained": drained}

@@ -19,7 +19,11 @@ Modes and their runner shapes:
   :mod:`repro.faults.chaos`);
 - ``sched``  — ``fn(executor, workers, seed) -> (summary, lines)`` run
   through a fresh deterministic :class:`WorkStealingExecutor` (see
-  :mod:`repro.sched.workloads`).
+  :mod:`repro.sched.workloads`);
+- ``pipeline`` — ``fn(store, workers=, seed=, resume=, kill_after=,
+  params=) -> PipelineRun`` over a durable
+  :class:`~repro.pipeline.store.JobStore` (see
+  :mod:`repro.pipeline.workloads`).
 
 Provider modules call :func:`register` at import time; the registry
 imports them lazily on first lookup, so ``import repro.workloads`` stays
@@ -50,13 +54,14 @@ __all__ = [
 ]
 
 #: Execution modes, in the order listings display them.
-MODES: tuple[str, ...] = ("trace", "chaos", "sched")
+MODES: tuple[str, ...] = ("trace", "chaos", "sched", "pipeline")
 
 #: Parameters each mode accepts in :func:`run_job` (all integers).
 MODE_PARAMS: dict[str, tuple[str, ...]] = {
     "trace": ("threads",),
     "chaos": ("seed", "threads"),
     "sched": ("workers", "seed"),
+    "pipeline": ("workers", "seed"),
 }
 
 
@@ -74,6 +79,7 @@ class Workload:
     chaos: Callable[..., tuple[int, list, bool]] | None = None
     chaos_plan: Callable[[int], Any] | None = None
     sched: Callable[..., tuple[str, list]] | None = None
+    pipeline: Callable[..., Any] | None = None
 
     @property
     def modes(self) -> tuple[str, ...]:
@@ -104,6 +110,7 @@ def register(
     chaos: Callable[..., tuple[int, list, bool]] | None = None,
     chaos_plan: Callable[[int], Any] | None = None,
     sched: Callable[..., tuple[str, list]] | None = None,
+    pipeline: Callable[..., Any] | None = None,
 ) -> Workload:
     """Register (or extend) a workload.
 
@@ -121,6 +128,7 @@ def register(
         for mode_attr, fn in (
             ("trace", trace), ("chaos", chaos),
             ("chaos_plan", chaos_plan), ("sched", sched),
+            ("pipeline", pipeline),
         ):
             if fn is None:
                 continue
@@ -154,6 +162,7 @@ def _ensure_providers_loaded() -> None:
         _providers_loaded = True
     # Outside the lock: the providers call register(), which takes it.
     import repro.faults.chaos       # noqa: F401  (registers chaos runners)
+    import repro.pipeline.workloads  # noqa: F401  (registers pipeline runners)
     import repro.sched.workloads    # noqa: F401  (registers sched runners)
     import repro.telemetry.workloads  # noqa: F401  (registers trace runners)
 
@@ -234,6 +243,36 @@ def validate_params(mode: str, params: Mapping[str, Any] | None) -> dict[str, in
     return out
 
 
+def _run_chaos_serialized(name: str, seed: int, threads: int):
+    """Run one chaos workload under ``_chaos_run_lock``, asserting the
+    serialization invariant instead of trusting it.
+
+    Fault-injection sessions are process-global and do not nest; if two
+    chaos jobs ever overlapped, the second ``faults.enable`` would raise
+    deep inside a runtime with a half-installed hook.  This chokepoint
+    fails fast and loud instead: the lock must be held by *this* call
+    (not merely locked by someone), and no injector may already be
+    active when the session starts.
+    """
+    from repro.faults import chaos as chaos_mod
+    from repro.faults import hooks as fault_hooks
+
+    acquired = _chaos_run_lock.acquire()
+    try:
+        if not acquired or not _chaos_run_lock.locked():
+            raise RuntimeError(
+                "chaos serialization broken: _chaos_run_lock not held"
+            )
+        if fault_hooks.enabled():
+            raise RuntimeError(
+                "chaos serialization broken: a fault-injection session is "
+                "already active; chaos runs must not nest"
+            )
+        return chaos_mod.run_chaos(name, seed=seed, threads=threads)
+    finally:
+        _chaos_run_lock.release()
+
+
 def run_job(
     mode: str, name: str, params: Mapping[str, Any] | None = None
 ) -> dict[str, Any]:
@@ -251,11 +290,9 @@ def run_job(
         summary = fn(clean.get("threads", 4))
         return {"mode": mode, "workload": workload.name, "summary": summary}
     if mode == "chaos":
-        from repro.faults.chaos import run_chaos
-
-        with _chaos_run_lock:
-            report = run_chaos(workload.name, seed=clean.get("seed", 7),
-                               threads=clean.get("threads", 4))
+        report = _run_chaos_serialized(workload.name,
+                                       seed=clean.get("seed", 7),
+                                       threads=clean.get("threads", 4))
         return {
             "mode": mode,
             "workload": workload.name,
@@ -269,6 +306,30 @@ def run_job(
             "recovered": report.recovered,
             "detail": list(report.detail),
             "log": list(report.log_lines),
+        }
+    if mode == "pipeline":
+        from repro.pipeline import resolve_db
+        from repro.pipeline.store import JobStore
+        from repro.pipeline.workloads import run_pipeline_workload
+
+        with JobStore(resolve_db()) as store:
+            run = run_pipeline_workload(
+                workload.name, store,
+                workers=clean.get("workers", 4),
+                seed=clean.get("seed", 7),
+                resume=True,
+            )
+        return {
+            "mode": mode,
+            "workload": workload.name,
+            "summary": run.summary,
+            "output": list(run.output_lines),
+            "stages": [
+                {"stage": name, "status": status}
+                for name, status in run.stage_status
+            ],
+            "stats": dict(run.stats),
+            "run_id": run.run_id,
         }
     from repro.sched.workloads import run_sched_workload
 

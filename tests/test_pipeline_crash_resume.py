@@ -1,0 +1,170 @@
+"""Crash/resume end-to-end: SIGKILL between stages, byte-identical art.
+
+The tentpole's acceptance test: a pipeline process SIGKILLed after any
+stage's checkpoint commits, restarted with ``--resume``, produces a
+final artifact byte-identical to an uninterrupted run under the same
+seed.  Also covers the multi-worker story on one DB: concurrent drains
+never double-run a job, and an abandoned worker's expired leases are
+reclaimed by a survivor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.pipeline.rank import StoreScheduler
+from repro.pipeline.store import JobStore
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+STAGES = ("generate", "score", "rank", "report")
+
+
+def _run_cli(args, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "pipeline", "drugdesign", *args],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"pipeline CLI failed ({proc.returncode}):\n{proc.stdout}\n"
+            f"{proc.stderr}"
+        )
+    return proc
+
+
+@pytest.fixture(scope="module")
+def reference_artifact(tmp_path_factory):
+    """One uninterrupted seeded run: the byte-identity baseline."""
+    base = tmp_path_factory.mktemp("reference")
+    out = base / "reference.json"
+    _run_cli(["--db", str(base / "ref.db"), "--out", str(out)])
+    return out.read_bytes()
+
+
+@pytest.mark.parametrize("kill_stage", STAGES)
+def test_sigkill_after_each_stage_resumes_byte_identical(
+    tmp_path, kill_stage, reference_artifact
+):
+    db = str(tmp_path / "run.db")
+    killed = _run_cli(["--db", db, "--kill-after", kill_stage], check=False)
+    assert killed.returncode == -signal.SIGKILL     # a real, unhandled death
+    resumed = _run_cli(["--db", db, "--resume",
+                        "--out", str(tmp_path / "artifact.json")])
+    # Every stage up to and including the kill point replays from its
+    # checkpoint; the rest execute now.
+    kill_index = STAGES.index(kill_stage)
+    for stage in STAGES[: kill_index + 1]:
+        assert f"stage {stage}: resumed" in resumed.stdout
+    for stage in STAGES[kill_index + 1:]:
+        assert f"stage {stage}: ran" in resumed.stdout
+    assert (tmp_path / "artifact.json").read_bytes() == reference_artifact
+
+
+def test_fresh_runs_are_byte_identical_across_processes(
+    tmp_path, reference_artifact
+):
+    out = tmp_path / "fresh.json"
+    _run_cli(["--db", str(tmp_path / "fresh.db"), "--out", str(out)])
+    assert out.read_bytes() == reference_artifact
+
+
+# -- two workers, one database ------------------------------------------------
+
+
+def test_concurrent_drains_share_the_work_without_double_running(tmp_path):
+    path = str(tmp_path / "shared.db")
+    with JobStore(path) as setup:
+        setup.enqueue_batch([
+            {"run_id": "r", "stage": "s", "payload": {"index": i, "item": i}}
+            for i in range(24)
+        ])
+    ran: list[tuple[str, int]] = []
+    lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def worker(name: str) -> None:
+        from repro.sched.executor import WorkStealingExecutor
+
+        def handler(job):
+            with lock:
+                ran.append((name, job.payload["item"]))
+            return job.payload["item"]
+
+        try:
+            with JobStore(path) as store:
+                StoreScheduler(store, owner=name, batch_size=4).drain(
+                    WorkStealingExecutor(n_workers=2, seed=0,
+                                         deterministic=True),
+                    handler, run_id="r", stage="s",
+                )
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(f"w{i}",))
+               for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    items = sorted(item for _name, item in ran)
+    assert items == list(range(24))                 # each job ran exactly once
+    with JobStore(path) as check:
+        assert check.counts(run_id="r") == {"done": 24}
+
+
+def test_survivor_reclaims_an_abandoned_workers_expired_leases(tmp_path):
+    path = str(tmp_path / "shared.db")
+    with JobStore(path, lease_s=0.3) as dead:
+        dead.enqueue_batch([
+            {"run_id": "r", "stage": "s", "payload": {"index": i, "item": i}}
+            for i in range(6)
+        ])
+        # The doomed worker claims half the work and then "crashes":
+        # its leases are never renewed, completed, or released.
+        doomed = dead.lease_next("doomed", limit=3, lease_s=0.3)
+        assert len(doomed) == 3
+
+    from repro.sched.executor import WorkStealingExecutor
+
+    started = time.monotonic()
+    with JobStore(path, lease_s=0.3) as survivor:
+        stats = StoreScheduler(survivor, owner="survivor").drain(
+            WorkStealingExecutor(n_workers=2, seed=0, deterministic=True),
+            lambda job: job.payload["item"], run_id="r", stage="s",
+        )
+    assert stats["completed"] == 6                  # including the reclaimed 3
+    assert stats["reclaimed"] >= 3
+    assert time.monotonic() - started >= 0.0        # waited out the TTL
+    with JobStore(path) as check:
+        assert check.counts(run_id="r") == {"done": 6}
+        reclaimed = [job for job in check.jobs(run_id="r")
+                     if job.attempts > 1]
+        assert len(reclaimed) == 3                  # attempts record the death
+
+
+def test_run_job_pipeline_payload_is_json_safe_and_resumes(tmp_path,
+                                                           monkeypatch):
+    monkeypatch.setenv("REPRO_PIPELINE_DB", str(tmp_path / "runjob.db"))
+    from repro import workloads
+
+    first = workloads.run_job("pipeline", "drugdesign",
+                              {"workers": 2, "seed": 5})
+    assert first == json.loads(json.dumps(first))
+    assert [entry["status"] for entry in first["stages"]] == ["ran"] * 4
+    second = workloads.run_job("pipeline", "drugdesign",
+                               {"workers": 2, "seed": 5})
+    assert [entry["status"] for entry in second["stages"]] == ["resumed"] * 4
+    assert second["output"] == first["output"]
+    assert second["run_id"] == first["run_id"]

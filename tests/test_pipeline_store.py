@@ -1,0 +1,221 @@
+"""The durable SQLite job store: states, leases, idempotency, callbacks.
+
+Everything durable goes through :class:`repro.pipeline.store.JobStore`
+(the DESIGN rule), so this file pins its contract: atomic state
+transitions, content-addressed idempotent enqueue, lease expiry and
+restart fencing, exactly-once callback claiming.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.pipeline.store import JobStore, TransitionError, job_key
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with JobStore(str(tmp_path / "jobs.db")) as js:
+        yield js
+
+
+def _spec(index=0, run_id="r1", stage="s1", score=0.0):
+    return {"run_id": run_id, "stage": stage,
+            "payload": {"index": index, "item": index * 10},
+            "expected_score": score}
+
+
+# -- enqueue: idempotent, content-addressed -----------------------------------
+
+
+def test_enqueue_is_idempotent_by_content_address(store):
+    first, created = store.enqueue("r1", "s1", {"index": 0})
+    again, recreated = store.enqueue("r1", "s1", {"index": 0})
+    assert created and not recreated
+    assert first.job_id == again.job_id
+    assert first.key == again.key == job_key("r1", "s1", {"index": 0})
+    assert first.state == "pending"
+    # A different payload (or run, or stage) is a different job.
+    other, other_created = store.enqueue("r1", "s1", {"index": 1})
+    assert other_created and other.job_id != first.job_id
+
+
+def test_enqueue_batch_returns_existing_rows_with_results(store):
+    records = store.enqueue_batch([_spec(i) for i in range(3)])
+    assert [created for _r, created in records] == [True, True, True]
+    job = records[1][0]
+    leased = store.lease("w", [job.job_id])
+    store.complete(leased[0].job_id, {"answer": 42})
+    # Re-submitting the same specs resumes: the done row comes back
+    # as-is, result included — nothing re-runs.
+    again = store.enqueue_batch([_spec(i) for i in range(3)])
+    assert [created for _r, created in again] == [False, False, False]
+    assert again[1][0].state == "done"
+    assert again[1][0].result == {"answer": 42}
+
+
+# -- state transitions --------------------------------------------------------
+
+
+def test_lifecycle_pending_leased_done(store):
+    job, _ = store.enqueue("r1", "s1", {"index": 0})
+    (leased,) = store.lease("worker-a", [job.job_id])
+    assert leased.state == "leased"
+    assert leased.lease_owner == "worker-a"
+    assert leased.attempts == 1
+    done = store.complete(job.job_id, [1, 2, 3])
+    assert done.state == "done"
+    assert done.result == [1, 2, 3]
+    assert done.lease_owner is None
+
+
+def test_illegal_transitions_raise(store):
+    job, _ = store.enqueue("r1", "s1", {"index": 0})
+    with pytest.raises(TransitionError):
+        store.complete(job.job_id, None)          # pending → done: no lease
+    store.lease("w", [job.job_id])
+    store.complete(job.job_id, None)
+    with pytest.raises(TransitionError):
+        store.fail(job.job_id, "late")            # done is terminal
+
+
+def test_fail_with_retry_rearms_preserving_attempts(store):
+    job, _ = store.enqueue("r1", "s1", {"index": 0})
+    store.lease("w", [job.job_id])
+    retried = store.fail(job.job_id, "boom", retry=True)
+    assert retried.state == "pending"
+    assert retried.attempts == 1                  # attempts survive the retry
+    store.lease("w", [job.job_id])
+    failed = store.fail(job.job_id, "boom again", retry=False)
+    assert failed.state == "failed"
+    assert failed.error == "boom again"
+    assert failed.attempts == 2
+
+
+def test_cancel_only_wins_against_pending(store):
+    job, _ = store.enqueue("r1", "s1", {"index": 0})
+    assert store.cancel(job.job_id) is True
+    assert store.get(job.job_id).state == "cancelled"
+    other, _ = store.enqueue("r1", "s1", {"index": 1})
+    store.lease("w", [other.job_id])
+    assert store.cancel(other.job_id) is False    # already claimed: no steal
+
+
+def test_lease_skips_already_claimed_jobs(store):
+    records = store.enqueue_batch([_spec(i) for i in range(2)])
+    ids = [record.job_id for record, _c in records]
+    first = store.lease("worker-a", ids)
+    second = store.lease("worker-b", ids)         # everything already leased
+    assert len(first) == 2
+    assert second == []
+
+
+# -- lease expiry and restart fencing -----------------------------------------
+
+
+def test_expired_leases_are_reclaimed_with_fake_clock(tmp_path):
+    now = [1000.0]
+    with JobStore(str(tmp_path / "jobs.db"), clock=lambda: now[0],
+                  lease_s=30.0) as store:
+        job, _ = store.enqueue("r1", "s1", {"index": 0})
+        store.lease("dead-worker", [job.job_id])
+        assert store.reclaim_expired() == []      # lease still live
+        now[0] += 31.0
+        assert store.reclaim_expired() == [job.job_id]
+        rearmed = store.get(job.job_id)
+        assert rearmed.state == "pending"
+        assert rearmed.attempts == 1              # history preserved
+        # A second worker can now claim and finish it.
+        (claimed,) = store.lease("live-worker", [job.job_id])
+        assert claimed.lease_owner == "live-worker"
+        assert claimed.attempts == 2
+
+
+def test_release_owner_fences_a_restarted_worker(store):
+    records = store.enqueue_batch([_spec(i) for i in range(3)])
+    ids = [record.job_id for record, _c in records]
+    store.lease("incarnation-1", ids[:2])
+    store.lease("someone-else", ids[2:])
+    released = store.release_owner("incarnation-1")
+    assert sorted(released) == sorted(ids[:2])    # only its own leases
+    assert store.get(ids[2]).state == "leased"    # the bystander keeps its
+    assert store.counts()["pending"] == 2
+
+
+# -- checkpoints --------------------------------------------------------------
+
+
+def test_checkpoints_roundtrip_and_overwrite(store):
+    assert store.checkpoint_get("r1", "generate") is None
+    store.checkpoint_put("r1", "generate", {"ligands": ["ab", "cd"]})
+    assert store.checkpoint_get("r1", "generate") == {"ligands": ["ab", "cd"]}
+    store.checkpoint_put("r1", "generate", {"ligands": []})   # idempotent put
+    assert store.checkpoint_get("r1", "generate") == {"ligands": []}
+    assert store.checkpoint_stages("r1") == ["generate"]
+
+
+def test_clear_run_scopes_to_one_run(store):
+    store.enqueue("r1", "s1", {"index": 0})
+    store.enqueue("r2", "s1", {"index": 0})
+    store.checkpoint_put("r1", "s1", 1)
+    store.checkpoint_put("r2", "s1", 2)
+    store.clear_run("r1")
+    assert store.jobs(run_id="r1") == []
+    assert store.checkpoint_get("r1", "s1") is None
+    assert len(store.jobs(run_id="r2")) == 1
+    assert store.checkpoint_get("r2", "s1") == 2
+
+
+# -- callbacks: durable, exactly-once -----------------------------------------
+
+
+def test_callbacks_claimed_exactly_once(store):
+    store.add_callback("parent-key", {"workload": "openmp"})
+    store.add_callback("parent-key", {"workload": "mapreduce"})
+    assert store.armed_callbacks("parent-key") == 2
+    claimed = store.claim_callbacks("parent-key")
+    assert sorted(spec["workload"] for spec in claimed) == \
+        ["mapreduce", "openmp"]
+    assert store.claim_callbacks("parent-key") == []   # second claim: nothing
+    assert store.armed_callbacks("parent-key") == 0
+
+
+def test_callbacks_survive_store_reopen(tmp_path):
+    path = str(tmp_path / "jobs.db")
+    with JobStore(path) as store:
+        store.add_callback("k", {"workload": "openmp", "params": {"seed": 3}})
+    with JobStore(path) as reopened:              # the restart story
+        assert reopened.armed_callbacks("k") == 1
+        (spec,) = reopened.claim_callbacks("k")
+        assert spec == {"workload": "openmp", "params": {"seed": 3}}
+
+
+# -- concurrency: one DB, many threads ----------------------------------------
+
+
+def test_concurrent_lease_next_never_double_claims(store):
+    n_jobs, n_workers = 40, 4
+    store.enqueue_batch([_spec(i) for i in range(n_jobs)])
+    claimed: list[list[int]] = [[] for _ in range(n_workers)]
+
+    def worker(index: int) -> None:
+        while True:
+            batch = store.lease_next(f"w{index}", limit=3)
+            if not batch:
+                return
+            for job in batch:
+                claimed[index].append(job.job_id)
+                store.complete(job.job_id, index)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n_workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    flat = [job_id for per in claimed for job_id in per]
+    assert len(flat) == n_jobs
+    assert len(set(flat)) == n_jobs               # every job claimed once
+    assert store.counts() == {"done": n_jobs}

@@ -1,0 +1,311 @@
+"""Serve satellites: atomic batch submission, durable on_complete
+callbacks, and the chaos-serialization invariant.
+
+Batches ride :meth:`JobQueue.push_batch` — one overflowing batch is
+refused whole with zero admissions.  Callback specs are armed in the
+durable pipeline store and submitted exactly once at the parent's
+terminal state; armed-but-unfired specs survive a service restart.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import workloads
+from repro.pipeline.store import JobStore
+from repro.sched.core import BackpressureError
+from repro.serve import BackgroundServer, JobService
+
+_SPEC = {"mode": "sched", "workload": "mapreduce",
+         "params": {"workers": 2, "seed": 11}}
+
+
+def _wait(job, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while job.state not in ("done", "failed", "cancelled"):
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {job.job_id} stuck in {job.state}")
+        time.sleep(0.005)
+    return job.state
+
+
+@contextlib.contextmanager
+def _temp_workload(name, **runners):
+    workloads.register(name, **runners)
+    try:
+        yield
+    finally:
+        workloads.unregister(name)
+
+
+@pytest.fixture
+def make_service():
+    created = []
+
+    def make(**kwargs):
+        service = JobService(**kwargs)
+        created.append(service)
+        return service
+
+    yield make
+    for service in created:
+        service.shutdown()
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        conn.close()
+
+
+# -- submit_batch: all or nothing ---------------------------------------------
+
+
+def test_batch_admits_and_completes_every_spec(make_service):
+    service = make_service(workers=2, backlog=16)
+    jobs = service.submit_batch([
+        {"mode": "sched", "workload": "mapreduce", "params": {"seed": s}}
+        for s in (1, 2, 3)
+    ])
+    assert len(jobs) == 3
+    assert [job.params["seed"] for job in jobs] == [1, 2, 3]
+    for job in jobs:
+        assert _wait(job) == "done"
+
+
+def test_batch_with_one_bad_spec_admits_nothing(make_service):
+    service = make_service(workers=2, backlog=16)
+    with pytest.raises(KeyError):
+        service.submit_batch([_SPEC, {"mode": "sched", "workload": "nope"}])
+    with pytest.raises(ValueError, match='needs a "workload"'):
+        service.submit_batch([_SPEC, {"mode": "sched"}])
+    with pytest.raises(ValueError, match="at least one"):
+        service.submit_batch([])
+    assert service.jobs() == []                   # zero admissions, no ghosts
+
+
+def test_overflowing_batch_is_refused_whole_even_with_cache_hits(make_service):
+    gate = threading.Event()
+
+    def gated(executor, workers, seed):
+        gate.wait(60.0)
+        return f"gated seed={seed}", []
+
+    with _temp_workload("tmp_bgate", sched=gated):
+        service = make_service(workers=1, backlog=2)
+        warm = service.submit(**_SPEC)            # prime the cache…
+        assert _wait(warm) == "done"
+        before = len(service.jobs())
+        running = service.submit("sched", "tmp_bgate", {"seed": 1})
+        deadline = time.monotonic() + 30.0
+        while running.state != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        # Backlog of 2 holds one queued job at most alongside the
+        # runner; a 3-spec batch (1 cached + 2 fresh) cannot fit whole.
+        with pytest.raises(BackpressureError):
+            service.submit_batch([
+                dict(_SPEC),                      # cache hit
+                {"mode": "sched", "workload": "tmp_bgate", "params": {"seed": 2}},
+                {"mode": "sched", "workload": "tmp_bgate", "params": {"seed": 3}},
+                {"mode": "sched", "workload": "tmp_bgate", "params": {"seed": 4}},
+            ])
+        # Zero admissions: not even the cache hit was recorded.
+        assert len(service.jobs()) == before + 1
+        gate.set()
+        assert _wait(running) == "done"
+
+
+def test_batch_cache_hits_complete_instantly(make_service):
+    service = make_service(workers=2, backlog=16)
+    cold = service.submit(**_SPEC)
+    assert _wait(cold) == "done"
+    jobs = service.submit_batch([dict(_SPEC), dict(_SPEC)])
+    assert all(job.state == "done" and job.cached for job in jobs)
+    assert all(job.result == cold.result for job in jobs)
+
+
+# -- on_complete callbacks ----------------------------------------------------
+
+
+def test_on_complete_fires_exactly_one_follow_up(make_service, tmp_path):
+    service = make_service(workers=2, backlog=16,
+                           store_path=str(tmp_path / "serve.db"))
+    parent = service.submit(**_SPEC, on_complete={
+        "mode": "sched", "workload": "openmp", "params": {"seed": 3}})
+    assert _wait(parent) == "done"
+    deadline = time.monotonic() + 30.0
+    while not parent.follow_ups:
+        assert time.monotonic() < deadline
+        time.sleep(0.005)
+    (follow_id,) = parent.follow_ups
+    follow = service.get(follow_id)
+    assert follow.workload == "openmp"
+    assert _wait(follow) == "done"
+    assert service.store.armed_callbacks() == 0   # claimed, not lingering
+
+
+def test_on_complete_chains_recursively(make_service):
+    service = make_service(workers=2, backlog=16)
+    parent = service.submit(**_SPEC, on_complete={
+        "workload": "openmp", "params": {"seed": 4},
+        "on_complete": {"workload": "mapreduce", "params": {"seed": 5}}})
+    assert _wait(parent) == "done"
+    deadline = time.monotonic() + 30.0
+    while not parent.follow_ups:
+        assert time.monotonic() < deadline
+        time.sleep(0.005)
+    first = service.get(parent.follow_ups[0])
+    assert _wait(first) == "done"
+    while not first.follow_ups:
+        assert time.monotonic() < deadline
+        time.sleep(0.005)
+    second = service.get(first.follow_ups[0])
+    assert second.workload == "mapreduce"
+    assert _wait(second) == "done"
+
+
+def test_cached_parent_fires_its_callback_immediately(make_service):
+    service = make_service(workers=2, backlog=16)
+    cold = service.submit(**_SPEC)
+    assert _wait(cold) == "done"
+    warm = service.submit(**_SPEC, on_complete={
+        "workload": "openmp", "params": {"seed": 6}})
+    assert warm.cached and warm.state == "done"
+    assert len(warm.follow_ups) == 1              # fired synchronously
+    assert _wait(service.get(warm.follow_ups[0])) == "done"
+
+
+def test_invalid_on_complete_rejects_parent_before_admission(make_service):
+    service = make_service(workers=2, backlog=16)
+    with pytest.raises(KeyError):
+        service.submit(**_SPEC, on_complete={"workload": "no_such"})
+    with pytest.raises(ValueError, match="on_complete"):
+        service.submit(**_SPEC, on_complete={"mode": "sched"})
+    with pytest.raises(ValueError, match="unknown parameter"):
+        service.submit(**_SPEC, on_complete={
+            "workload": "mapreduce", "params": {"threads": 2}})
+    assert service.jobs() == []
+    assert service.store.armed_callbacks() == 0   # nothing armed either
+
+
+def test_unfired_callbacks_survive_a_service_restart(tmp_path):
+    """The durability rule: armed specs live in SQLite, not in memory."""
+    path = str(tmp_path / "serve.db")
+    gate = threading.Event()
+
+    def gated(executor, workers, seed):
+        gate.wait(60.0)
+        return f"gated seed={seed}", []
+
+    with _temp_workload("tmp_cbgate", sched=gated):
+        service = JobService(workers=1, backlog=8, store_path=path)
+        parent = service.submit("sched", "tmp_cbgate", {"seed": 1},
+                                on_complete={"workload": "openmp",
+                                             "params": {"seed": 2}})
+        deadline = time.monotonic() + 30.0
+        while parent.state != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        gate.set()
+        service.shutdown()                        # parent drains during close
+    # The follow-up was NOT submitted (the service was closing), but its
+    # spec is still armed in the durable store for the next incarnation.
+    with JobStore(path) as store:
+        assert store.armed_callbacks(parent.key) == 1
+
+
+# -- the HTTP surface ---------------------------------------------------------
+
+
+def test_http_batch_endpoint_multi_status_and_callbacks(make_service):
+    service = make_service(workers=2, backlog=16)
+    with BackgroundServer(service) as server:
+        port = server.port
+        status, body = _request(port, "POST", "/jobs/batch", {"jobs": [
+            {"workload": "mapreduce", "mode": "sched", "params": {"seed": 21}},
+            {"workload": "openmp", "mode": "sched", "params": {"seed": 22}},
+        ]})
+        assert status == 207 and body["admitted"] == 2
+        ids = [job["id"] for job in body["jobs"]]
+        for job_id in ids:
+            deadline = time.monotonic() + 30.0
+            while True:
+                _status, view = _request(port, "GET", f"/jobs/{job_id}")
+                if view["state"] in ("done", "failed", "cancelled"):
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert view["state"] == "done"
+
+        status, body = _request(port, "POST", "/jobs/batch",
+                                {"jobs": [{"workload": "nope"}]})
+        assert status == 404 and body["admitted"] == 0
+        status, body = _request(port, "POST", "/jobs/batch", {"jobs": []})
+        assert status == 400 and body["admitted"] == 0
+
+        status, body = _request(port, "POST", "/jobs", {
+            **_SPEC, "params": {"seed": 23},
+            "on_complete": {"workload": "openmp", "params": {"seed": 24}}})
+        assert status in (200, 202)
+        job_id = body["id"]
+        deadline = time.monotonic() + 30.0
+        while True:
+            _status, view = _request(port, "GET", f"/jobs/{job_id}")
+            if view["state"] == "done" and view["follow_ups"]:
+                break
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert len(view["follow_ups"]) == 1
+
+
+# -- chaos serialization (the run_job lock invariant) -------------------------
+
+
+def test_chaos_jobs_refuse_to_nest_inside_an_active_injection_session():
+    from repro import faults
+    from repro.faults.plan import FaultPlan
+
+    with faults.inject(FaultPlan(name="outer", seed=0, rules=())):
+        with pytest.raises(RuntimeError, match="must not nest"):
+            workloads.run_job("chaos", "mapreduce",
+                              {"seed": 1, "threads": 2})
+    # Outside a session the same call is fine — and leaves none behind.
+    payload = workloads.run_job("chaos", "mapreduce",
+                                {"seed": 1, "threads": 2})
+    assert payload["ok"] is True
+    assert not faults.is_enabled()
+
+
+def test_concurrent_chaos_jobs_serialize_instead_of_clashing():
+    results: list[dict] = []
+    failures: list[BaseException] = []
+
+    def one(seed: int) -> None:
+        try:
+            results.append(workloads.run_job(
+                "chaos", "mapreduce", {"seed": seed, "threads": 2}))
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=one, args=(seed,))
+               for seed in (7, 7, 8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    assert len(results) == 3
+    assert all(payload["ok"] for payload in results)

@@ -41,6 +41,8 @@ def test_registry_unions_all_provider_tables():
     assert "barrier" not in workloads.names("chaos")
     assert "stencil" in workloads.names("chaos")
     assert set(workloads.names("sched")) == {"mapreduce", "openmp", "drugdesign"}
+    assert set(workloads.names("pipeline")) == {"drugdesign"}
+    assert "pipeline" in workloads.names("chaos")     # the chaos scenario
 
 
 def test_shared_workloads_have_merged_modes():
@@ -146,7 +148,7 @@ def _cli_out(capsys, argv):
 def test_list_is_byte_identical_across_subcommands(capsys):
     outs = {
         cmd: _cli_out(capsys, [cmd, "--list"])
-        for cmd in ("trace", "chaos", "sched", "serve")
+        for cmd in ("trace", "chaos", "sched", "pipeline", "serve")
     }
     assert len(set(outs.values())) == 1
     assert outs["trace"] == workloads.render_listing() + "\n"
@@ -154,9 +156,10 @@ def test_list_is_byte_identical_across_subcommands(capsys):
 
 def test_listing_names_every_workload_with_its_modes():
     listing = workloads.render_listing()
-    assert "11 registered" in listing
+    assert "12 registered" in listing
     assert "mapreduce" in listing
     assert "trace,chaos,sched" in listing
+    assert "trace,chaos,sched,pipeline" in listing    # drugdesign, all modes
 
 
 def test_cli_mode_mismatch_is_a_friendly_error(capsys):
