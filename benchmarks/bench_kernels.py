@@ -83,6 +83,32 @@ def test_bootstrap_matrix_kernel(benchmark):
     )
 
 
+def test_bootstrap_median_scalar_baseline(benchmark):
+    from repro.stats.descriptive import median
+
+    def run():
+        # A callable statistic keeps the loop: one full sort per resample.
+        return bootstrap_ci(_SAMPLE, median, n_resamples=500, seed=3)
+
+    ci = benchmark(run)
+    assert ci.low <= ci.estimate <= ci.high
+
+
+def test_bootstrap_median_partition_kernel(benchmark):
+    """The partition kernel must give the bit-identical median CI."""
+    from repro.stats.descriptive import median
+
+    def run():
+        with kernels.use_backend("numpy"):
+            return bootstrap_ci(_SAMPLE, "median", n_resamples=500, seed=3)
+
+    ci = benchmark(run)
+    oracle = bootstrap_ci(_SAMPLE, median, n_resamples=500, seed=3)
+    assert (ci.low, ci.estimate, ci.high) == (
+        oracle.low, oracle.estimate, oracle.high
+    )
+
+
 def main(out_path: str = "BENCH_kernels.json", quick: bool = False) -> dict:
     point = run_kernels_bench(quick=quick, out_path=out_path)
     print(render_point(point))

@@ -1,0 +1,29 @@
+"""Process-pool backend vs threaded executor on GIL-bound sweeps.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): with two or more cores the ``mode="mp"`` backend finishes the
+scalar-Python stencil and LCS sweeps faster than the threaded executor
+running the identical task list — threads serialize on the GIL, the
+pool does not — while every task result and the drug-design stepping
+report stay byte-identical across the two modes.  On a single core
+only the identity half of the gate applies.
+
+Run as a script (``python benchmarks/bench_mp.py``) it delegates to
+:func:`repro.kernels.mpbench.run_mp_bench` — the same measurement
+behind ``python -m repro bench mp`` — and writes the ``BENCH_mp.json``
+trajectory point.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.mpbench import render_point, run_mp_bench
+
+
+def main(out_path: str = "BENCH_mp.json", quick: bool = False) -> dict:
+    point = run_mp_bench(quick=quick, out_path=out_path)
+    print(render_point(point))
+    return point
+
+
+if __name__ == "__main__":
+    main()

@@ -23,12 +23,14 @@ Commands
   under deterministic fault injection and report injected-vs-recovered
   counts plus the canonical injected-event log (``--list`` shows the
   workloads; same seed ⇒ same faults).
-- ``sched <workload> [--workers N] [--seed S] [--trace out.json]
-  [--cache] [--cache-dir DIR]`` — run a workload through the
-  deterministic work-stealing scheduler and print the result, scheduler
-  statistics, cache counters, and canonical event log (``--list`` shows
-  the workloads; same seed ⇒ byte-identical stdout, and a second
-  ``--cache`` run replays the stored result as a cache hit).
+- ``sched <workload> [--workers N] [--seed S] [--mode threaded|mp]
+  [--trace out.json] [--cache] [--cache-dir DIR]`` — run a workload
+  through the deterministic work-stealing scheduler and print the
+  result, scheduler statistics, cache counters, and canonical event log
+  (``--list`` shows the workloads; same seed ⇒ byte-identical stdout,
+  and a second ``--cache`` run replays the stored result as a cache
+  hit).  ``--mode mp`` executes task bodies on a process pool — same
+  scheduling decisions, same stdout, no GIL.
 - ``sched --cache-evict --cache-dir DIR [--cache-max-entries N]
   [--cache-max-bytes B]`` — maintenance path: LRU-evict the on-disk
   result-cache tier down to the given caps and report what was removed.
@@ -59,6 +61,10 @@ Commands
 - ``bench pipeline [--quick] [--out BENCH_pipeline.json]`` — time the
   durable store's enqueue and lease/complete throughput plus the cold
   vs resumed pipeline run, and write the trajectory point.
+- ``bench mp [--quick] [--out BENCH_mp.json]`` — race the process-pool
+  backend against the threaded executor on GIL-bound stencil and LCS
+  sweeps, assert the stepping-mode event logs match byte for byte, and
+  write the trajectory point (the ≥2-core speedup gate).
 
 Every workload-running subcommand (``trace``/``chaos``/``sched``/
 ``serve``) shares one ``--list`` listing: the unified
@@ -172,6 +178,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scheduler worker count")
     sched.add_argument("--seed", type=int, default=7,
                        help="steal-order seed (same seed ⇒ same schedule)")
+    sched.add_argument("--mode", choices=("threaded", "mp"),
+                       default="threaded",
+                       help="execution vehicle: threads (default) or a "
+                            "process pool; output is byte-identical")
     sched.add_argument("--trace", default=None, dest="trace_out",
                        help="also export a Chrome trace of the run")
     sched.add_argument("--cache", action="store_true",
@@ -545,12 +555,12 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             with session:
                 report = run_sched_workload(
                     args.workload, workers=args.workers, seed=args.seed,
-                    cache=cache,
+                    cache=cache, mode=args.mode,
                 )
         else:
             report = run_sched_workload(
                 args.workload, workers=args.workers, seed=args.seed,
-                cache=cache,
+                cache=cache, mode=args.mode,
             )
     except KeyError:
         print(_unknown_workload_message("sched", args.workload))
@@ -610,7 +620,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_SUITES = ("kernels", "serve", "pipeline")
+_BENCH_SUITES = ("kernels", "serve", "pipeline", "mp")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -629,6 +639,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.pipeline.bench import render_point, run_pipeline_bench
 
         point = run_pipeline_bench(quick=args.quick, out_path=out_path)
+    elif args.suite == "mp":
+        from repro.kernels.mpbench import render_point, run_mp_bench
+
+        point = run_mp_bench(quick=args.quick, out_path=out_path)
     else:
         from repro.serve.bench import render_point, run_serve_bench
 

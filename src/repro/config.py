@@ -7,14 +7,24 @@ compiled-in default.  Slow CI machines raise the ceiling with one
 exported variable instead of editing source.
 
 The same rule selects the numeric-kernel backend: an explicit argument
-wins, else ``REPRO_KERNELS`` (``numpy`` or ``python``), else the
-compiled-in default (``numpy``).  ``python`` keeps every hot loop on the
-scalar reference implementations — the correctness oracle the
-:mod:`repro.kernels` property tests compare against.
+wins, else ``REPRO_KERNELS`` (``numpy``, ``python``, or ``mp``), else
+the compiled-in default (``numpy``).  ``python`` keeps every hot loop on
+the scalar reference implementations — the correctness oracle the
+:mod:`repro.kernels` property tests compare against.  ``mp`` shards the
+stencil and batched-LCS kernels across a pool of worker *processes*
+(escaping the GIL), handing NumPy arrays over via
+``multiprocessing.shared_memory``; every other kernel falls back to the
+in-process NumPy path.
+
+The multiprocess layer has two knobs of its own: ``REPRO_MP_WORKERS``
+(pool size; default ``min(4, cpu_count)``, but never below 2 so the
+transport is exercised even on one core) and ``REPRO_MP_START``
+(``fork``/``spawn``/``forkserver``; default prefers ``fork``).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 
 __all__ = [
@@ -23,6 +33,12 @@ __all__ = [
     "REPRO_KERNELS_ENV",
     "KERNEL_BACKENDS",
     "resolve_kernels_backend",
+    "REPRO_MP_WORKERS_ENV",
+    "REPRO_MP_START_ENV",
+    "SCHED_MODES",
+    "resolve_sched_mode",
+    "resolve_mp_workers",
+    "resolve_mp_start_method",
 ]
 
 #: Environment override for every runtime's deadlock/join ceiling.
@@ -31,8 +47,74 @@ REPRO_TIMEOUT_ENV = "REPRO_TIMEOUT_S"
 #: Environment override for the numeric-kernel backend.
 REPRO_KERNELS_ENV = "REPRO_KERNELS"
 
-#: Valid kernel backends: vectorized NumPy fast path, scalar oracle.
-KERNEL_BACKENDS = ("numpy", "python")
+#: Valid kernel backends: vectorized NumPy fast path, scalar oracle,
+#: multiprocess shared-memory sharding.
+KERNEL_BACKENDS = ("numpy", "python", "mp")
+
+#: Environment override for the multiprocess pool size.
+REPRO_MP_WORKERS_ENV = "REPRO_MP_WORKERS"
+
+#: Environment override for the multiprocessing start method.
+REPRO_MP_START_ENV = "REPRO_MP_START"
+
+#: Valid executor modes: in-process threads, or a process pool.
+SCHED_MODES = ("threaded", "mp")
+
+
+def resolve_sched_mode(explicit: str | None = None,
+                       default: str = "threaded") -> str:
+    """Validate an executor mode (scheduling is identical in both)."""
+    value = default if explicit is None else explicit
+    if value not in SCHED_MODES:
+        raise ValueError(
+            f"unknown executor mode {value!r}; expected one of {SCHED_MODES}"
+        )
+    return value
+
+
+def resolve_mp_workers(explicit: int | None = None) -> int:
+    """Pool size: ``explicit`` > ``$REPRO_MP_WORKERS`` > ``min(4, cores)``.
+
+    The default never drops below 2: on a single-core box a 2-process
+    pool still exercises the cross-process transport (correctness is
+    core-count independent; only the speedup is).
+    """
+    value = explicit
+    if value is None:
+        raw = os.environ.get(REPRO_MP_WORKERS_ENV)
+        if raw is not None and raw.strip():
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{REPRO_MP_WORKERS_ENV}={raw!r} is not an integer"
+                ) from None
+        else:
+            value = max(2, min(4, os.cpu_count() or 1))
+    if value < 1:
+        raise ValueError(f"mp worker count must be >= 1, got {value}")
+    return int(value)
+
+
+def resolve_mp_start_method(explicit: str | None = None) -> str:
+    """Start method: ``explicit`` > ``$REPRO_MP_START`` > prefer ``fork``.
+
+    ``fork`` is the cheap default where available (pools are created
+    before any drain thread starts, so forking is safe); platforms
+    without it fall back to whatever the interpreter defaults to.
+    """
+    value = explicit
+    if value is None:
+        raw = os.environ.get(REPRO_MP_START_ENV)
+        value = raw.strip().lower() if raw is not None and raw.strip() else None
+    available = multiprocessing.get_all_start_methods()
+    if value is None:
+        value = "fork" if "fork" in available else available[0]
+    if value not in available:
+        raise ValueError(
+            f"unknown start method {value!r}; expected one of {available}"
+        )
+    return value
 
 
 def resolve_kernels_backend(

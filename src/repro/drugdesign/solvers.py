@@ -28,6 +28,8 @@ from repro.openmp.reduction import Reduction
 from repro.openmp.runtime import OpenMP
 from repro.faults import hooks as faults
 from repro.openmp.sync import AtomicCounter
+from repro.sched import tune as _tune
+from repro.sched.core import Call
 from repro.telemetry import instrument as telemetry
 
 __all__ = [
@@ -212,8 +214,46 @@ def solve_cxx11_threads(
     )
 
 
+def _score_group(batch: list[str], protein: str) -> list[tuple[int, str]]:
+    """Picklable ``mode="mp"`` task body: one batched kernel call.
+
+    Runs in a pool child, which carries no telemetry session and no
+    fault-injection session — so :func:`solve_sched` only ships groups
+    across the process boundary when no fault session is active (the
+    chaos hooks must keep firing in-process, keyed by ligand).
+    """
+    from repro.kernels.lcs import lcs_scores_numpy
+
+    return list(zip(lcs_scores_numpy(batch, protein), batch))
+
+
+def _auto_chunk(ligands: list[str], protein: str, scheduler: Any) -> int:
+    """Measured chunk size: dispatch overhead vs per-ligand kernel time.
+
+    The per-item probe scores a small sample through the kernel
+    directly — not through :func:`score_ligand` — so no chaos hook fires
+    and no fault schedule shifts; the dispatch probe runs on a throwaway
+    executor (:func:`repro.sched.tune.measure_dispatch_overhead_s`), so
+    the caller's canonical event log stays a pure function of the real
+    sweep.
+    """
+    if not ligands:
+        return 1
+    sample = ligands[: min(16, len(ligands))]
+    start = time.perf_counter()
+    kernels.lcs_scores(sample, protein)
+    per_item_s = (time.perf_counter() - start) / len(sample)
+    overhead_s = _tune.measure_dispatch_overhead_s(
+        mode=getattr(scheduler, "mode", "threaded"),
+        n_workers=scheduler.n_workers,
+    )
+    return _tune.autotune_chunk(
+        overhead_s, per_item_s, len(ligands), scheduler.n_workers
+    )
+
+
 def solve_sched(
-    ligands: list[str], protein: str, scheduler: Any, chunk: int = 1
+    ligands: list[str], protein: str, scheduler: Any, chunk: int | str = 1
 ) -> DrugDesignResult:
     """Score through a :class:`repro.sched.WorkStealingExecutor`.
 
@@ -224,37 +264,64 @@ def solve_sched(
     ligands, each scored with one batched kernel call
     (:func:`score_ligands`) — the amortized dispatch path the kernel
     benchmark measures: k ligands ride one scheduler round-trip instead
-    of k.
+    of k.  ``chunk="auto"`` sizes k from the measured dispatch overhead
+    (:mod:`repro.sched.tune`); the measurement is wall-clock, so pass an
+    explicit chunk where the task structure must replay exactly.
+
+    On a ``mode="mp"`` scheduler (and no active fault session) each
+    group ships to a pool child as a picklable :class:`Call` — same
+    task count, order, and scores as the threaded closures, so the
+    canonical event log and the report are byte-identical across modes.
     """
-    if chunk < 1:
-        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    if chunk == "auto":
+        chunk = _auto_chunk(ligands, protein, scheduler)
+    if not isinstance(chunk, int) or isinstance(chunk, bool) or chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk!r}")
+    ship = (getattr(scheduler, "mode", "threaded") == "mp"
+            and not faults.enabled())
     with telemetry.span("dd.solve", category="solver", style="sched",
                         num_threads=scheduler.n_workers, chunk=chunk):
         if chunk == 1:
             groups = [[lig] for lig in ligands]
-            handles = scheduler.submit_batch(
-                [
-                    lambda lig=lig: [(score_ligand(lig, protein), lig)]
-                    for lig in ligands
-                ],
-                name="dd.score",
-            )
+            if ship:
+                handles = scheduler.submit_batch(
+                    [Call(_score_group, [lig], protein) for lig in ligands],
+                    name="dd.score",
+                )
+            else:
+                handles = scheduler.submit_batch(
+                    [
+                        lambda lig=lig: [(score_ligand(lig, protein), lig)]
+                        for lig in ligands
+                    ],
+                    name="dd.score",
+                )
         else:
             groups = [
                 list(ligands[i : i + chunk])
                 for i in range(0, len(ligands), chunk)
             ]
-            handles = scheduler.submit_batch(
-                [
-                    lambda batch=batch: list(
-                        zip(score_ligands(batch, protein), batch)
-                    )
-                    for batch in groups
-                ],
-                name="dd.score_chunk",
-            )
+            if ship:
+                handles = scheduler.submit_batch(
+                    [Call(_score_group, batch, protein) for batch in groups],
+                    name="dd.score_chunk",
+                )
+            else:
+                handles = scheduler.submit_batch(
+                    [
+                        lambda batch=batch: list(
+                            zip(score_ligands(batch, protein), batch)
+                        )
+                        for batch in groups
+                    ],
+                    name="dd.score_chunk",
+                )
         scheduler.drain()
         scored = [pair for handle in handles for pair in handle.result()]
+        if ship:
+            # The children ran without a telemetry session; keep the
+            # ligand counter honest from the parent side.
+            telemetry.inc("dd.ligands_scored", len(ligands))
     cells = [0] * scheduler.n_workers
     for handle, group in zip(handles, groups):
         worker = handle.worker if handle.worker is not None else 0

@@ -12,7 +12,13 @@ through one **backend registry**:
   :mod:`~repro.kernels.resample`;
 - ``python`` — the original scalar implementations, kept verbatim as
   the correctness oracle the property tests compare against
-  (bit-identical integers and floats, not approximately equal).
+  (bit-identical integers and floats, not approximately equal);
+- ``mp`` — the batched-LCS and heat-stencil kernels shard across a
+  process pool (:mod:`~repro.kernels.mp`) with
+  ``multiprocessing.shared_memory`` array handoff, escaping the GIL;
+  every other kernel (and any input too small to amortise the hop)
+  falls back to the in-process ``numpy`` path.  Results stay
+  bit-identical to the oracle on every backend.
 
 Selection follows the repo-wide knob rule (:mod:`repro.config`): an
 explicit :func:`set_backend` / :func:`use_backend` wins, else the
@@ -86,9 +92,9 @@ def lcs_score(ligand: str, protein: str) -> int:
     chosen = backend()
     with telemetry.span("kernel.lcs", category="kernel", backend=chosen,
                         m=len(ligand), n=len(protein)):
-        if chosen == "numpy":
-            return _lcs.lcs_score_numpy(ligand, protein)
-        return _lcs.lcs_score_python(ligand, protein)
+        if chosen == "python":
+            return _lcs.lcs_score_python(ligand, protein)
+        return _lcs.lcs_score_numpy(ligand, protein)   # numpy and mp alike
 
 
 def lcs_scores(ligands: Sequence[str], protein: str) -> list[int]:
@@ -98,6 +104,10 @@ def lcs_scores(ligands: Sequence[str], protein: str) -> list[int]:
                         batch=len(ligands), n=len(protein)):
         if chosen == "numpy":
             scores = _lcs.lcs_scores_numpy(ligands, protein)
+        elif chosen == "mp":
+            from repro.kernels import mp as _mp
+
+            scores = _mp.lcs_scores_mp(ligands, protein)
         else:
             scores = _lcs.lcs_scores_python(ligands, protein)
     telemetry.inc("kernel.lcs.ligands", len(ligands))
@@ -111,6 +121,10 @@ def heat_steps(u0: Sequence[float], alpha: float, steps: int) -> list[float]:
                         cells=len(u0), steps=steps):
         if chosen == "numpy":
             return _stencil.heat_steps_numpy(u0, alpha, steps)
+        if chosen == "mp":
+            from repro.kernels import mp as _mp
+
+            return _mp.heat_steps_mp(u0, alpha, steps)
         return _stencil.heat_steps_python(u0, alpha, steps)
 
 
@@ -126,11 +140,12 @@ def heat_block_step(
     chosen = backend()
     with telemetry.span("kernel.stencil_block", category="kernel",
                         backend=chosen, cells=len(block), start=start):
-        if chosen == "numpy":
-            return _stencil.heat_block_step_numpy(
+        if chosen == "python":
+            return _stencil.heat_block_step_python(
                 block, ghost_left, ghost_right, alpha, start, n
             )
-        return _stencil.heat_block_step_python(
+        # numpy and mp alike: one block step is too small to ship.
+        return _stencil.heat_block_step_numpy(
             block, ghost_left, ghost_right, alpha, start, n
         )
 
@@ -140,11 +155,13 @@ def bootstrap_estimates(data, name: str, n_resamples: int, seed: int):
     chosen = backend()
     with telemetry.span("kernel.bootstrap", category="kernel", backend=chosen,
                         statistic=name, n_resamples=n_resamples, n=data.size):
-        if chosen == "numpy":
-            return resample.bootstrap_estimates_numpy(
+        if chosen == "python":
+            return resample.bootstrap_estimates_python(
                 data, name, n_resamples, seed
             )
-        return resample.bootstrap_estimates_python(data, name, n_resamples, seed)
+        # numpy and mp alike: sharding would split the single PCG64
+        # stream and change the draws — vectorized-in-process it stays.
+        return resample.bootstrap_estimates_numpy(data, name, n_resamples, seed)
 
 
 def paired_bootstrap_estimates(a, b, name: str, n_resamples: int, seed: int):
@@ -153,10 +170,10 @@ def paired_bootstrap_estimates(a, b, name: str, n_resamples: int, seed: int):
     with telemetry.span("kernel.bootstrap_paired", category="kernel",
                         backend=chosen, statistic=name,
                         n_resamples=n_resamples, n=a.size):
-        if chosen == "numpy":
-            return resample.paired_bootstrap_estimates_numpy(
+        if chosen == "python":
+            return resample.paired_bootstrap_estimates_python(
                 a, b, name, n_resamples, seed
             )
-        return resample.paired_bootstrap_estimates_python(
+        return resample.paired_bootstrap_estimates_numpy(
             a, b, name, n_resamples, seed
         )

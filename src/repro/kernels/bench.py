@@ -12,7 +12,9 @@ same inputs:
 - **stencil** — the heat rod advanced by the per-cell loop vs the slice
   kernel;
 - **bootstrap** — ``bootstrap_ci(mean)`` at B resamples on the loop vs
-  the (B, n) matrix kernel.
+  the (B, n) matrix kernel; plus the same pair for ``median``, where
+  the loop pays a full sort per resample and the kernel one
+  ``np.partition`` per block.
 
 Results go to ``BENCH_kernels.json``; ``ok`` is true when no vectorized
 path is slower than its scalar twin at the benchmark sizes — the CI
@@ -130,7 +132,7 @@ def _bench_stencil(repeats: int, cells: int, steps: int) -> dict[str, float]:
 
 def _bench_bootstrap(repeats: int, n_resamples: int) -> dict[str, float]:
     from repro.stats.bootstrap import bootstrap_ci
-    from repro.stats.descriptive import mean
+    from repro.stats.descriptive import mean, median
 
     rng = np.random.default_rng(9)
     sample = rng.normal(4.0, 0.25, 124).tolist()
@@ -144,13 +146,28 @@ def _bench_bootstrap(repeats: int, n_resamples: int) -> dict[str, float]:
         with kernels.use_backend("numpy"):
             bootstrap_ci(sample, "mean", n_resamples=n_resamples, seed=3)
 
+    def median_scalar() -> None:
+        # The callable keeps the loop: one full sort per resample.
+        bootstrap_ci(sample, median, n_resamples=n_resamples, seed=3)
+
+    def median_vectorized() -> None:
+        # The named statistic rides the (B, n) matrix with one
+        # np.partition per block — selection, not B sorts.
+        with kernels.use_backend("numpy"):
+            bootstrap_ci(sample, "median", n_resamples=n_resamples, seed=3)
+
     scalar_s = _median_s(scalar, repeats)
     vector_s = _median_s(vectorized, repeats)
+    median_scalar_s = _median_s(median_scalar, repeats)
+    median_vector_s = _median_s(median_vectorized, repeats)
     return {
         "bootstrap_n_resamples": n_resamples,
         "bootstrap_scalar_s": scalar_s,
         "bootstrap_vector_s": vector_s,
         "bootstrap_speedup": scalar_s / vector_s,
+        "bootstrap_median_scalar_s": median_scalar_s,
+        "bootstrap_median_vector_s": median_vector_s,
+        "bootstrap_median_speedup": median_scalar_s / median_vector_s,
     }
 
 
@@ -182,6 +199,7 @@ def run_kernels_bench(
         point["lcs_batched_speedup"] >= 1.0
         and point["stencil_speedup"] >= 1.0
         and point["bootstrap_speedup"] >= 1.0
+        and point["bootstrap_median_speedup"] >= 1.0
     )
     point["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
     if out_path:
@@ -208,6 +226,9 @@ def render_point(point: dict[str, Any]) -> str:
         ("bootstrap mean (loop)", point["bootstrap_scalar_s"], 1.0),
         ("bootstrap mean (matrix)", point["bootstrap_vector_s"],
          point["bootstrap_speedup"]),
+        ("bootstrap median (loop)", point["bootstrap_median_scalar_s"], 1.0),
+        ("bootstrap median (partition)", point["bootstrap_median_vector_s"],
+         point["bootstrap_median_speedup"]),
     ]
     lines = [
         f"kernels bench (quick={point['quick']}): "

@@ -39,13 +39,32 @@ __all__ = [
     "lcs_scores_python",
     "lcs_score_numpy",
     "lcs_scores_numpy",
+    "lcs_scores_codes_numpy",
     "encode_protein",
+    "encode_ligands",
 ]
 
 
 def encode_protein(protein: str) -> np.ndarray:
     """Protein as an int16 code vector (int16 so pad code 0 never collides)."""
     return np.frombuffer(protein.encode("utf-8"), dtype=np.uint8).astype(np.int16)
+
+
+def encode_ligands(ligands: Sequence[str], max_m: int) -> np.ndarray:
+    """Ligands as one zero-padded (L, max_m) int16 code matrix.
+
+    Pad code 0 matches no protein character, and a no-match DP step is
+    the identity on a non-decreasing row — so rows padded to a *global*
+    ``max_m`` simply coast, which is what lets the multiprocess backend
+    slice this matrix into row shards without changing any score.
+    """
+    batch = np.zeros((len(ligands), max_m), dtype=np.int16)
+    for row, ligand in enumerate(ligands):
+        if ligand:
+            batch[row, : len(ligand)] = np.frombuffer(
+                ligand.encode("utf-8"), dtype=np.uint8
+            )
+    return batch
 
 
 def lcs_scores_python(ligands: Sequence[str], protein: str) -> list[int]:
@@ -83,19 +102,26 @@ def lcs_scores_numpy(ligands: Sequence[str], protein: str) -> list[int]:
     if not protein:
         return [0] * len(ligands)
     codes = encode_protein(protein)
-    n = codes.size
     max_m = max(len(ligand) for ligand in ligands)
     if max_m == 0:
         return [0] * len(ligands)
-    batch = np.zeros((len(ligands), max_m), dtype=np.int16)
-    for row, ligand in enumerate(ligands):
-        if ligand:
-            batch[row, : len(ligand)] = np.frombuffer(
-                ligand.encode("utf-8"), dtype=np.uint8
-            )
-    previous = np.zeros((len(ligands), n + 1), dtype=np.int32)
+    return lcs_scores_codes_numpy(encode_ligands(ligands, max_m), codes)
+
+
+def lcs_scores_codes_numpy(batch: np.ndarray, codes: np.ndarray) -> list[int]:
+    """The matrix DP on pre-encoded inputs: (L, max_m) ligand codes
+    against one protein code vector.
+
+    Row-independent, so any row slice of ``batch`` yields exactly the
+    scores of those ligands — the entry point the multiprocess backend
+    calls per shard after shipping ``batch[lo:hi]`` through shared
+    memory.
+    """
+    n = codes.size
+    rows = batch.shape[0]
+    previous = np.zeros((rows, n + 1), dtype=np.int32)
     current = np.zeros_like(previous)
-    for k in range(max_m):
+    for k in range(batch.shape[1]):
         column = batch[:, k : k + 1]
         candidate = np.where(codes[None, :] == column, previous[:, :-1] + 1, 0)
         np.maximum.accumulate(

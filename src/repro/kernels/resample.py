@@ -3,8 +3,8 @@
 The scalar loop in :mod:`repro.stats.bootstrap` draws one index vector
 per resample and applies a Python callable B times.  For the statistics
 the reproduction actually bootstraps — the mean, the sample SD, the
-paper's average-variance Cohen's d, and the Pearson r — the whole
-procedure collapses to array expressions: draw the complete (B, n)
+median, the paper's average-variance Cohen's d, and the Pearson r — the
+whole procedure collapses to array expressions: draw the complete (B, n)
 index matrix in one call and reduce along ``axis=1``.
 
 Bit-identity with the scalar path holds by construction and is pinned
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 #: Named one-sample statistics with a vectorized implementation.
-STATISTICS = ("mean", "std")
+STATISTICS = ("mean", "std", "median")
 
 #: Named paired statistics with a vectorized implementation.
 PAIRED_STATISTICS = ("mean_diff", "cohens_d", "pearson_r")
@@ -66,6 +66,8 @@ def resolve_statistic(statistic: Any) -> str | None:
         return statistic
     if statistic is np.mean:
         return "mean"
+    if statistic is np.median:
+        return "median"
     return None
 
 
@@ -93,7 +95,27 @@ def statistic_value(data: np.ndarray, name: str) -> float:
         return float(data.mean())
     if name == "std":
         return float(data.std(ddof=1))
+    if name == "median":
+        return float(_rows_median(data[None, :])[0])
     raise ValueError(f"unknown statistic {name!r}")
+
+
+def _rows_median(matrix: np.ndarray) -> np.ndarray:
+    """Per-row median, bit-identical to :func:`repro.stats.descriptive.median`.
+
+    Deliberately *not* ``np.quantile(..., 0.5)``: NumPy's quantile
+    interpolates with ``b - (b - a) * 0.5``, which is not the oracle's
+    ``0.5 * (a + b)`` in IEEE-754 — e.g. a=-1.0, b=1.0000000000000002
+    gives 2.220446049250313e-16 vs the oracle's 1.1102230246251565e-16.
+    ``np.partition`` is pure selection (no arithmetic on values), after
+    which the even-length midpoint uses the oracle's exact expression.
+    """
+    n = matrix.shape[1]
+    mid = n // 2
+    if n % 2:
+        return np.partition(matrix, mid, axis=1)[:, mid].astype(np.float64)
+    part = np.partition(matrix, (mid - 1, mid), axis=1)
+    return 0.5 * (part[:, mid - 1] + part[:, mid])
 
 
 def _rows_statistic(matrix: np.ndarray, name: str) -> np.ndarray:
@@ -101,6 +123,8 @@ def _rows_statistic(matrix: np.ndarray, name: str) -> np.ndarray:
         return matrix.mean(axis=1)
     if name == "std":
         return matrix.std(axis=1, ddof=1)
+    if name == "median":
+        return _rows_median(matrix)
     raise ValueError(f"unknown statistic {name!r}")
 
 

@@ -25,10 +25,12 @@ DESIGN rule); the executor remains the ephemeral dispatch layer.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from repro.faults.injector import InjectedCrash
 from repro.pipeline.store import JobRecord, JobStore
@@ -128,9 +130,16 @@ class StoreScheduler:
         is released immediately (restart fencing): a scheduler that just
         started cannot be running anything, so such leases belong to a
         dead previous incarnation.
+
+        While a batch runs, a background heartbeat renews this owner's
+        leases every ``lease_s / 3`` seconds, so ``lease_s`` may be much
+        shorter than the longest handler: a crashed worker's jobs are
+        reclaimed after one short TTL, while a *live* worker's jobs keep
+        their lease for as long as the handler actually runs — no other
+        worker can reclaim mid-flight work and run it twice.
         """
         stats = {"rounds": 0, "leased": 0, "completed": 0, "failed": 0,
-                 "retried": 0, "reclaimed": 0, "waits": 0}
+                 "retried": 0, "reclaimed": 0, "waits": 0, "renewed": 0}
         stats["reclaimed"] += len(self.store.release_owner(self.owner))
         waits = 0
         with telemetry.span("pipeline.drain", category="pipeline",
@@ -166,11 +175,12 @@ class StoreScheduler:
                 if not batch:
                     continue                    # lost every race this round
                 stats["leased"] += len(batch)
-                results = executor.map(
-                    [lambda job=job: self._run_one(handler, job)
-                     for job in batch],
-                    name="pipeline.job",
-                )
+                with self._heartbeat([job.job_id for job in batch], stats):
+                    results = executor.map(
+                        [lambda job=job: self._run_one(handler, job)
+                         for job in batch],
+                        name="pipeline.job",
+                    )
                 for job, (tag, value) in zip(batch, results):
                     if tag == "ok":
                         self.store.complete(job.job_id, value)
@@ -179,6 +189,46 @@ class StoreScheduler:
                         retry = job.attempts < self.max_attempts
                         self.store.fail(job.job_id, value, retry=retry)
                         stats["retried" if retry else "failed"] += 1
+
+    @contextlib.contextmanager
+    def _heartbeat(self, job_ids: list[int],
+                   stats: dict[str, int]) -> Iterator[None]:
+        """Renew this owner's leases in the background while a batch runs.
+
+        Fires every ``lease_s / 3`` — two missed beats of margin before
+        the lease actually expires.  The renewal UPDATE is fenced on
+        ``state = 'leased' AND lease_owner = ?``, so a heartbeat that
+        races a completed (or reclaimed) job is a no-op, never a
+        resurrection.  With ``lease_s=None`` (the store default TTL
+        still applies) the cadence falls back to a third of the store's
+        own default.
+        """
+        ttl = self.lease_s if self.lease_s is not None else self.store.lease_s
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(ttl / 3.0):
+                try:
+                    renewed = self.store.renew_lease(
+                        self.owner, job_ids, self.lease_s
+                    )
+                except Exception:  # noqa: BLE001 - next beat retries
+                    continue
+                with lock:
+                    counts["renewed"] += len(renewed)
+
+        lock = threading.Lock()
+        counts = {"renewed": 0}
+        thread = threading.Thread(
+            target=beat, name=f"lease-heartbeat-{self.owner}", daemon=True
+        )
+        thread.start()
+        try:
+            yield
+        finally:
+            stop.set()
+            thread.join()
+            stats["renewed"] += counts["renewed"]
 
     @staticmethod
     def _run_one(handler: Callable[[JobRecord], Any],

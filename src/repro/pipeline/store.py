@@ -15,6 +15,13 @@ One file holds three tables:
   resumes from.
 - ``callbacks`` — durable ``on_complete`` follow-ups the serve layer
   arms against a job key and claims exactly once at terminal state.
+- ``completions`` — a durable terminal marker per parent key (state +
+  finish time).  Serve jobs themselves live in memory, so after a
+  restart the callbacks table alone cannot distinguish "parent still
+  running" from "parent finished while the service was closing"; this
+  marker is what lets :meth:`JobStore.stranded_callbacks` find armed
+  specs whose parent already ended so a new incarnation can resubmit
+  them instead of waiting for a completion that will never recur.
 
 Durability and atomicity come from SQLite itself: WAL journaling, and
 every mutation inside an explicit ``BEGIN IMMEDIATE`` transaction, so a
@@ -112,6 +119,11 @@ CREATE TABLE IF NOT EXISTS callbacks (
     fired_s    REAL
 );
 CREATE INDEX IF NOT EXISTS callbacks_by_parent ON callbacks(parent_key, state);
+CREATE TABLE IF NOT EXISTS completions (
+    parent_key TEXT PRIMARY KEY,
+    state      TEXT NOT NULL,
+    finished_s REAL NOT NULL
+);
 """
 
 
@@ -437,6 +449,38 @@ class JobStore:
             ).fetchall()
         return self.lease(owner, [row["id"] for row in rows], lease_s)
 
+    def renew_lease(
+        self,
+        owner: str,
+        job_ids: Sequence[int],
+        lease_s: float | None = None,
+    ) -> list[int]:
+        """Extend ``owner``'s still-held leases by a fresh TTL.
+
+        The heartbeat half of the lease protocol: a live worker running
+        a handler longer than ``lease_s`` renews periodically, so the
+        TTL can be sized for *detecting death quickly* instead of for
+        the slowest handler.  Only jobs still leased **by this owner**
+        are touched — a job another worker already reclaimed (this
+        worker was presumed dead) is left alone, and its absence from
+        the returned ids is the signal the renewal lost the race.
+        """
+        ttl = self.lease_s if lease_s is None else float(lease_s)
+        now = self._now()
+        renewed: list[int] = []
+        with self._write("renew") as conn:
+            for job_id in job_ids:
+                cursor = conn.execute(
+                    "UPDATE jobs SET lease_expires_s = ?, updated_s = ? "
+                    "WHERE id = ? AND state = 'leased' AND lease_owner = ?",
+                    (now + ttl, now, job_id, owner),
+                )
+                if cursor.rowcount == 1:
+                    renewed.append(job_id)
+        if renewed:
+            telemetry.inc("pipeline.leases.renewed", len(renewed))
+        return renewed
+
     def complete(self, job_id: int, result: Any = None) -> JobRecord:
         """``leased → done`` with a JSON-safe result payload."""
         with self._write("complete") as conn:
@@ -617,3 +661,51 @@ class JobStore:
                 f"WHERE state = 'armed' {where}", params
             ).fetchone()
         return int(row["n"])
+
+    # -- terminal markers (restart-safe callback delivery) -------------------
+
+    def mark_terminal(self, parent_key: str, state: str) -> None:
+        """Durably record that ``parent_key`` reached a terminal state.
+
+        Idempotent upsert; the serve layer writes it at every terminal
+        transition (done/failed/cancelled), including during shutdown
+        drain — which is exactly the window that strands callbacks.
+        """
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._write("terminal") as conn:
+            conn.execute(
+                "INSERT INTO completions (parent_key, state, finished_s) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT(parent_key) DO UPDATE SET "
+                "  state = excluded.state, finished_s = excluded.finished_s",
+                (parent_key, state, self._now()),
+            )
+
+    def terminal_state(self, parent_key: str) -> str | None:
+        """The recorded terminal state of ``parent_key``, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT state FROM completions WHERE parent_key = ?",
+                (parent_key,),
+            ).fetchone()
+        return None if row is None else str(row["state"])
+
+    def stranded_callbacks(self) -> list[tuple[str, str]]:
+        """Parents with armed callbacks that already ended.
+
+        Returns ``(parent_key, terminal_state)`` pairs, one per parent,
+        in key order.  These specs will never fire on their own — the
+        completion they wait for already happened — so a restarted
+        service resubmits them (claiming each via
+        :meth:`claim_callbacks`, which keeps exactly-once).
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT c.parent_key AS parent_key, "
+                "       t.state AS state "
+                "FROM callbacks c JOIN completions t "
+                "  ON t.parent_key = c.parent_key "
+                "WHERE c.state = 'armed' ORDER BY c.parent_key"
+            ).fetchall()
+        return [(str(row["parent_key"]), str(row["state"])) for row in rows]

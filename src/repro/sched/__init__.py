@@ -41,6 +41,7 @@ from __future__ import annotations
 from repro.sched.cache import ResultCache, canonical_repr, fingerprint
 from repro.sched.core import (
     BackpressureError,
+    Call,
     CancelledError,
     SchedError,
     SchedEvent,
@@ -59,6 +60,7 @@ from repro.sched.queue import JobQueue
 
 __all__ = [
     "BackpressureError",
+    "Call",
     "CancelledError",
     "SchedError",
     "SchedEvent",

@@ -25,6 +25,7 @@ __all__ = [
     "CancelledError",
     "TaskState",
     "Task",
+    "Call",
     "TaskHandle",
     "SchedEvent",
     "StealOrder",
@@ -63,6 +64,37 @@ class Task:
     state: TaskState = TaskState.PENDING
     taken: bool = False          # claimed by a worker / inline helper / cancel
     attempts: int = 0
+
+
+class Call:
+    """A picklable zero-argument callable: ``fn(*args, **kwargs)`` deferred.
+
+    Closures cannot cross a process boundary, so this is the task form
+    the multiprocess executor backend ships to pool workers: ``fn`` must
+    be a module-level function (picklable by reference) and the
+    arguments plain data or NumPy arrays.  Under ``mode="threaded"`` a
+    ``Call`` behaves exactly like the equivalent lambda; under
+    ``mode="mp"`` it is the *only* task form that escapes the GIL —
+    plain closures still run, but inline in the parent process.
+
+    Scheduling never looks inside: shipping a ``Call`` changes where the
+    task body executes, not which worker runs it or when.
+    """
+
+    __slots__ = ("fn", "args", "kwargs")
+
+    def __init__(self, fn: Callable[..., Any], /, *args: Any,
+                 **kwargs: Any) -> None:
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+
+    def __call__(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Call({name}, {len(self.args)} args)"
 
 
 @dataclass

@@ -24,6 +24,17 @@ Two execution modes share all of that machinery:
   the per-runtime thread pools).  Same deques, same seeded steal order;
   the log is rendered sorted because arrival order is genuinely racy.
 
+Orthogonal to both scheduling modes is the **execution vehicle**
+(``mode``): ``"threaded"`` runs task bodies in-process; ``"mp"`` ships
+:class:`~repro.sched.core.Call` task bodies to a per-worker child
+process (:class:`repro.procpool.ProcessPool`) so pure-Python work
+escapes the GIL, with ``multiprocessing.shared_memory`` handoff for
+large NumPy arguments.  Scheduling never changes: the executor decides
+(worker, task) exactly as before and then ships the body to *that*
+worker's child, so the canonical stepping-mode event log is
+byte-identical between ``mode="threaded"`` and ``mode="mp"``.  Plain
+closures (which cannot pickle) still run, inline in the parent.
+
 Every dispatch is a :mod:`repro.faults` injection site (``sched.task``);
 injected crashes/transients are retried up to ``max_attempts`` by
 re-queueing on the executing worker's deque.  An optional
@@ -42,11 +53,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.config import resolve_timeout_s
+from repro.config import resolve_sched_mode, resolve_timeout_s
 from repro.faults import hooks as faults
 from repro.faults.injector import InjectedCrash, TransientFault
 from repro.faults.policies import CircuitBreaker, CircuitOpenError
 from repro.sched.core import (
+    Call,
     CancelledError,
     SchedError,
     SchedEvent,
@@ -78,6 +90,7 @@ class SchedStats:
     n_workers: int
     seed: int
     deterministic: bool
+    mode: str = "threaded"
     submitted: int = 0
     executed: int = 0
     failed: int = 0
@@ -87,6 +100,8 @@ class SchedStats:
     local_pops: int = 0
     queue_takes: int = 0
     steals: int = 0
+    mp_shipped: int = 0   # Call bodies executed in a pool child
+    mp_inline: int = 0    # closures a mode="mp" executor ran in-parent
     steps: int = 0
     high_water: int = 0
 
@@ -101,6 +116,9 @@ class SchedStats:
             "n_workers": self.n_workers,
             "seed": self.seed,
             "deterministic": self.deterministic,
+            "mode": self.mode,
+            "mp_shipped": self.mp_shipped,
+            "mp_inline": self.mp_inline,
             "submitted": self.submitted,
             "executed": self.executed,
             "failed": self.failed,
@@ -127,6 +145,7 @@ class WorkStealingExecutor:
         max_attempts: int = 3,
         max_pending: int | None = None,
         breaker: CircuitBreaker | None = None,
+        mode: str = "threaded",
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -137,6 +156,8 @@ class WorkStealingExecutor:
         self.deterministic = deterministic
         self.max_attempts = max_attempts
         self.breaker = breaker
+        self.mode = resolve_sched_mode(mode)
+        self._pool = None            # created lazily at first drain
         self.queue = JobQueue(max_pending=max_pending)
         self.steal_order = StealOrder(seed, n_workers)
         # Seeded placement of admitted tasks onto deques.  A string seed
@@ -165,7 +186,7 @@ class WorkStealingExecutor:
         self._counts = {
             "submitted": 0, "executed": 0, "failed": 0, "cancelled": 0,
             "retries": 0, "rejected": 0, "local_pops": 0, "queue_takes": 0,
-            "steals": 0,
+            "steals": 0, "mp_shipped": 0, "mp_inline": 0,
         }
         self._high_water = 0
         # Long-lived serving (start()/shutdown()): worker threads that
@@ -396,7 +417,7 @@ class WorkStealingExecutor:
             with telemetry.span("sched.task", category="task",
                                 task=task.task_id, task_name=task.name,
                                 worker=worker, attempt=attempt):
-                value = task.fn()
+                value = self._execute_body(task, worker)
         except (InjectedCrash, TransientFault) as exc:
             if self.breaker is not None:
                 self.breaker.record_failure()
@@ -429,6 +450,50 @@ class WorkStealingExecutor:
             self._finish(task, worker, value=value)
         finally:
             self._local.worker = previous_worker
+
+    def _execute_body(self, task: Task, worker: int) -> Any:
+        """Run the task body where ``mode`` dictates.
+
+        Only :class:`Call` payloads can cross the process boundary; a
+        plain closure under ``mode="mp"`` runs inline in the parent
+        (counted as ``mp_inline``) so every existing workload still
+        works — it just doesn't escape the GIL.  Faults and telemetry
+        fired above stay parent-side either way, which is what keeps
+        chaos replay and the event log mode-independent.
+        """
+        if self._pool is not None and isinstance(task.fn, Call):
+            with self._lock:
+                self._counts["mp_shipped"] += 1
+            return self._pool.run(worker, task.fn)
+        if self.mode == "mp":
+            with self._lock:
+                self._counts["mp_inline"] += 1
+        return task.fn()
+
+    def _ensure_pool(self) -> None:
+        """Create the process pool (mode="mp" only), sized one child per
+        worker so the task→process mapping is fixed.  Called before any
+        drain thread starts, which is what makes ``fork`` safe."""
+        if self.mode != "mp" or self._pool is not None:
+            return
+        from repro.procpool import ProcessPool
+
+        self._pool = ProcessPool(
+            self.n_workers,
+            timeout_s=resolve_timeout_s(None, DRAIN_TIMEOUT_S),
+        )
+
+    def close(self) -> None:
+        """Release the process pool, if one was created.  Idempotent."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "WorkStealingExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _finish(
         self,
@@ -477,6 +542,7 @@ class WorkStealingExecutor:
                 "(use shutdown() to stop, not drain())"
             )
         budget = resolve_timeout_s(timeout, DRAIN_TIMEOUT_S)
+        self._ensure_pool()
         with telemetry.span("sched.drain", category="sched",
                             n_workers=self.n_workers, seed=self.seed,
                             deterministic=self.deterministic):
@@ -556,6 +622,11 @@ class WorkStealingExecutor:
         """
         if self.deterministic:
             raise SchedError("serving requires deterministic=False")
+        if self.mode == "mp":
+            raise SchedError(
+                "serving requires mode='threaded': serve jobs are "
+                "closures, which cannot cross the process boundary"
+            )
         if self._serve_threads:
             raise SchedError("executor is already serving")
         self._stop_serving.clear()
@@ -682,6 +753,7 @@ class WorkStealingExecutor:
                 n_workers=self.n_workers,
                 seed=self.seed,
                 deterministic=self.deterministic,
+                mode=self.mode,
                 steps=self._step,
                 high_water=self._high_water,
                 **self._counts,

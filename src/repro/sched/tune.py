@@ -1,0 +1,110 @@
+"""Dispatch-overhead-aware chunk sizing for scheduler sweeps.
+
+Submitting one task per item pays the scheduler round-trip — deque
+push, steal protocol, handle resolution, and under ``mode="mp"`` a
+pickle hop to a child process — once per *item*.  Chunking pays it once
+per *chunk* of k items, at the cost of coarser load balancing.  The
+right k is not a constant: it is the ratio of the measured dispatch
+overhead to the measured per-item compute time.
+
+:func:`autotune_chunk` is the pure arithmetic (unit-testable, no
+clocks); :func:`measure_dispatch_overhead_s` feeds it by timing no-op
+tasks through a throwaway executor of the same mode — *never* through
+the caller's executor, whose canonical event log and statistics must
+stay a pure function of the real workload.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+__all__ = ["autotune_chunk", "measure_dispatch_overhead_s"]
+
+#: Measured per-task overheads, keyed by (mode, n_workers).  Dispatch
+#: cost is a property of the machine and the transport, not of any one
+#: sweep, so one probe per process is enough.
+_OVERHEAD_CACHE: dict[tuple[str, int], float] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def _noop() -> None:
+    """Module-level so ``mode="mp"`` probes can pickle it."""
+
+
+def autotune_chunk(
+    dispatch_overhead_s: float,
+    per_item_s: float,
+    n_items: int,
+    n_workers: int = 1,
+    target_overhead: float = 0.1,
+) -> int:
+    """The smallest chunk size keeping dispatch under ``target_overhead``.
+
+    With chunk k the sweep submits ``ceil(n/k)`` tasks, spending
+    ``ceil(n/k) * d`` on dispatch against ``n * p`` of compute; the
+    overhead fraction drops below ``t`` once ``k >= d / (t * p)``.  The
+    smallest such k is returned — smaller chunks balance load better, so
+    there is no reason to exceed the bound.  Two caps apply:
+
+    - ``ceil(n / n_workers)`` — a chunk so large that some workers never
+      receive one wastes whole cores, which costs more than any dispatch
+      overhead (if even w chunks cannot amortise dispatch, the sweep is
+      not worth parallelising at all);
+    - ``n_items`` — one chunk is the coarsest possible split.
+
+    Degenerate measurements (zero or negative timings) fall back to
+    roughly four chunks per worker: enough slack for work stealing,
+    bounded dispatch count.
+    """
+    if n_items <= 0:
+        return 1
+    if not 0.0 < target_overhead < 1.0:
+        raise ValueError(
+            f"target_overhead must be in (0, 1), got {target_overhead}"
+        )
+    workers = max(1, n_workers)
+    if per_item_s <= 0.0 or dispatch_overhead_s <= 0.0:
+        return max(1, math.ceil(n_items / (4 * workers)))
+    chunk = max(1, math.ceil(dispatch_overhead_s
+                             / (target_overhead * per_item_s)))
+    cap = max(1, math.ceil(n_items / workers))
+    return max(1, min(chunk, cap, n_items))
+
+
+def measure_dispatch_overhead_s(
+    mode: str = "threaded",
+    n_workers: int = 2,
+    n_probe: int = 64,
+) -> float:
+    """Measured per-task round-trip cost of the given executor mode.
+
+    Times ``n_probe`` no-op tasks through a fresh throwaway executor;
+    a warm-up batch runs first so thread spin-up (and for ``mode="mp"``
+    the process-pool fork) stays out of the measurement — that cost is
+    paid once per run, not once per task.  Results are cached per
+    (mode, n_workers) for the life of the process.
+    """
+    key = (mode, n_workers)
+    with _CACHE_LOCK:
+        if key in _OVERHEAD_CACHE:
+            return _OVERHEAD_CACHE[key]
+    from repro.sched.core import Call
+    from repro.sched.executor import WorkStealingExecutor
+
+    executor = WorkStealingExecutor(n_workers=n_workers, mode=mode)
+    try:
+        executor.submit_batch([Call(_noop) for _ in range(n_workers)],
+                              name="tune.warmup")
+        executor.drain()
+        start = time.perf_counter()
+        executor.submit_batch([Call(_noop) for _ in range(n_probe)],
+                              name="tune.probe")
+        executor.drain()
+        per_task = (time.perf_counter() - start) / n_probe
+    finally:
+        executor.close()
+    with _CACHE_LOCK:
+        _OVERHEAD_CACHE[key] = per_task
+    return per_task

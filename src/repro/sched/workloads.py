@@ -151,6 +151,7 @@ def run_sched_workload(
     workers: int = 4,
     seed: int = 7,
     cache: ResultCache | None = None,
+    mode: str = "threaded",
 ) -> SchedReport:
     """Run one workload through a fresh deterministic executor.
 
@@ -158,6 +159,13 @@ def run_sched_workload(
     the entire report payload (output, stats, event log) is memoised
     under the content address of (workload, workers, seed), so a warm
     run replays identical output without executing.
+
+    ``mode`` picks the execution vehicle (``"threaded"`` or ``"mp"``);
+    the scheduling decisions — and therefore the rendered report — are
+    byte-identical either way, which is exactly what lets CI diff the
+    two.  The threaded cache key is unchanged from older releases;
+    other modes append the mode name so a warm threaded cache cannot
+    masquerade as an mp run (the stats payloads differ).
     """
     entry = registry.get(name)
     if entry.sched is None:
@@ -166,19 +174,24 @@ def run_sched_workload(
     fn = entry.sched
 
     def compute() -> dict:
-        executor = WorkStealingExecutor(n_workers=workers, seed=seed)
-        summary, output_lines = fn(executor, workers, seed)
-        return {
-            "summary": summary,
-            "output": tuple(output_lines),
-            "stats": executor.stats().as_dict(),
-            "log": tuple(executor.log_lines()),
-        }
+        executor = WorkStealingExecutor(n_workers=workers, seed=seed,
+                                        mode=mode)
+        try:
+            summary, output_lines = fn(executor, workers, seed)
+            return {
+                "summary": summary,
+                "output": tuple(output_lines),
+                "stats": executor.stats().as_dict(),
+                "log": tuple(executor.log_lines()),
+            }
+        finally:
+            executor.close()        # releases the mode="mp" process pool
 
+    cache_key = ("sched", name, workers, seed)
+    if mode != "threaded":
+        cache_key = cache_key + (mode,)
     if cache is not None:
-        payload, _hit = cache.get_or_compute(
-            ("sched", name, workers, seed), compute
-        )
+        payload, _hit = cache.get_or_compute(cache_key, compute)
         hits, misses = cache.hits, cache.misses
     else:
         payload = compute()

@@ -30,7 +30,11 @@ composes the substrate built in earlier PRs as production components:
   when the parent reaches a terminal state.  The armed spec lives in
   SQLite (the DESIGN rule: durable state goes through the pipeline
   store), so follow-ups survive a service restart; in-memory queues
-  stay ephemeral;
+  stay ephemeral.  Every terminal transition is also recorded durably
+  (:meth:`~repro.pipeline.store.JobStore.mark_terminal`), so a
+  restarted service can tell "armed, parent still running" from
+  "armed, parent already finished — the fire was lost" and resubmits
+  the latter on construction;
 - **atomic batches** — :meth:`submit_batch` admits a list of specs all
   or nothing, riding :meth:`WorkStealingExecutor.submit_batch` /
   :meth:`JobQueue.push_batch`: one overflowing batch is refused whole
@@ -154,6 +158,7 @@ class JobService:
         if manage_telemetry and not telemetry.is_enabled():
             self._session = telemetry.enable()
         self.executor.start()
+        self._resubmit_stranded_callbacks()
 
     # -- submission ----------------------------------------------------------
 
@@ -220,10 +225,14 @@ class JobService:
             job.result = cached
             job.started_s = job.finished_s = time.time()
             job._transition("done", cached=True)
+            self._mark_terminal(job)
             instrument.inc("serve.jobs.cached")
             with self._lock:
                 self._jobs[job_id] = job
             if follow is not None:
+                # Mark first, then arm, then fire: if the process dies
+                # between arm and fire, the completions row already says
+                # the parent is terminal, so a restart resubmits.
                 self.store.add_callback(job.key, follow)
                 self._fire_callbacks(job)
             return job
@@ -337,6 +346,7 @@ class JobService:
             job.result = payload
             job.started_s = job.finished_s = time.time()
             job._transition("done", cached=True)
+            self._mark_terminal(job)
             instrument.inc("serve.jobs.cached")
         for job in jobs:
             follow = getattr(job, "follow_up_spec", None)
@@ -346,6 +356,48 @@ class JobService:
                     self._fire_callbacks(job)
         instrument.gauge("serve.queue.depth", self.executor.pending())
         return jobs
+
+    def _mark_terminal(self, job: Job) -> None:
+        """Durably record that this job's key reached a terminal state.
+
+        The completions row is what lets a *restarted* service tell a
+        stranded callback (parent finished, fire lost to the shutdown)
+        from one whose parent never ran — only the former may be
+        resubmitted.  Written before callbacks fire, so there is no
+        window where the spec is claimed-or-armed with the parent's
+        completion unrecorded.
+        """
+        self.store.mark_terminal(job.key, job.state)
+
+    def _resubmit_stranded_callbacks(self) -> None:
+        """Replay armed follow-ups whose parent already finished.
+
+        Runs once, on construction.  A previous incarnation that shut
+        down (or died) between a parent's terminal transition and its
+        callback fire left the spec armed in the durable store *and* a
+        completions row naming the parent terminal — the fire is lost,
+        the obligation is not.  ``claim_callbacks`` flips armed → fired
+        atomically, so two services racing on the same store resubmit
+        each spec at most once.
+        """
+        for parent_key, state in self.store.stranded_callbacks():
+            for spec in self.store.claim_callbacks(parent_key):
+                try:
+                    self.submit(
+                        mode=spec.get("mode", "sched"),
+                        workload=spec["workload"],
+                        params=spec.get("params") or {},
+                        priority=int(spec.get("priority", 0)),
+                        on_complete=spec.get("on_complete"),
+                    )
+                except Exception as exc:  # noqa: BLE001 - parent long gone
+                    instrument.inc("serve.callbacks.dropped")
+                    instrument.instant("serve.callback.dropped",
+                                       parent=parent_key, error=repr(exc))
+                else:
+                    instrument.inc("serve.callbacks.resubmitted")
+                    instrument.instant("serve.callback.resubmitted",
+                                       parent=parent_key, parent_state=state)
 
     def _fire_callbacks(self, job: Job) -> None:
         """Submit every armed follow-up for this job's key, exactly once.
@@ -395,6 +447,7 @@ class JobService:
                 self.breaker.record_success()
                 instrument.inc("serve.jobs.completed")
                 job._transition("done", cached=False)
+        self._mark_terminal(job)
         self._fire_callbacks(job)
         instrument.observe_us(
             "serve.job.latency_us", (time.perf_counter() - started) * 1e6
@@ -419,6 +472,7 @@ class JobService:
             return job.state == "cancelled"
         instrument.inc("serve.jobs.cancelled")
         job._transition("cancelled")
+        self._mark_terminal(job)
         self._fire_callbacks(job)
         instrument.gauge("serve.queue.depth", self.executor.pending())
         return True
@@ -463,6 +517,7 @@ class JobService:
             if job.handle.cancel():
                 instrument.inc("serve.jobs.cancelled")
                 job._transition("cancelled")
+                self._mark_terminal(job)
                 cancelled += 1
         drained_from = time.time()
         self.executor.shutdown(cancel_pending=True, timeout=timeout)
@@ -475,6 +530,7 @@ class JobService:
         for job in stragglers:
             if job.handle is not None and job.handle.cancelled():
                 job._transition("cancelled")
+                self._mark_terminal(job)
                 cancelled += 1
         with self._lock:
             drained = sum(

@@ -8,8 +8,9 @@ samples, e.g. Cohen's d between waves or the emphasis↔growth
 correlation.  Deterministic for a given seed.
 
 Common statistics take the vectorized fast path in
-:mod:`repro.kernels.resample`: pass ``"mean"`` / ``"std"`` (or the
-``np.mean`` callable, recognised by identity) to :func:`bootstrap_ci`,
+:mod:`repro.kernels.resample`: pass ``"mean"`` / ``"std"`` / ``"median"``
+(or the ``np.mean``/``np.median`` callables, recognised by identity) to
+:func:`bootstrap_ci`,
 or ``"mean_diff"`` / ``"cohens_d"`` / ``"pearson_r"`` to
 :func:`bootstrap_paired_ci`, and the whole (B, n) index matrix is drawn
 in one call with the statistic reduced along an axis — no Python loop,
@@ -80,7 +81,8 @@ def bootstrap_ci(
     """Percentile bootstrap CI for ``statistic(xs)``.
 
     ``statistic`` may be a callable (looped) or the name of a kernel
-    statistic — ``"mean"`` or ``"std"`` — for the vectorized path.
+    statistic — ``"mean"``, ``"std"``, or ``"median"`` — for the
+    vectorized path.
     """
     _validate(level, n_resamples, len(xs))
     data = np.asarray(xs, dtype=float)

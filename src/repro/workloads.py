@@ -56,12 +56,20 @@ __all__ = [
 #: Execution modes, in the order listings display them.
 MODES: tuple[str, ...] = ("trace", "chaos", "sched", "pipeline")
 
-#: Parameters each mode accepts in :func:`run_job` (all integers).
+#: Parameters each mode accepts in :func:`run_job` (integers, except the
+#: enumerated string parameters in :data:`STRING_PARAMS`).
 MODE_PARAMS: dict[str, tuple[str, ...]] = {
     "trace": ("threads",),
     "chaos": ("seed", "threads"),
-    "sched": ("workers", "seed"),
+    "sched": ("workers", "seed", "mode"),
     "pipeline": ("workers", "seed"),
+}
+
+#: String-valued parameters and their allowed values.  ``mode`` here is
+#: the *executor* mode of a sched job (threaded workers vs a process
+#: pool), orthogonal to the workload mode that names the front-end.
+STRING_PARAMS: dict[str, tuple[str, ...]] = {
+    "mode": ("threaded", "mp"),
 }
 
 
@@ -218,22 +226,33 @@ def runner_for(workload: Workload, mode: str) -> Callable:
     return fn
 
 
-def validate_params(mode: str, params: Mapping[str, Any] | None) -> dict[str, int]:
+def validate_params(mode: str, params: Mapping[str, Any] | None) -> dict[str, Any]:
     """Check/coerce a job request's parameters for ``mode``.
 
-    Unknown keys and non-integer values raise ``ValueError`` — the job
-    service turns that into a 400 before anything is admitted.
+    Unknown keys and ill-typed values raise ``ValueError`` — the job
+    service turns that into a 400 before anything is admitted.  Most
+    parameters are integers; the ones named in :data:`STRING_PARAMS`
+    must be one of their enumerated strings.
     """
     if mode not in MODE_PARAMS:
         raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
     allowed = MODE_PARAMS[mode]
-    out: dict[str, int] = {}
+    out: dict[str, Any] = {}
     for key, value in dict(params or {}).items():
         if key not in allowed:
             raise ValueError(
                 f"unknown parameter {key!r} for mode {mode!r} "
                 f"(allowed: {', '.join(allowed)})"
             )
+        if key in STRING_PARAMS:
+            choices = STRING_PARAMS[key]
+            if not isinstance(value, str) or value not in choices:
+                raise ValueError(
+                    f"parameter {key!r} must be one of "
+                    f"{', '.join(choices)}, got {value!r}"
+                )
+            out[key] = value
+            continue
         if isinstance(value, bool) or not isinstance(value, int):
             raise ValueError(f"parameter {key!r} must be an integer, "
                              f"got {value!r}")
@@ -335,7 +354,8 @@ def run_job(
 
     report = run_sched_workload(workload.name,
                                 workers=clean.get("workers", 4),
-                                seed=clean.get("seed", 7))
+                                seed=clean.get("seed", 7),
+                                mode=clean.get("mode", "threaded"))
     return {
         "mode": mode,
         "workload": workload.name,

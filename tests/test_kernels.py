@@ -171,9 +171,11 @@ def test_bootstrap_ci_callable_statistic_still_works():
 def test_resolve_statistic_names_and_rejects_unknown():
     assert resample.resolve_statistic("mean") == "mean"
     assert resample.resolve_statistic(np.mean) == "mean"
+    assert resample.resolve_statistic("median") == "median"
+    assert resample.resolve_statistic(np.median) == "median"
     assert resample.resolve_statistic(lambda xs: 0.0) is None
     with pytest.raises(ValueError):
-        resample.resolve_statistic("median")
+        resample.resolve_statistic("mode")
     with pytest.raises(ValueError):
         resample.resolve_paired_statistic("slope")
 

@@ -1,0 +1,108 @@
+"""Lease renewal: short TTLs without double-runs on slow handlers.
+
+Before the heartbeat, ``lease_s`` had to exceed the slowest handler or
+a peer would reclaim a live worker's job mid-run and execute it twice.
+Now ``StoreScheduler.drain`` renews its batch's leases every ``ttl/3``
+from a background thread, so the TTL can be sized for detecting death
+quickly (the crash-resume tests) while handlers run as long as they
+like.  The fencing that makes this safe lives in
+``JobStore.renew_lease``: only leases still held *by this owner* are
+extended — losing the race to a reclaimer shows up as an absent id,
+never as a silent double-extend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.pipeline.rank import StoreScheduler
+from repro.pipeline.store import JobStore
+from repro.sched.executor import WorkStealingExecutor
+
+
+def _enqueue(store: JobStore, count: int) -> None:
+    store.enqueue_batch([
+        {"run_id": "r", "stage": "s", "payload": {"index": i, "item": i}}
+        for i in range(count)
+    ])
+
+
+def test_slow_handlers_outlive_the_lease_without_double_runs(tmp_path):
+    """Two workers, one DB, 0.3 s leases, 0.9 s handlers: every job runs
+    exactly once because live leases keep getting renewed."""
+    path = str(tmp_path / "shared.db")
+    with JobStore(path, lease_s=0.3) as setup:
+        _enqueue(setup, 4)
+    ran: list[tuple[str, int]] = []
+    lock = threading.Lock()
+    failures: list[BaseException] = []
+    stats_by_owner: dict[str, dict] = {}
+
+    def worker(name: str) -> None:
+        def handler(job):
+            with lock:
+                ran.append((name, job.payload["item"]))
+            time.sleep(0.9)                     # 3x the lease TTL
+            return job.payload["item"]
+
+        try:
+            with JobStore(path, lease_s=0.3) as store:
+                stats_by_owner[name] = StoreScheduler(
+                    store, owner=name, batch_size=2
+                ).drain(
+                    WorkStealingExecutor(n_workers=2, seed=0,
+                                         deterministic=True),
+                    handler, run_id="r", stage="s",
+                )
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(f"w{i}",))
+               for i in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    items = sorted(item for _name, item in ran)
+    assert items == list(range(4))              # exactly once each, no reclaim
+    assert sum(s["renewed"] for s in stats_by_owner.values()) >= 1
+    assert all(s["reclaimed"] == 0 for s in stats_by_owner.values())
+    with JobStore(path) as check:
+        assert check.counts(run_id="r") == {"done": 4}
+        assert all(job.attempts == 1 for job in check.jobs(run_id="r"))
+
+
+def test_drain_reports_renewals_in_stats(tmp_path):
+    with JobStore(str(tmp_path / "one.db"), lease_s=0.2) as store:
+        _enqueue(store, 1)
+        stats = StoreScheduler(store, owner="w").drain(
+            WorkStealingExecutor(n_workers=1, seed=0, deterministic=True),
+            lambda job: time.sleep(0.5) or job.payload["item"],
+            run_id="r", stage="s",
+        )
+    assert stats["completed"] == 1
+    assert stats["renewed"] >= 1
+
+
+def test_renew_lease_is_fenced_to_the_owner_and_live_leases(tmp_path):
+    with JobStore(str(tmp_path / "fence.db"), lease_s=60.0) as store:
+        _enqueue(store, 2)
+        held, spare = store.lease_next("holder", limit=2)
+        before = store.get(held.job_id).lease_expires_s
+        time.sleep(0.05)
+
+        # The wrong owner renews nothing — and moves no expiry.
+        assert store.renew_lease("impostor", [held.job_id]) == []
+        assert store.get(held.job_id).lease_expires_s == before
+
+        # The owner renews exactly its live leases.
+        renewed = store.renew_lease("holder", [held.job_id, spare.job_id])
+        assert sorted(renewed) == sorted([held.job_id, spare.job_id])
+        assert store.get(held.job_id).lease_expires_s > before
+
+        # A terminal job is no longer renewable: the lease is gone.
+        store.complete(held.job_id, result=1)
+        assert store.renew_lease("holder", [held.job_id]) == []
+        assert store.renew_lease("holder", [spare.job_id]) == [spare.job_id]

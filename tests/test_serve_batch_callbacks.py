@@ -227,6 +227,54 @@ def test_unfired_callbacks_survive_a_service_restart(tmp_path):
         assert store.armed_callbacks(parent.key) == 1
 
 
+def test_restart_resubmits_callbacks_whose_parent_already_finished(tmp_path):
+    """The stranded-callback bugfix: a parent that reaches a terminal
+    state during shutdown leaves its spec armed forever — no completion
+    event will ever fire it again.  The completions table records the
+    terminal state durably, and the next incarnation resubmits exactly
+    once at construction."""
+    path = str(tmp_path / "serve.db")
+    gate = threading.Event()
+
+    def gated(executor, workers, seed):
+        gate.wait(60.0)
+        return f"gated seed={seed}", []
+
+    with _temp_workload("tmp_rsgate", sched=gated):
+        service = JobService(workers=1, backlog=8, store_path=path)
+        parent = service.submit("sched", "tmp_rsgate", {"seed": 1},
+                                on_complete={"workload": "openmp",
+                                             "params": {"seed": 2}})
+        deadline = time.monotonic() + 30.0
+        while parent.state != "running":
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        gate.set()
+        service.shutdown()                        # parent drains during close
+    assert parent.state == "done"
+    with JobStore(path) as store:
+        assert store.armed_callbacks(parent.key) == 1     # stranded…
+        assert store.terminal_state(parent.key) == "done"  # …but recorded
+
+    # The next incarnation notices and resubmits the follow-up itself.
+    revived = JobService(workers=1, backlog=8, store_path=path)
+    try:
+        follow_ups = [job for job in revived.jobs()
+                      if job.workload == "openmp"]
+        assert len(follow_ups) == 1
+        assert _wait(follow_ups[0]) == "done"
+        assert revived.store.armed_callbacks(parent.key) == 0
+    finally:
+        revived.shutdown()
+
+    # Exactly once: a third incarnation finds nothing left to resubmit.
+    third = JobService(workers=1, backlog=8, store_path=path)
+    try:
+        assert [job for job in third.jobs() if job.workload == "openmp"] == []
+    finally:
+        third.shutdown()
+
+
 # -- the HTTP surface ---------------------------------------------------------
 
 
