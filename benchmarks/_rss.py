@@ -1,0 +1,11 @@
+"""Peak-RSS helpers for benchmark scripts.
+
+Thin re-export of :mod:`repro.benchutil` — the canonical definition of
+"peak RSS" (``ru_maxrss`` with the Linux-KiB/macOS-bytes quirk hidden,
+children included) — so every ``bench_*.py`` in this directory reports
+memory the same way without reimplementing the platform scaling.
+"""
+
+from repro.benchutil import format_bytes, peak_rss_bytes
+
+__all__ = ["format_bytes", "peak_rss_bytes"]

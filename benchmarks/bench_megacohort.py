@@ -1,0 +1,32 @@
+"""Population-scale streamed survey vs the in-memory pipeline.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): the streamed single-shard N=124 run renders Tables 1–6
+byte-identically to the in-memory pipeline; the full run streams the
+whole cohort (one million rows by default) with a peak RSS far below
+the estimated full-tensor footprint; and with two or more cores the
+``mode="mp"`` arm sustains at least the threaded arm's rows/second
+(on one core only the identity and memory gates apply).
+
+Run as a script (``python benchmarks/bench_megacohort.py``) it
+delegates to :func:`repro.megacohort.bench.run_megacohort_bench` — the
+same measurement behind ``python -m repro bench megacohort`` — and
+writes the ``BENCH_megacohort.json`` trajectory point.
+"""
+
+from __future__ import annotations
+
+from repro.megacohort.bench import render_point, run_megacohort_bench
+
+
+def main(out_path: str = "BENCH_megacohort.json",
+         quick: bool = False) -> dict:
+    point = run_megacohort_bench(quick=quick, out_path=out_path)
+    print(render_point(point))
+    return point
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(quick="--quick" in sys.argv[1:])

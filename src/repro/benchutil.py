@@ -1,0 +1,49 @@
+"""Shared benchmark instrumentation helpers.
+
+Every ``benchmarks/bench_*.py`` script and ``src`` bench module that
+reports memory uses one definition of "peak RSS" — :func:`peak_rss_bytes`
+— so the numbers in different ``BENCH_*.json`` files are comparable.
+
+``ru_maxrss`` is the high-water mark of the process's resident set, in
+**kibibytes on Linux** and **bytes on macOS** (the one platform quirk
+this module exists to hide).  ``RUSAGE_CHILDREN`` covers reaped child
+processes, which is what accounts for a ``mode="mp"`` process pool after
+``executor.close()`` has joined its children.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+
+__all__ = ["peak_rss_bytes", "format_bytes"]
+
+
+def _ru_maxrss_bytes(who: int) -> int:
+    raw = resource.getrusage(who).ru_maxrss
+    if sys.platform == "darwin":
+        return int(raw)
+    return int(raw) * 1024
+
+
+def peak_rss_bytes(include_children: bool = True) -> int:
+    """Peak resident set size of this process, in bytes.
+
+    With ``include_children`` (default) the result is the max over the
+    process itself and its reaped children — a process pool's memory
+    counts once its workers have been joined.
+    """
+    peak = _ru_maxrss_bytes(resource.RUSAGE_SELF)
+    if include_children:
+        peak = max(peak, _ru_maxrss_bytes(resource.RUSAGE_CHILDREN))
+    return peak
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable binary size (``1.5 GiB`` style)."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.0f} {unit}" if unit == "B" else f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -65,6 +65,20 @@ Commands
   backend against the threaded executor on GIL-bound stencil and LCS
   sweeps, assert the stepping-mode event logs match byte for byte, and
   write the trajectory point (the ≥2-core speedup gate).
+- ``megacohort [--n N] [--shards S] [--mode threaded|mp] [--seed S]
+  [--tables | --json] [--check-identity]`` — regenerate the paper's
+  Tables 1–6 for a population-scale cohort (a million students by
+  default) by streaming per-shard sufficient statistics through the
+  scheduler, never materialising the full response tensor;
+  ``--check-identity`` verifies the N=124 single-shard run matches the
+  in-memory pipeline byte for byte.
+- ``bench megacohort [--quick] [--out BENCH_megacohort.json]`` — time
+  the streamed cohort on both executor backends, record rows/sec and
+  peak RSS against the full-tensor estimate, and gate on the N=124
+  identity anchor.
+- ``bench --trajectory`` — one consolidated table over every
+  ``BENCH_*.json`` point that exists (suite, timestamp, gate, headline
+  metrics).
 
 Every workload-running subcommand (``trace``/``chaos``/``sched``/
 ``serve``) shares one ``--list`` listing: the unified
@@ -222,6 +236,32 @@ def build_parser() -> argparse.ArgumentParser:
                                "checkpoint commits (crash/resume testing)")
     pipeline.add_argument("--list", action="store_true", dest="list_names")
 
+    megacohort = sub.add_parser(
+        "megacohort",
+        help="stream a population-scale survey cohort through the scheduler")
+    megacohort.add_argument("--n", type=int, default=1_000_000,
+                            help="cohort size (students)")
+    megacohort.add_argument("--shards", type=int, default=0,
+                            help="shard count (0 sizes shards automatically)")
+    megacohort.add_argument("--mode", choices=("threaded", "mp"),
+                            default="threaded",
+                            help="execution vehicle; merged tables are "
+                                 "byte-identical either way")
+    megacohort.add_argument("--workers", type=int, default=None,
+                            help="executor worker count (default: auto)")
+    megacohort.add_argument("--seed", type=int, default=2018,
+                            help="run seed (one child stream per shard)")
+    megacohort.add_argument("--tables", action="store_true",
+                            help="print the full Tables 1-6 instead of the "
+                                 "summary digest")
+    megacohort.add_argument("--check-identity", action="store_true",
+                            help="verify the N=124 single-shard run renders "
+                                 "Tables 1-6 byte-identically to the "
+                                 "in-memory pipeline, then exit")
+    megacohort.add_argument("--json", action="store_true", dest="as_json",
+                            help="emit the merged sufficient statistics as "
+                                 "JSON")
+
     serve = sub.add_parser(
         "serve", help="run the async HTTP job service over the scheduler")
     serve.add_argument("--host", default="127.0.0.1")
@@ -252,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trajectory point output path "
                             "(default BENCH_<suite>.json)")
     bench.add_argument("--list", action="store_true", dest="list_names")
+    bench.add_argument("--trajectory", action="store_true",
+                       help="print the consolidated table over every "
+                            "BENCH_*.json point instead of running a suite")
 
     return parser
 
@@ -620,10 +663,15 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_SUITES = ("kernels", "serve", "pipeline", "mp")
+_BENCH_SUITES = ("kernels", "serve", "pipeline", "mp", "megacohort")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.trajectory:
+        from repro.reporting.trajectory import render_trajectory
+
+        print(render_trajectory())
+        return 0
     if args.list_names or args.suite is None:
         print("available bench suites: " + ", ".join(_BENCH_SUITES))
         return 0
@@ -643,6 +691,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.kernels.mpbench import render_point, run_mp_bench
 
         point = run_mp_bench(quick=args.quick, out_path=out_path)
+    elif args.suite == "megacohort":
+        from repro.megacohort.bench import render_point, run_megacohort_bench
+
+        point = run_megacohort_bench(quick=args.quick, out_path=out_path)
     else:
         from repro.serve.bench import render_point, run_serve_bench
 
@@ -650,6 +702,55 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_point(point))
     print(f"wrote {out_path}")
     return 0 if point["ok"] else 1
+
+
+def _cmd_megacohort(args: argparse.Namespace) -> int:
+    if args.n < 1:
+        print(f"--n must be >= 1, got {args.n}")
+        return 2
+    if args.shards < 0:
+        print(f"--shards must be >= 0, got {args.shards}")
+        return 2
+    if args.check_identity:
+        from repro.megacohort.run import identity_check
+
+        identical, detail = identity_check(args.seed)
+        print(f"megacohort identity check (N=124, seed={args.seed}): "
+              f"{'OK' if identical else 'FAILED'}")
+        for line in detail:
+            print(f"  {line}")
+        return 0 if identical else 1
+
+    import time as _time
+
+    from repro.benchutil import format_bytes, peak_rss_bytes
+    from repro.megacohort.run import full_tensor_bytes, run_streamed
+
+    start = _time.perf_counter()
+    result = run_streamed(n=args.n, shards=args.shards or None,
+                          seed=args.seed, mode=args.mode,
+                          workers=args.workers)
+    elapsed = _time.perf_counter() - start
+    if args.as_json:
+        import json as _json
+
+        print(_json.dumps(result.stats.as_dict(), sort_keys=True, indent=2))
+        return 0
+    print(result.summary())
+    print(f"  {args.n / elapsed:,.0f} rows/s ({elapsed:.2f} s), "
+          f"peak RSS {format_bytes(peak_rss_bytes())} "
+          f"(full tensor would be "
+          f"{format_bytes(full_tensor_bytes(args.n))})")
+    if args.tables:
+        print()
+        print(result.render_tables())
+    else:
+        analysis = result.analysis
+        print(f"  t_emphasis={analysis.ttest_emphasis.t:.4f} "
+              f"t_growth={analysis.ttest_growth.t:.4f} "
+              f"d_emphasis={analysis.cohens_d_emphasis.d:.4f} "
+              f"d_growth={analysis.cohens_d_growth.d:.4f}")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -710,6 +811,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "sched": _cmd_sched,
     "pipeline": _cmd_pipeline,
+    "megacohort": _cmd_megacohort,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
 }

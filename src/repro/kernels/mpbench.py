@@ -44,6 +44,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.benchutil import peak_rss_bytes
 from repro.config import resolve_mp_workers
 from repro.drugdesign.ligands import DEFAULT_PROTEIN, generate_ligands
 from repro.kernels.lcs import lcs_scores_python
@@ -174,6 +175,9 @@ def run_mp_bench(
     point["stepping_log_identical"] = _stepping_logs_identical(
         workers=workers, seed=7
     )
+    # High-water mark over both arms, children included (the pool's
+    # workers have been joined by close()); informational, not a gate.
+    point["peak_rss_bytes"] = peak_rss_bytes()
     for key, value in list(point.items()):
         if isinstance(value, float):
             point[key] = round(value, 6)

@@ -36,7 +36,17 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["SimulationTargets", "ModelKnobs", "ResponseModel", "CATEGORIES", "WAVES"]
+__all__ = [
+    "SimulationTargets",
+    "ModelKnobs",
+    "ResponseModel",
+    "CATEGORIES",
+    "WAVES",
+    "draw_response_blocks",
+    "student_factors",
+    "skill_residuals",
+    "scores_from_blocks",
+]
 
 CATEGORIES: tuple[str, str] = ("class_emphasis", "personal_growth")
 WAVES: tuple[str, str] = ("first_half", "second_half")
@@ -149,6 +159,76 @@ class RawScores:
         return self.scores.mean(axis=(1, 4))
 
 
+def draw_response_blocks(
+    rng: np.random.Generator, n: int, k: int, items_per_skill: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The model's standard-normal building blocks ``(p_raw, q_raw, e)``.
+
+    This is the model's *canonical draw order* — student factors, then
+    skill residuals, then item noise — shared by :class:`ResponseModel`
+    and the mega-cohort shard generator, so a single shard drawn from
+    the same stream reproduces the monolithic model's draws bit for
+    bit.
+    """
+    p_raw = rng.standard_normal((n, 2, 2, 2))
+    q_raw = rng.standard_normal((n, k, 2, 2, 2))
+    e = rng.standard_normal((n, k, 2, 2, items_per_skill))
+    return p_raw, q_raw, e
+
+
+def student_factors(p_raw: np.ndarray, rho_p: float) -> np.ndarray:
+    """Correlated student factors (N, 2 categories, 2 waves)."""
+    a = p_raw[:, 0]                  # (N, 2mix, W) base
+    b = p_raw[:, 1]
+    out = np.empty((p_raw.shape[0], 2, 2))
+    out[:, 0, :] = a[:, 0, :]
+    out[:, 1, :] = rho_p * a[:, 0, :] + np.sqrt(max(0.0, 1 - rho_p**2)) * b[:, 0, :]
+    return out
+
+
+def skill_residuals(q_raw: np.ndarray, c_q: np.ndarray) -> np.ndarray:
+    """Correlated skill residuals (N, K, 2 categories, 2 waves)."""
+    a = q_raw[:, :, 0]               # (N, K, mix, W)
+    b = q_raw[:, :, 1]
+    out = np.empty((q_raw.shape[0], q_raw.shape[1], 2, 2))
+    out[:, :, 0, :] = a[:, :, 0, :]
+    c = c_q[None, :, :]              # (1, K, W)
+    out[:, :, 1, :] = c * a[:, :, 0, :] + np.sqrt(np.maximum(0.0, 1 - c**2)) * b[:, :, 0, :]
+    return out
+
+
+def scores_from_blocks(
+    knobs: ModelKnobs,
+    p_raw: np.ndarray,
+    q_raw: np.ndarray,
+    e: np.ndarray,
+    latent_scale: float = LATENT_SCALE,
+    item_noise: float = ITEM_NOISE,
+) -> np.ndarray:
+    """Raw item scores (N, K, 2, 2, items) from standard-normal blocks.
+
+    The pure generation map behind :meth:`ResponseModel.generate`,
+    shared with the mega-cohort shard path; the floating-point
+    operation order is the identity anchor, so change it only with the
+    N=124 bit-identity test in hand.
+    """
+    k = q_raw.shape[1]
+    if knobs.mu.shape != (k, 2, 2):
+        raise ValueError(f"mu has shape {knobs.mu.shape}, expected {(k, 2, 2)}")
+    if np.any((knobs.alpha < 0) | (knobs.alpha >= 1)):
+        raise ValueError("alpha must be in [0, 1)")
+    if np.any(np.abs(knobs.c_q) > 1):
+        raise ValueError("c_q must be in [-1, 1]")
+    p = student_factors(p_raw, knobs.rho_p)         # (N, C, W)
+    q = skill_residuals(q_raw, knobs.c_q)           # (N, K, C, W)
+    alpha = knobs.alpha[None, None, :, :]           # (1, 1, C, W)
+    theta = knobs.mu[None, :, :, :] + latent_scale * (
+        alpha * p[:, None, :, :] + np.sqrt(1 - alpha**2) * q
+    )                                               # (N, K, C, W)
+    latent_items = theta[..., None] + item_noise * e
+    return np.clip(np.rint(latent_items), 1, 5).astype(np.int64)
+
+
 class ResponseModel:
     """The generator.  Standard-normal draws are made once per instance so
     that regenerating with different knobs is a smooth deterministic map —
@@ -173,48 +253,30 @@ class ResponseModel:
         self.latent_scale = latent_scale
         self.item_noise = item_noise
         rng = np.random.default_rng(seed)
-        k = len(self.skills)
-        n = n_students
-        # Independent standard-normal building blocks, drawn once.
-        self._p_raw = rng.standard_normal((n, 2, 2, 2))       # (N, pair, cat-mix, wave) -> see _factors
-        self._q_raw = rng.standard_normal((n, k, 2, 2, 2))    # (N, K, pair, mix, wave)
-        self._e = rng.standard_normal((n, k, 2, 2, items_per_skill))
+        # Independent standard-normal building blocks, drawn once, in the
+        # canonical order shared with the mega-cohort shard generator.
+        self._p_raw, self._q_raw, self._e = draw_response_blocks(
+            rng, n_students, len(self.skills), items_per_skill
+        )
 
     def _student_factors(self, rho_p: float) -> np.ndarray:
         """Correlated student factors (N, 2 categories, 2 waves)."""
-        a = self._p_raw[:, 0]            # (N, 2mix, W) base
-        b = self._p_raw[:, 1]
-        out = np.empty((self.n_students, 2, 2))
-        out[:, 0, :] = a[:, 0, :]
-        out[:, 1, :] = rho_p * a[:, 0, :] + np.sqrt(max(0.0, 1 - rho_p**2)) * b[:, 0, :]
-        return out
+        return student_factors(self._p_raw, rho_p)
 
     def _residuals(self, c_q: np.ndarray) -> np.ndarray:
         """Correlated skill residuals (N, K, 2 categories, 2 waves)."""
-        a = self._q_raw[:, :, 0]         # (N, K, mix, W)
-        b = self._q_raw[:, :, 1]
-        out = np.empty((self.n_students, len(self.skills), 2, 2))
-        out[:, :, 0, :] = a[:, :, 0, :]
-        c = c_q[None, :, :]              # (1, K, W)
-        out[:, :, 1, :] = c * a[:, :, 0, :] + np.sqrt(np.maximum(0.0, 1 - c**2)) * b[:, :, 0, :]
-        return out
+        return skill_residuals(self._q_raw, c_q)
 
     def generate(self, knobs: ModelKnobs) -> RawScores:
         """Generate the full raw item-score array for these knobs."""
-        if knobs.mu.shape != (len(self.skills), 2, 2):
-            raise ValueError(f"mu has shape {knobs.mu.shape}, expected {(len(self.skills), 2, 2)}")
-        if np.any((knobs.alpha < 0) | (knobs.alpha >= 1)):
-            raise ValueError("alpha must be in [0, 1)")
-        if np.any(np.abs(knobs.c_q) > 1):
-            raise ValueError("c_q must be in [-1, 1]")
-        p = self._student_factors(knobs.rho_p)          # (N, C, W)
-        q = self._residuals(knobs.c_q)                  # (N, K, C, W)
-        alpha = knobs.alpha[None, None, :, :]           # (1, 1, C, W)
-        theta = knobs.mu[None, :, :, :] + self.latent_scale * (
-            alpha * p[:, None, :, :] + np.sqrt(1 - alpha**2) * q
-        )                                               # (N, K, C, W)
-        latent_items = theta[..., None] + self.item_noise * self._e
-        scores = np.clip(np.rint(latent_items), 1, 5).astype(np.int64)
+        scores = scores_from_blocks(
+            knobs,
+            self._p_raw,
+            self._q_raw,
+            self._e,
+            latent_scale=self.latent_scale,
+            item_noise=self.item_noise,
+        )
         return RawScores(
             skills=self.skills, items_per_skill=self.items_per_skill, scores=scores
         )

@@ -18,6 +18,11 @@ Everything the paper's evaluation section uses, implemented from scratch
   used by the paper to describe Table 4.
 - :mod:`repro.stats.composite` — the Beyerlein composite score.
 - :mod:`repro.stats.ranking` — ranking helpers for Tables 5 and 6.
+- :mod:`repro.stats.streaming` — parallel-mergeable Welford/Chan moment
+  accumulators; with the ``*_from_stats`` entry points in
+  :mod:`~repro.stats.ttest` / :mod:`~repro.stats.effectsize` /
+  :mod:`~repro.stats.correlation`, every Table 1–6 cell is computable
+  from merged sufficient statistics alone (the mega-cohort path).
 """
 
 from repro.stats.anova import AnovaResult, f_sf, one_way_anova
@@ -27,6 +32,7 @@ from repro.stats.correlation import (
     CorrelationResult,
     fisher_confidence_interval,
     pearson,
+    pearson_r_from_stats,
     spearman,
 )
 from repro.stats.descriptive import Summary, describe
@@ -44,6 +50,7 @@ from repro.stats.distributions import (
 from repro.stats.effectsize import (
     CohensDResult,
     cohens_d_av,
+    cohens_d_from_stats,
     cohens_d_interpretation,
     cohens_d_paired,
     cohens_d_paper,
@@ -58,11 +65,13 @@ from repro.stats.reliability import (
     cronbach_alpha,
 )
 from repro.stats.ranking import rank_by_score, rank_table
+from repro.stats.streaming import CoMoments, Moments, merge_indexed
 from repro.stats.ttest import (
     TTestResult,
     ttest_independent,
     ttest_one_sample,
     ttest_paired,
+    ttest_paired_from_stats,
     ttest_welch,
 )
 
@@ -80,7 +89,10 @@ __all__ = [
     "betainc",
     "bootstrap_ci",
     "bootstrap_paired_ci",
+    "CoMoments",
+    "Moments",
     "cohens_d_av",
+    "cohens_d_from_stats",
     "cohens_d_interpretation",
     "cohens_d_paired",
     "cohens_d_paper",
@@ -99,7 +111,9 @@ __all__ = [
     "normal_sf",
     "paired_t_power",
     "one_way_anova",
+    "merge_indexed",
     "pearson",
+    "pearson_r_from_stats",
     "rank_by_score",
     "required_n_paired_t",
     "rank_table",
@@ -110,5 +124,6 @@ __all__ = [
     "ttest_independent",
     "ttest_one_sample",
     "ttest_paired",
+    "ttest_paired_from_stats",
     "ttest_welch",
 ]

@@ -18,7 +18,13 @@ from repro.stats.descriptive import mean
 from repro.stats.distributions import normal_ppf, t_sf
 from repro.stats.guilford import GuilfordBand, guilford_band
 
-__all__ = ["CorrelationResult", "pearson", "spearman", "fisher_confidence_interval"]
+__all__ = [
+    "CorrelationResult",
+    "pearson",
+    "pearson_r_from_stats",
+    "spearman",
+    "fisher_confidence_interval",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,32 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> CorrelationResult:
     if n < 3:
         raise ValueError("correlation requires at least 3 pairs")
     r = _pearson_r(xs, ys)
+    if abs(r) == 1.0:
+        p = 0.0
+    else:
+        t = r * math.sqrt((n - 2) / (1.0 - r * r))
+        p = 2.0 * t_sf(abs(t), n - 2)
+    return CorrelationResult(r=r, p_value=p, n=n, method="pearson")
+
+
+def pearson_r_from_stats(
+    n: int, sxx: float, syy: float, sxy: float
+) -> CorrelationResult:
+    """Pearson correlation from centered sufficient statistics alone.
+
+    ``sxx``/``syy`` are the centered second moments and ``sxy`` the
+    centered cross-product — exactly what a streamed
+    :class:`~repro.stats.streaming.CoMoments` accumulator holds.  The
+    arithmetic mirrors :func:`pearson` (same clamp, same t-transform),
+    so feeding the sums that function computes internally reproduces
+    its result bit for bit.
+    """
+    if n < 3:
+        raise ValueError("correlation requires at least 3 pairs")
+    if sxx == 0.0 or syy == 0.0:
+        raise ValueError("correlation undefined for a constant sequence")
+    r = sxy / math.sqrt(sxx * syy)
+    r = max(-1.0, min(1.0, r))
     if abs(r) == 1.0:
         p = 0.0
     else:

@@ -26,6 +26,7 @@ from repro.stats.descriptive import mean, stdev, variance
 __all__ = [
     "CohensDResult",
     "cohens_d_paper",
+    "cohens_d_from_stats",
     "cohens_d_av",
     "cohens_d_pooled",
     "cohens_d_paired",
@@ -107,6 +108,39 @@ def cohens_d_paper(first: Sequence[float], second: Sequence[float]) -> CohensDRe
         sd2=s2,
         n1=len(first),
         n2=len(second),
+        sd_pooled=sd_pooled,
+        method="average-variance (paper)",
+    )
+
+
+def cohens_d_from_stats(
+    n1: int, mean1: float, var1: float,
+    n2: int, mean2: float, var2: float,
+) -> CohensDResult:
+    """The paper's Cohen's d from per-wave sufficient statistics alone.
+
+    ``var1``/``var2`` are sample variances (``ddof=1``); the arithmetic
+    mirrors :func:`cohens_d_paper` operation for operation (square
+    roots first, then the average-variance pooling), so feeding the
+    statistics that function would compute internally reproduces its
+    result bit for bit.
+    """
+    if n1 < 2 or n2 < 2:
+        raise ValueError("Cohen's d requires at least 2 observations per wave")
+    if var1 < 0.0 or var2 < 0.0:
+        raise ValueError(f"variances must be non-negative, got {var1}, {var2}")
+    s1, s2 = math.sqrt(var1), math.sqrt(var2)
+    sd_pooled = math.sqrt((s1 * s1 + s2 * s2) / 2.0)
+    if sd_pooled == 0.0:
+        raise ValueError("Cohen's d undefined for two zero-variance samples")
+    return CohensDResult(
+        d=(mean2 - mean1) / sd_pooled,
+        mean1=mean1,
+        mean2=mean2,
+        sd1=s1,
+        sd2=s2,
+        n1=n1,
+        n2=n2,
         sd_pooled=sd_pooled,
         method="average-variance (paper)",
     )

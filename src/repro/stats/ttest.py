@@ -23,6 +23,7 @@ __all__ = [
     "TTestResult",
     "ttest_one_sample",
     "ttest_paired",
+    "ttest_paired_from_stats",
     "ttest_independent",
     "ttest_welch",
 ]
@@ -134,6 +135,42 @@ def ttest_paired(
     return TTestResult(
         kind="paired",
         mean_difference=d_mean,
+        t=t,
+        df=df,
+        p_value=_p_from_t(t, df, alternative),
+        n=n,
+        alternative=alternative,
+    )
+
+
+def ttest_paired_from_stats(
+    n: int,
+    mean_diff: float,
+    var_diff: float,
+    alternative: Alternative = "two-sided",
+) -> TTestResult:
+    """Paired t-test from sufficient statistics alone.
+
+    ``mean_diff`` and ``var_diff`` are the sample mean and sample
+    variance (``ddof=1``) of the per-pair differences — exactly what a
+    streamed :class:`~repro.stats.streaming.Moments` accumulator holds.
+    The arithmetic mirrors :func:`ttest_paired` operation for
+    operation, so feeding the statistics that function would compute
+    internally reproduces its result bit for bit (the mega-cohort
+    N=124 identity anchor).
+    """
+    if n < 2:
+        raise ValueError("paired t-test requires at least 2 pairs")
+    if var_diff < 0.0:
+        raise ValueError(f"variance must be non-negative, got {var_diff}")
+    d_sd = math.sqrt(var_diff)
+    if d_sd == 0.0:
+        raise ValueError("paired t-test undefined when all differences are equal")
+    t = mean_diff / (d_sd / math.sqrt(n))
+    df = n - 1
+    return TTestResult(
+        kind="paired",
+        mean_difference=mean_diff,
         t=t,
         df=df,
         p_value=_p_from_t(t, df, alternative),

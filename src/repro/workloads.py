@@ -170,6 +170,7 @@ def _ensure_providers_loaded() -> None:
         _providers_loaded = True
     # Outside the lock: the providers call register(), which takes it.
     import repro.faults.chaos       # noqa: F401  (registers chaos runners)
+    import repro.megacohort.workloads  # noqa: F401  (registers megacohort modes)
     import repro.pipeline.workloads  # noqa: F401  (registers pipeline runners)
     import repro.sched.workloads    # noqa: F401  (registers sched runners)
     import repro.telemetry.workloads  # noqa: F401  (registers trace runners)

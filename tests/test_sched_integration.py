@@ -86,7 +86,9 @@ def test_drugdesign_through_scheduler_matches_sequential():
 
 
 def test_workload_names_cover_all_runtimes():
-    assert sched_workload_names() == ["drugdesign", "mapreduce", "openmp"]
+    assert sched_workload_names() == [
+        "drugdesign", "mapreduce", "megacohort", "openmp"
+    ]
 
 
 @pytest.mark.parametrize("name", ["mapreduce", "openmp", "drugdesign"])

@@ -1,0 +1,177 @@
+"""Streaming moments: merge correctness, permutation stability, and the
+``*_from_stats`` entry points matching their array-based counterparts."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    cohens_d_from_stats,
+    cohens_d_paper,
+    pearson_r_from_stats,
+    ttest_paired,
+    ttest_paired_from_stats,
+)
+from repro.stats.correlation import pearson
+from repro.stats.descriptive import mean, variance
+from repro.stats.streaming import CoMoments, Moments, merge_indexed
+
+# Finite, moderate floats: the accumulators are used on Likert-derived
+# values in [1, 5]; a wide-but-bounded range exercises the numerics
+# without manufacturing catastrophic cancellation the pipeline never sees.
+_values = st.floats(min_value=-1e6, max_value=1e6,
+                    allow_nan=False, allow_infinity=False, width=64)
+
+
+def _split(data, n_chunks):
+    """Deterministic uneven split of a 1-d array into n_chunks pieces."""
+    bounds = np.linspace(0, len(data), n_chunks + 1).astype(int)
+    return [data[bounds[i]:bounds[i + 1]] for i in range(n_chunks)]
+
+
+def _ulp_tol(reference, scale, factor=64.0):
+    """Tolerance of ``factor`` ulps at the magnitude of ``scale``."""
+    return factor * np.spacing(np.maximum(np.abs(reference), scale))
+
+
+class TestMomentsMerge:
+    @given(st.lists(_values, min_size=2, max_size=200),
+           st.integers(min_value=1, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_merged_moments_match_two_pass_numpy(self, xs, n_chunks):
+        data = np.asarray(xs)
+        merged = None
+        for chunk in _split(data, n_chunks):
+            part = Moments.from_batch(chunk)
+            merged = part if merged is None else merged.merge(part)
+        assert merged.count == len(data)
+        direct_mean = data.mean()
+        direct_m2 = float(np.square(data - direct_mean).sum())
+        scale = float(np.abs(data).max()) or 1.0
+        assert abs(float(merged.mean) - direct_mean) <= _ulp_tol(
+            direct_mean, scale)
+        # m2 magnitudes grow like n * scale^2.
+        assert abs(float(merged.m2) - direct_m2) <= _ulp_tol(
+            direct_m2, len(data) * scale * scale)
+
+    @given(st.lists(_values, min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=6),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_indexed_is_exactly_permutation_stable(self, xs, n_chunks,
+                                                         rng):
+        data = np.asarray(xs)
+        indexed = [(i, Moments.from_batch(chunk))
+                   for i, chunk in enumerate(_split(data, n_chunks))]
+        reference = merge_indexed(indexed)
+        shuffled = list(indexed)
+        rng.shuffle(shuffled)
+        permuted = merge_indexed(shuffled)
+        assert permuted.count == reference.count
+        # Bit-for-bit, not approximately: canonical-order folding makes
+        # the merged statistics independent of completion order.
+        assert np.array_equal(permuted.mean, reference.mean)
+        assert np.array_equal(permuted.m2, reference.m2)
+
+    @given(st.lists(_values, min_size=2, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_push_agrees_with_from_batch(self, xs):
+        data = np.asarray(xs)
+        streamed = Moments.empty(())
+        for x in data:
+            streamed = streamed.push(x)
+        batch = Moments.from_batch(data)
+        scale = float(np.abs(data).max()) or 1.0
+        assert streamed.count == batch.count
+        assert abs(float(streamed.mean) - float(batch.mean)) <= _ulp_tol(
+            float(batch.mean), scale)
+        assert abs(float(streamed.m2) - float(batch.m2)) <= _ulp_tol(
+            float(batch.m2), len(data) * scale * scale)
+
+    def test_merge_indexed_rejects_duplicates_and_empty(self):
+        part = Moments.from_batch(np.arange(4.0))
+        with pytest.raises(ValueError):
+            merge_indexed([(0, part), (0, part)])
+        with pytest.raises(ValueError):
+            merge_indexed([])
+
+
+class TestCoMomentsMerge:
+    @given(st.lists(st.tuples(_values, _values), min_size=3, max_size=150),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=80, deadline=None)
+    def test_merged_comoments_match_two_pass_numpy(self, pairs, n_chunks):
+        xs = np.asarray([p[0] for p in pairs])
+        ys = np.asarray([p[1] for p in pairs])
+        bounds = np.linspace(0, len(xs), n_chunks + 1).astype(int)
+        merged = None
+        for i in range(n_chunks):
+            part = CoMoments.from_batch(xs[bounds[i]:bounds[i + 1]],
+                                        ys[bounds[i]:bounds[i + 1]])
+            merged = part if merged is None else merged.merge(part)
+        assert merged.count == len(xs)
+        dx = xs - xs.mean()
+        dy = ys - ys.mean()
+        direct_cxy = float((dx * dy).sum())
+        scale = float(max(np.abs(xs).max(), np.abs(ys).max(), 1.0))
+        tol = _ulp_tol(direct_cxy, len(xs) * scale * scale)
+        assert abs(float(merged.cxy) - direct_cxy) <= tol
+
+
+class TestFromStatsMatchArrayVersions:
+    """Feeding ``*_from_stats`` the statistics the array versions compute
+    internally must reproduce their results exactly — the property that
+    makes the streamed N=124 tables byte-identical to the in-memory ones."""
+
+    @given(st.lists(st.tuples(_values, _values), min_size=2, max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_ttest_paired_from_stats(self, pairs):
+        first = [p[0] for p in pairs]
+        second = [p[1] for p in pairs]
+        diffs = [a - b for a, b in zip(first, second)]
+        try:
+            expected = ttest_paired(first, second)
+        except ValueError:
+            return  # zero-variance differences: both paths reject
+        got = ttest_paired_from_stats(len(diffs), mean(diffs),
+                                      variance(diffs))
+        assert got.t == expected.t
+        assert got.p_value == expected.p_value
+        assert got.df == expected.df
+        assert got.mean_difference == expected.mean_difference
+
+    @given(st.lists(st.tuples(_values, _values), min_size=2, max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_cohens_d_from_stats(self, pairs):
+        first = [p[0] for p in pairs]
+        second = [p[1] for p in pairs]
+        try:
+            expected = cohens_d_paper(first, second)
+        except ValueError:
+            return  # two zero-variance waves: both paths reject
+        got = cohens_d_from_stats(len(first), mean(first), variance(first),
+                                  len(second), mean(second), variance(second))
+        assert got.d == expected.d
+        assert got.sd_pooled == expected.sd_pooled
+        assert got.sd1 == expected.sd1 and got.sd2 == expected.sd2
+
+    @given(st.lists(st.tuples(_values, _values), min_size=3, max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_pearson_r_from_stats(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        try:
+            expected = pearson(xs, ys)
+        except ValueError:
+            return  # constant sequence: both paths reject
+        mx, my = mean(xs), mean(ys)
+        sxy = math.fsum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        sxx = math.fsum((x - mx) ** 2 for x in xs)
+        syy = math.fsum((y - my) ** 2 for y in ys)
+        got = pearson_r_from_stats(len(xs), sxx, syy, sxy)
+        assert got.r == expected.r
+        assert got.p_value == expected.p_value
+        assert got.n == expected.n
