@@ -1,0 +1,30 @@
+"""Speculative execution vs plain dispatch under a seeded stall plan.
+
+Shape criteria (absolute numbers are machine-dependent, shapes are
+not): a few tasks in the batch are pinned behind a long stall — a wait
+on the straggler-kill event, not compute — so the plain arm's p99 task
+latency is the stall itself, while the speculative arm launches backup
+copies on idle workers, commits the first completion, and cuts the p99
+toward the healthy-task latency.  Every committed value and the
+drug-design stepping report stay byte-identical across the two arms:
+speculation may change latency, never results or the stepping log.
+
+Run as a script (``python benchmarks/bench_spec.py``) it delegates to
+:func:`repro.sched.specbench.run_spec_bench` — the same measurement
+behind ``python -m repro bench spec`` — and writes the
+``BENCH_spec.json`` trajectory point.
+"""
+
+from __future__ import annotations
+
+from repro.sched.specbench import render_point, run_spec_bench
+
+
+def main(out_path: str = "BENCH_spec.json", quick: bool = False) -> dict:
+    point = run_spec_bench(quick=quick, out_path=out_path)
+    print(render_point(point))
+    return point
+
+
+if __name__ == "__main__":
+    main()

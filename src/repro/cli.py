@@ -24,13 +24,16 @@ Commands
   counts plus the canonical injected-event log (``--list`` shows the
   workloads; same seed ⇒ same faults).
 - ``sched <workload> [--workers N] [--seed S] [--mode threaded|mp]
-  [--trace out.json] [--cache] [--cache-dir DIR]`` — run a workload
-  through the deterministic work-stealing scheduler and print the
-  result, scheduler statistics, cache counters, and canonical event log
-  (``--list`` shows the workloads; same seed ⇒ byte-identical stdout,
-  and a second ``--cache`` run replays the stored result as a cache
-  hit).  ``--mode mp`` executes task bodies on a process pool — same
-  scheduling decisions, same stdout, no GIL.
+  [--speculate] [--spec-k K] [--trace out.json] [--cache]
+  [--cache-dir DIR]`` — run a workload through the deterministic
+  work-stealing scheduler and print the result, scheduler statistics,
+  cache counters, and canonical event log (``--list`` shows the
+  workloads; same seed ⇒ byte-identical stdout, and a second
+  ``--cache`` run replays the stored result as a cache hit).
+  ``--mode mp`` executes task bodies on a process pool — same
+  scheduling decisions, same stdout, no GIL.  ``--speculate`` launches
+  backup copies of straggling tasks (first completion wins) — it may
+  change latency, never the output.
 - ``sched --cache-evict --cache-dir DIR [--cache-max-entries N]
   [--cache-max-bytes B]`` — maintenance path: LRU-evict the on-disk
   result-cache tier down to the given caps and report what was removed.
@@ -65,8 +68,8 @@ Commands
   backend against the threaded executor on GIL-bound stencil and LCS
   sweeps, assert the stepping-mode event logs match byte for byte, and
   write the trajectory point (the ≥2-core speedup gate).
-- ``megacohort [--n N] [--shards S] [--mode threaded|mp] [--seed S]
-  [--tables | --json] [--check-identity]`` — regenerate the paper's
+- ``megacohort [--n N] [--shards S] [--mode threaded|mp] [--speculate]
+  [--seed S] [--tables | --json] [--check-identity]`` — regenerate the paper's
   Tables 1–6 for a population-scale cohort (a million students by
   default) by streaming per-shard sufficient statistics through the
   scheduler, never materialising the full response tensor;
@@ -76,6 +79,10 @@ Commands
   the streamed cohort on both executor backends, record rows/sec and
   peak RSS against the full-tensor estimate, and gate on the N=124
   identity anchor.
+- ``bench spec [--quick] [--out BENCH_spec.json]`` — run a seeded
+  stall-injection plan with and without speculative execution, assert
+  the results and the stepping event log are byte-identical, and gate
+  on speculative p99 task latency beating the non-speculative arm.
 - ``bench --trajectory`` — one consolidated table over every
   ``BENCH_*.json`` point that exists (suite, timestamp, gate, headline
   metrics).
@@ -196,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="threaded",
                        help="execution vehicle: threads (default) or a "
                             "process pool; output is byte-identical")
+    sched.add_argument("--speculate", action="store_true",
+                       help="launch backup copies of straggling tasks "
+                            "(first completion wins; output is "
+                            "byte-identical)")
+    sched.add_argument("--spec-k", type=float, default=2.0,
+                       help="straggler threshold: a task older than K x "
+                            "the median sibling runtime gets a backup")
     sched.add_argument("--trace", default=None, dest="trace_out",
                        help="also export a Chrome trace of the run")
     sched.add_argument("--cache", action="store_true",
@@ -251,6 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="executor worker count (default: auto)")
     megacohort.add_argument("--seed", type=int, default=2018,
                             help="run seed (one child stream per shard)")
+    megacohort.add_argument("--speculate", action="store_true",
+                            help="launch backup copies of straggling "
+                                 "shards (first completion wins; merged "
+                                 "tables are byte-identical)")
+    megacohort.add_argument("--spec-k", type=float, default=2.0,
+                            help="straggler threshold multiplier over the "
+                                 "median shard runtime")
     megacohort.add_argument("--tables", action="store_true",
                             help="print the full Tables 1-6 instead of the "
                                  "summary digest")
@@ -587,6 +608,9 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}")
         return 2
+    if args.spec_k <= 0:
+        print(f"--spec-k must be > 0, got {args.spec_k}")
+        return 2
     cache = None
     if args.cache or args.cache_dir:
         cache = ResultCache(directory=args.cache_dir,
@@ -599,11 +623,13 @@ def _cmd_sched(args: argparse.Namespace) -> int:
                 report = run_sched_workload(
                     args.workload, workers=args.workers, seed=args.seed,
                     cache=cache, mode=args.mode,
+                    speculate=args.speculate, spec_k=args.spec_k,
                 )
         else:
             report = run_sched_workload(
                 args.workload, workers=args.workers, seed=args.seed,
                 cache=cache, mode=args.mode,
+                speculate=args.speculate, spec_k=args.spec_k,
             )
     except KeyError:
         print(_unknown_workload_message("sched", args.workload))
@@ -663,7 +689,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
-_BENCH_SUITES = ("kernels", "serve", "pipeline", "mp", "megacohort")
+_BENCH_SUITES = ("kernels", "serve", "pipeline", "mp", "megacohort", "spec")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -695,6 +721,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.megacohort.bench import render_point, run_megacohort_bench
 
         point = run_megacohort_bench(quick=args.quick, out_path=out_path)
+    elif args.suite == "spec":
+        from repro.sched.specbench import render_point, run_spec_bench
+
+        point = run_spec_bench(quick=args.quick, out_path=out_path)
     else:
         from repro.serve.bench import render_point, run_serve_bench
 
@@ -710,6 +740,9 @@ def _cmd_megacohort(args: argparse.Namespace) -> int:
         return 2
     if args.shards < 0:
         print(f"--shards must be >= 0, got {args.shards}")
+        return 2
+    if args.spec_k <= 0:
+        print(f"--spec-k must be > 0, got {args.spec_k}")
         return 2
     if args.check_identity:
         from repro.megacohort.run import identity_check
@@ -729,7 +762,8 @@ def _cmd_megacohort(args: argparse.Namespace) -> int:
     start = _time.perf_counter()
     result = run_streamed(n=args.n, shards=args.shards or None,
                           seed=args.seed, mode=args.mode,
-                          workers=args.workers)
+                          workers=args.workers,
+                          speculate=args.speculate, spec_k=args.spec_k)
     elapsed = _time.perf_counter() - start
     if args.as_json:
         import json as _json

@@ -195,6 +195,8 @@ def run_kernels_bench(
     for key, value in list(point.items()):
         if isinstance(value, float):
             point[key] = round(value, 6)
+    # Vectorized-vs-scalar needs no parallel hardware: always gated.
+    point["gate_applied"] = True
     point["ok"] = bool(
         point["lcs_batched_speedup"] >= 1.0
         and point["stencil_speedup"] >= 1.0

@@ -187,8 +187,12 @@ def run_mp_bench(
         and point["stepping_log_identical"]
     )
     # The speedup gate needs parallel hardware; identity never does.
+    # ``gate_applied`` records honestly whether the speedup gate ran —
+    # a single-core ``ok`` certifies identity only, and the trajectory
+    # table renders it as a skipped gate, not a pass.
+    point["gate_applied"] = cores >= 2
     faster = bool(
-        cores < 2
+        not point["gate_applied"]
         or (point["stencil_speedup"] >= 1.0 and point["lcs_speedup"] >= 1.0)
     )
     point["ok"] = identical and faster

@@ -5,23 +5,30 @@ backup executions of the remaining in-progress tasks.  The task is marked
 as completed whenever either the primary or the backup execution
 completes."
 
-:class:`SpeculativeEngine` wraps the base engine's map phase: injected
-*slow tasks* sleep; once every task has been dispatched, tasks still
-running after ``straggler_wait_s`` get a backup attempt, and whichever
-attempt finishes first supplies the result.  Because mappers are pure,
-the winner's identity never changes the output — asserted in the tests
-and the bench.
+:class:`SpeculativeEngine` teaches the idiom at MapReduce level, but the
+mechanism now lives in the dispatch substrate: the map phase runs through
+a :class:`~repro.sched.executor.WorkStealingExecutor` with a
+:class:`~repro.sched.spec.SpecPolicy` installed (``min_age_s`` =
+``straggler_wait_s``), so the same straggler detection, backup launch,
+and first-completion-wins commit protect every other workload the
+executor runs.  Injected *slow tasks* wait on the scheduler's
+:func:`~repro.sched.spec.obsolete_event` through the clock — the
+in-process analogue of the kill RPC — so a killed straggler releases its
+worker the moment its backup wins.  Because mappers are pure, the
+winner's identity never changes the output — asserted in the tests and
+the bench.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Hashable, Sequence
+from typing import Sequence
 
 from repro.faults.clock import SYSTEM_CLOCK, Clock
 from repro.mapreduce.engine import JobResult, MapReduceEngine, MapReduceSpec, Pair
+from repro.sched.executor import WorkStealingExecutor
+from repro.sched.spec import SpecPolicy, is_backup, obsolete_event
 from repro.telemetry import instrument as telemetry
 
 __all__ = ["SlowTask", "SpeculativeResult", "SpeculativeEngine"]
@@ -58,7 +65,7 @@ class SpeculativeResult:
 
 
 class SpeculativeEngine:
-    """Map-phase speculation on top of :class:`MapReduceEngine`.
+    """Map-phase speculation through the shared scheduler.
 
     All waiting — the injected straggler delays, the speculation
     trigger, and the wall-time measurement — goes through ``clock``
@@ -111,75 +118,63 @@ class SpeculativeEngine:
         for i, record in enumerate(records):
             splits[i * m // max(1, len(records))].append(record)
 
-        # When a backup wins, the master kills the straggling primary; the
-        # injected slow-down polls this event to emulate that kill.
-        kill_events: dict[int, threading.Event] = {
-            index: threading.Event() for index in range(m)
-        }
-
-        def map_task(index: int, split: list[Pair], primary: bool) -> list[Pair]:
+        def map_task(index: int, split: list[Pair]) -> list[Pair]:
             telemetry.ensure_thread("mapreduce")
-            kind = "primary" if primary else "backup"
+            backup = is_backup()
+            kind = "backup" if backup else "primary"
             with telemetry.span(f"mr.map.{kind}", category="speculation",
                                 task=index, slow=index in self._slow):
-                if primary and index in self._slow:
-                    # The injected slow-down waits on the kill event through
-                    # the clock: a real clock blocks, a scaled clock blocks
-                    # for a fraction, a fake clock returns instantly.
-                    if self.clock.wait(kill_events[index], self._slow[index]):
+                if not backup and index in self._slow:
+                    # The injected slow-down waits on the scheduler's
+                    # obsolete event through the clock: a real clock
+                    # blocks, a scaled clock blocks for a fraction, a
+                    # fake clock returns instantly.  The event fires
+                    # when a backup wins — the master's kill.
+                    kill = obsolete_event() or threading.Event()
+                    if self.clock.wait(kill, self._slow[index]):
                         telemetry.instant("mr.straggler.killed", task=index)
                 out: list[Pair] = []
                 for k, v in split:
                     out.extend(spec.mapper(k, v))
                 return MapReduceEngine._apply_combiner(spec, out)
 
-        backups_launched = 0
-        backups_won = 0
-        map_outputs: list[list[Pair] | None] = [None] * m
-        # Double the pool so backups never starve behind stragglers; shut
-        # down without waiting so killed stragglers don't serialize us.
-        pool = ThreadPoolExecutor(max_workers=2 * self.n_workers)
+        def listener(event: str, primary) -> None:
+            # The batch is submitted first on a fresh executor, so
+            # task_id == map-task index.
+            if event == "launched":
+                telemetry.instant("mr.backup.launched", task=primary.task_id)
+                telemetry.inc("mr.backups.launched")
+            elif event == "won":
+                telemetry.instant("mr.backup.won", task=primary.task_id)
+                telemetry.inc("mr.backups.won")
+
+        executor = WorkStealingExecutor(
+            n_workers=self.n_workers, seed=0, deterministic=False
+        )
+        if speculate:
+            # min_completed=0 preserves the original contract: once the
+            # wait elapses, any still-running task gets a backup even if
+            # no sibling has finished yet.
+            executor.speculate(
+                SpecPolicy(k=2.0, min_age_s=self.straggler_wait_s,
+                           min_completed=0),
+                clock=self.clock, listener=listener,
+            )
         try:
-            primaries = {
-                index: pool.submit(map_task, index, split, True)
-                for index, split in enumerate(splits)
-            }
-            if speculate:
-                self.clock.wait_futures(
-                    list(primaries.values()), timeout=self.straggler_wait_s
-                )
-                backups = {}
-                for index, future in primaries.items():
-                    if not future.done():
-                        telemetry.instant("mr.backup.launched", task=index)
-                        telemetry.inc("mr.backups.launched")
-                        backups[index] = pool.submit(map_task, index, splits[index], False)
-                        backups_launched += 1
-                        telemetry.counter_event("mr.backups", backups_launched)
-                for index in primaries:
-                    if index in backups:
-                        done, _pending = wait(
-                            [primaries[index], backups[index]],
-                            return_when=FIRST_COMPLETED,
-                        )
-                        winner = next(iter(done))
-                        if winner is backups[index]:
-                            backups_won += 1
-                            telemetry.instant("mr.backup.won", task=index)
-                            telemetry.inc("mr.backups.won")
-                            kill_events[index].set()
-                        map_outputs[index] = winner.result()
-                    else:
-                        map_outputs[index] = primaries[index].result()
-            else:
-                for index, future in primaries.items():
-                    map_outputs[index] = future.result()
+            map_outputs = executor.map(
+                [lambda i=i, s=s: map_task(i, s)
+                 for i, s in enumerate(splits)],
+                name="mr.map",
+            )
+            stats = executor.stats()
         finally:
-            pool.shutdown(wait=False)
+            executor.close()
+        backups_launched = stats.backups_launched
+        backups_won = stats.backups_won
 
         # Reduce phase: reuse the base engine by feeding it pre-mapped pairs
         # through an identity mapper (the shuffle/reduce path is identical).
-        flat: list[Pair] = [pair for output in map_outputs for pair in output]  # type: ignore[union-attr]
+        flat: list[Pair] = [pair for output in map_outputs for pair in output]
         identity = MapReduceSpec(
             name=spec.name + "+speculation",
             mapper=lambda k, v: [(k, v)],

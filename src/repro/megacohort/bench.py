@@ -101,8 +101,10 @@ def run_megacohort_bench(
         if isinstance(value, float):
             point[key] = round(value, 6)
     # Identity and the memory bound always gate; the speedup gate needs
-    # parallel hardware (the bench-mp convention).
-    faster = bool(cores < 2
+    # parallel hardware (the bench-mp convention).  ``gate_applied``
+    # records whether the speedup gate actually ran.
+    point["gate_applied"] = cores >= 2
+    faster = bool(not point["gate_applied"]
                   or point["mp_rows_per_s"] >= point["threaded_rows_per_s"])
     point["ok"] = bool(identity and tables_identical and rss_bounded
                        and faster)

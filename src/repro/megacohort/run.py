@@ -116,6 +116,8 @@ def run_streamed(
     mode: str = "threaded",
     workers: int | None = None,
     executor: WorkStealingExecutor | None = None,
+    speculate: bool = False,
+    spec_k: float = 2.0,
 ) -> MegacohortResult:
     """Regenerate the survey analysis for ``n`` students, streamed.
 
@@ -125,6 +127,12 @@ def run_streamed(
     ``mode`` and closed afterwards.  The merged statistics are a pure
     function of ``(n, shards, seed)``: completion order, worker count
     and executor mode cannot change a bit of the result.
+
+    ``speculate`` installs a straggler policy
+    (:class:`~repro.sched.spec.SpecPolicy` with ``k=spec_k``) on the
+    owned executor: a shard stuck on a slow worker gets a backup copy,
+    first completion wins, and — because every shard is a pure function
+    of its own seed — the merged tables are byte-identical either way.
     """
     targets, model, calibration = _calibration(seed)
     plan = plan_shards(n, shards)
@@ -139,6 +147,10 @@ def run_streamed(
         executor = WorkStealingExecutor(
             n_workers=workers, seed=seed, deterministic=False, mode=mode,
         )
+        if speculate:
+            from repro.sched.spec import SpecPolicy
+
+            executor.speculate(SpecPolicy(k=spec_k))
     try:
         handles = executor.submit_batch(tasks, name="megacohort.shard")
         executor.drain()

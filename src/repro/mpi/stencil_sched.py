@@ -1,0 +1,209 @@
+"""The ``stencil_sched`` workload: MPI rank programs as executor tasks.
+
+:func:`repro.mpi.stencil.heat_mpi` runs the 1-D heat stencil on its own
+simulated communicator with one thread per rank — the last per-runtime
+pool in the repo.  :func:`heat_sched` runs the *same* block decomposition
+through the shared :class:`~repro.sched.executor.WorkStealingExecutor`
+as a bulk-synchronous program: each time step, one task per non-empty
+rank applies :func:`repro.kernels.heat_block_step` to its block, reading
+its neighbours' previous-step edge cells as ghosts (the halo exchange,
+by shared memory instead of ``sendrecv``), and the drain between steps
+is the barrier.  The arithmetic — block bounds, ghost values, update
+order inside a block — mirrors ``heat_mpi`` exactly, so the result
+matches :func:`~repro.mpi.stencil.heat_sequential` float for float.
+
+Tasks are submitted as picklable :class:`~repro.sched.core.Call` objects
+(module-level :func:`rank_step`, plain-data arguments), so the workload
+also runs under ``mode="mp"``.  Each rank-step task fires the
+:data:`FAULT_SITE` injection point (sub-keyed per (step, rank)); the
+chaos scenario crashes one rank mid-sweep and injects a transient on
+another, and the executor's retry re-runs just those rank programs —
+the merged rod must come out byte-identical to the fault-free reference.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro import kernels
+from repro import workloads as registry
+from repro.faults import hooks as faults
+from repro.faults.plan import FaultKind, FaultPlan, FaultRule
+from repro.mpi.stencil import heat_sequential
+
+__all__ = ["FAULT_SITE", "heat_sched", "rank_step"]
+
+#: Injection site fired once per (step, rank) task body.
+FAULT_SITE = "stencil_sched.rank"
+
+
+def rank_step(
+    block: list[float],
+    ghost_left: float | None,
+    ghost_right: float | None,
+    alpha: float,
+    start: int,
+    n: int,
+    step: int,
+    rank: int,
+) -> list[float]:
+    """One rank's program for one time step (module-level: picklable)."""
+    faults.fire(FAULT_SITE, key=f"s{step}r{rank}", step=step, rank=rank)
+    return kernels.heat_block_step(block, ghost_left, ghost_right,
+                                   alpha, start, n)
+
+
+def heat_sched(
+    u0: Sequence[float],
+    alpha: float = 0.25,
+    steps: int = 100,
+    n_ranks: int = 4,
+    executor=None,
+) -> list[float]:
+    """Heat diffusion with the rank programs dispatched as tasks.
+
+    ``executor`` is any :class:`WorkStealingExecutor`; by default a
+    fresh deterministic stepping executor sized one worker per rank.
+    One :meth:`~repro.sched.executor.WorkStealingExecutor.map` call per
+    time step is the bulk-synchronous barrier: every rank's step ``t``
+    completes before any rank reads ghosts for ``t + 1``.
+    """
+    from repro.sched.core import Call
+    from repro.sched.executor import WorkStealingExecutor
+
+    if len(u0) < 3:
+        raise ValueError("need at least 3 cells")
+    if not 0.0 < alpha <= 0.5:
+        raise ValueError(f"alpha must be in (0, 0.5] for stability, got {alpha}")
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+
+    data = list(map(float, u0))
+    n = len(data)
+    base, remainder = divmod(n, n_ranks)
+    lengths = [base + (1 if r < remainder else 0) for r in range(n_ranks)]
+    starts = [sum(lengths[:r]) for r in range(n_ranks)]
+    blocks = [data[starts[r] : starts[r] + lengths[r]] for r in range(n_ranks)]
+    live = [r for r in range(n_ranks) if lengths[r] > 0]
+
+    # Nearest non-empty neighbour per rank (ranks > cells leaves empties).
+    def nearest(ranks) -> int | None:
+        for r in ranks:
+            if lengths[r] > 0:
+                return r
+        return None
+
+    left = {r: nearest(range(r - 1, -1, -1)) for r in live}
+    right = {r: nearest(range(r + 1, n_ranks)) for r in live}
+
+    owns_executor = executor is None
+    if owns_executor:
+        executor = WorkStealingExecutor(n_workers=n_ranks, seed=0)
+    try:
+        for step in range(steps):
+            calls = []
+            for r in live:
+                gl = blocks[left[r]][-1] if left[r] is not None else None
+                gr = blocks[right[r]][0] if right[r] is not None else None
+                calls.append(Call(rank_step, blocks[r], gl, gr, alpha,
+                                  starts[r], n, step, r))
+            updated = executor.map(calls, name=f"stencil.s{step}")
+            for r, block in zip(live, updated):
+                blocks[r] = block
+    finally:
+        if owns_executor:
+            executor.close()
+    return [cell for block in blocks for cell in block]
+
+
+# -- registry runners ---------------------------------------------------------
+
+#: Problem size for the trace/sched/chaos demonstrations: enough cells
+#: and steps for every rank to matter, small enough for CI.
+_CELLS = 33
+_STEPS = 12
+
+
+def _rod(seed: int) -> list[float]:
+    """A deterministic initial rod: hot left edge, seeded interior bumps."""
+    import random
+
+    rng = random.Random(f"stencil_sched:{seed}")
+    rod = [round(rng.uniform(0.0, 10.0), 6) for _ in range(_CELLS)]
+    rod[0], rod[-1] = 100.0, 50.0
+    return rod
+
+
+def _wl_stencil_sched(executor, workers: int, seed: int) -> tuple[str, list[str]]:
+    """The stencil sweep through the caller's deterministic executor."""
+    rod = _rod(seed)
+    result = heat_sched(rod, alpha=0.25, steps=_STEPS, n_ranks=workers,
+                        executor=executor)
+    expected = heat_sequential(rod, alpha=0.25, steps=_STEPS)
+    lines = [
+        f"cells={len(rod)} steps={_STEPS} ranks={workers}",
+        f"matches_sequential={result == expected}",
+        f"u_mid={result[len(result) // 2]:.6f}",
+        f"sum={sum(result):.6f}",
+    ]
+    summary = (
+        f"stencil fan-out: {workers} rank programs x {_STEPS} steps "
+        f"as scheduler tasks (drain = barrier)"
+    )
+    return summary, lines
+
+
+def _tr_stencil_sched(threads: int) -> str:
+    result = heat_sched(_rod(7), alpha=0.25, steps=_STEPS,
+                        n_ranks=max(1, threads))
+    return (
+        f"stencil_sched: {_CELLS} cells x {_STEPS} steps over "
+        f"{max(1, threads)} ranks, u_mid={result[len(result) // 2]:.6f}"
+    )
+
+
+def _stencil_sched_plan(seed: int) -> FaultPlan:
+    return FaultPlan(name="stencil_sched", seed=seed, rules=(
+        # Rank 1 crashes mid-sweep; the executor re-queues the task and
+        # the rank program re-runs against the same step-t ghosts.
+        FaultRule(FAULT_SITE, FaultKind.CRASH, at=(0,),
+                  where={"step": 2, "rank": 1}, note="rank 1 crash at step 2"),
+        # A transient on another rank later in the sweep.
+        FaultRule(FAULT_SITE, FaultKind.EXCEPTION, at=(0,),
+                  where={"step": 7, "rank": 2}, note="rank 2 transient at step 7"),
+    ))
+
+
+def _run_stencil_sched(injector, seed: int, threads: int) -> tuple[int, list[str], bool]:
+    from repro.sched.executor import WorkStealingExecutor
+
+    ranks = max(1, threads)
+    rod = _rod(seed)
+    expected = heat_sequential(rod, alpha=0.25, steps=_STEPS)
+    executor = WorkStealingExecutor(n_workers=ranks, seed=seed)
+    try:
+        result = heat_sched(rod, alpha=0.25, steps=_STEPS, n_ranks=ranks,
+                            executor=executor)
+        recovered = executor.stats().retries
+    finally:
+        executor.close()
+    identical = result == expected
+    detail = [
+        f"{ranks} ranks x {_STEPS} steps, 1 crash + 1 transient injected: "
+        f"{recovered} executor retry(ies) re-ran the lost rank programs",
+        f"final rod byte-identical to sequential reference: {identical}",
+    ]
+    ok = identical and recovered >= 2
+    return recovered, detail, ok
+
+
+registry.register(
+    "stencil_sched",
+    description="MPI heat-stencil rank programs as scheduler tasks",
+    trace=_tr_stencil_sched,
+    sched=_wl_stencil_sched,
+    chaos=_run_stencil_sched,
+    chaos_plan=_stencil_sched_plan,
+)

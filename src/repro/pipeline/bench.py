@@ -125,6 +125,7 @@ def run_pipeline_bench(
     for key, value in list(point.items()):
         if isinstance(value, float):
             point[key] = round(value, 6)
+    point["gate_applied"] = True       # durability gates run on any core count
     point["ok"] = bool(
         point["enqueue_created"] == point["enqueue_jobs"]
         and point["drain_jobs"] == point["enqueue_jobs"]

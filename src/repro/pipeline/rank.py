@@ -96,6 +96,8 @@ class StoreScheduler:
         max_attempts: int = 3,
         wait_s: float = 0.05,
         max_wait_rounds: int = 1200,
+        speculate: bool = False,
+        spec_k: float = 2.0,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -109,6 +111,8 @@ class StoreScheduler:
         self.max_attempts = max_attempts
         self.wait_s = wait_s
         self.max_wait_rounds = max_wait_rounds
+        self.speculate = speculate
+        self.spec_k = spec_k
 
     def drain(
         self,
@@ -137,7 +141,20 @@ class StoreScheduler:
         reclaimed after one short TTL, while a *live* worker's jobs keep
         their lease for as long as the handler actually runs — no other
         worker can reclaim mid-flight work and run it twice.
+
+        With ``speculate=True`` a straggler policy
+        (:class:`~repro.sched.spec.SpecPolicy` with ``k=spec_k``) is
+        installed on ``executor`` before the first batch: a job stuck
+        behind a slow worker gets a backup copy and the first completion
+        wins.  Handlers must be pure/idempotent (the same contract
+        resumable stages already demand) — exactly one result per job is
+        committed to the store either way.
         """
+        if self.speculate and hasattr(executor, "speculate"):
+            from repro.sched.spec import SpecPolicy
+
+            if getattr(executor, "spec_engine", None) is None:
+                executor.speculate(SpecPolicy(k=self.spec_k))
         stats = {"rounds": 0, "leased": 0, "completed": 0, "failed": 0,
                  "retried": 0, "reclaimed": 0, "waits": 0, "renewed": 0}
         stats["reclaimed"] += len(self.store.release_owner(self.owner))

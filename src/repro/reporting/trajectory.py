@@ -4,7 +4,10 @@ Every benchmark suite writes one ``BENCH_<suite>.json`` point at the
 repo root; this module reads whichever of them exist and renders one
 table — suite, when it ran, whether its gate passed, and a curated
 headline metric per suite — so the performance story of the whole repo
-fits on one screen without opening four JSON files.
+fits on one screen without opening six JSON files.  A point whose
+perf gate never ran (``gate_applied`` false — e.g. a single-core box
+skips a speedup comparison) renders its status as ``—``, not ``ok``:
+an unearned pass is the one thing a trajectory must never show.
 
 Suites are described declaratively in :data:`SUITES`: the filename and
 the (key, label, format) of the headline metrics to surface.  A missing
@@ -44,6 +47,16 @@ SUITES: tuple[SuiteSpec, ...] = (
         ("stencil_speedup", "stencil", "%.2fx"),
         ("lcs_speedup", "lcs", "%.2fx"),
         ("cores", "cores", "%d"),
+    )),
+    SuiteSpec("spec", "BENCH_spec.json", (
+        ("base_p99_s", "p99-plain", "%.3fs"),
+        ("spec_p99_s", "p99-spec", "%.3fs"),
+        ("backups_won", "won", "%d"),
+    )),
+    SuiteSpec("pipeline", "BENCH_pipeline.json", (
+        ("enqueue_jobs_per_s", "enqueue", "%.0f/s"),
+        ("drain_jobs_per_s", "drain", "%.0f/s"),
+        ("resume_speedup", "resume", "%.1fx"),
     )),
     SuiteSpec("serve", "BENCH_serve.json", (
         ("cold_jobs_per_s", "cold", "%.0f/s"),
@@ -95,7 +108,17 @@ def render_trajectory(root: str = ".") -> str:
                          f"run `python -m repro bench {suite.name}`"))
             continue
         ok = point.get("ok")
-        status = "ok" if ok else ("FAILED" if ok is not None else "?")
+        if ok is None:
+            status = "?"
+        elif not ok:
+            status = "FAILED"
+        elif point.get("gate_applied") is False:
+            # The point passed, but its perf gate never ran (e.g. a
+            # single-core box skips the speedup comparison) — render
+            # the skip honestly instead of an unearned "ok".
+            status = "—"
+        else:
+            status = "ok"
         when = str(point.get("timestamp", "-"))
         headline = "  ".join(
             f"{label}={_metric_cell(point, key, fmt)}"

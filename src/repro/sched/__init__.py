@@ -20,6 +20,11 @@ Layers:
   processes and ``PYTHONHASHSEED`` values) or threaded mode (wall-clock
   concurrency), with retry of injected faults and an optional
   :class:`~repro.faults.policies.CircuitBreaker` on dispatch;
+- :mod:`repro.sched.spec` — :class:`SpecPolicy` / :class:`SpecEngine`:
+  scheduler-level speculative execution — idle workers launch backup
+  copies of straggling tasks (age > k x median sibling runtime on the
+  injectable clock), first completion wins, results and the stepping
+  event log byte-identical to a non-speculative run;
 - :mod:`repro.sched.cache` — :class:`ResultCache`: content-addressed
   memoisation (``fingerprint(workload, spec, seed)`` → stored result),
   in-memory plus an optional on-disk tier for cross-process warm runs;
@@ -57,8 +62,13 @@ from repro.sched.executor import (
     WorkStealingExecutor,
 )
 from repro.sched.queue import JobQueue
+from repro.sched.spec import SpecEngine, SpecPolicy, is_backup, obsolete_event
 
 __all__ = [
+    "SpecEngine",
+    "SpecPolicy",
+    "is_backup",
+    "obsolete_event",
     "BackpressureError",
     "Call",
     "CancelledError",

@@ -64,6 +64,7 @@ class Task:
     state: TaskState = TaskState.PENDING
     taken: bool = False          # claimed by a worker / inline helper / cancel
     attempts: int = 0
+    backup_of: int | None = None # speculative copy of this primary task_id
 
 
 class Call:

@@ -69,6 +69,7 @@ from repro.sched.core import (
     WorkerDeque,
 )
 from repro.sched.queue import JobQueue
+from repro.sched.spec import SpecEngine, SpecPolicy, _clear_context, _set_context
 from repro.telemetry import instrument as telemetry
 
 __all__ = ["SchedStats", "WorkStealingExecutor", "STEAL_PROBE_BUCKETS"]
@@ -102,6 +103,9 @@ class SchedStats:
     steals: int = 0
     mp_shipped: int = 0   # Call bodies executed in a pool child
     mp_inline: int = 0    # closures a mode="mp" executor ran in-parent
+    backups_launched: int = 0    # speculative copies of stragglers
+    backups_won: int = 0         # backups that committed first
+    backup_time_saved_s: float = 0.0   # commit-to-loser-completion, summed
     steps: int = 0
     high_water: int = 0
 
@@ -129,6 +133,9 @@ class SchedStats:
             "queue_takes": self.queue_takes,
             "steals": self.steals,
             "steal_rate": round(self.steal_rate, 6),
+            "backups_launched": self.backups_launched,
+            "backups_won": self.backups_won,
+            "backup_time_saved_s": round(self.backup_time_saved_s, 6),
             "steps": self.steps,
             "high_water": self.high_water,
         }
@@ -146,6 +153,7 @@ class WorkStealingExecutor:
         max_pending: int | None = None,
         breaker: CircuitBreaker | None = None,
         mode: str = "threaded",
+        spec: SpecPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
@@ -156,6 +164,9 @@ class WorkStealingExecutor:
         self.deterministic = deterministic
         self.max_attempts = max_attempts
         self.breaker = breaker
+        self.spec_engine: SpecEngine | None = (
+            SpecEngine(spec) if spec is not None else None
+        )
         self.mode = resolve_sched_mode(mode)
         self._pool = None            # created lazily at first drain
         self.queue = JobQueue(max_pending=max_pending)
@@ -308,6 +319,62 @@ class WorkStealingExecutor:
         telemetry.inc("sched.tasks.cancelled")
         return True
 
+    # -- speculation ---------------------------------------------------------
+
+    def speculate(self, policy, clock=None, listener=None) -> None:
+        """Install (``SpecPolicy``) or remove (``None``) straggler
+        speculation.  ``clock`` is the injectable clock ages are measured
+        on; ``listener(event, primary_task)`` observes backup launches
+        and wins (how :mod:`repro.mapreduce.stragglers` keeps its
+        ``mr.backup.*`` telemetry names).
+
+        Speculation never changes results — first-completion-wins
+        resolves the primary's handle with whichever copy commits first
+        — and never changes the stepping event log: the stepping loop
+        runs every acquired task to completion within its round, so no
+        task is in flight when a worker goes idle and the primary is
+        always the canonical winner (zero backups launch).
+        """
+        with self._lock:
+            self.spec_engine = (
+                SpecEngine(policy, clock=clock, listener=listener)
+                if policy is not None else None
+            )
+
+    def _maybe_backup(self, worker: int) -> bool:
+        """An idle worker probes for a straggling primary and, if one is
+        overdue, launches a backup copy onto its own deque.  Threaded and
+        serve modes only — the stepping loop never idles with work in
+        flight, which is the canonical-winner rule."""
+        engine = self.spec_engine
+        if engine is None or self.deterministic:
+            return False
+        with self._lock:
+            now = engine.now()
+            primary = engine.pick_straggler(now)
+            if primary is None:
+                return False
+            clone = Task(
+                task_id=self._next_task_id, fn=primary.fn,
+                name=f"{primary.name}~backup", priority=primary.priority,
+                backup_of=primary.task_id,
+            )
+            self._next_task_id += 1
+            engine.backup_launched(primary, clone)
+            self._deques[worker].push(clone)
+            self._pending += 1
+            self._high_water = max(self._high_water, self._pending)
+            self.events.append(SchedEvent(
+                self._event_step(worker), worker, "backup", clone.task_id,
+                f"of=t{primary.task_id}",
+            ))
+        telemetry.instant("sched.spec.backup", task=primary.task_id,
+                          backup=clone.task_id, worker=worker)
+        telemetry.inc("sched.spec.backups_launched")
+        if engine.listener is not None:
+            engine.listener("launched", primary)
+        return True
+
     # -- acquisition ---------------------------------------------------------
 
     def _deal_locked(self) -> None:
@@ -393,11 +460,16 @@ class WorkStealingExecutor:
             telemetry.instant("sched.steal", thief=worker, task=task.task_id,
                               victim=detail)
             telemetry.inc("sched.steals")
+        engine = self.spec_engine
+        is_backup = task.backup_of is not None
+        family = None
         with self._lock:
             self._pending -= 1
             attempt = task.attempts
             task.attempts += 1
             task.state = TaskState.RUNNING
+            if engine is not None:
+                family = engine.task_started(task, engine.now())
         if self.breaker is not None and not self.breaker.allow():
             with self._lock:
                 self._counts["rejected"] += 1
@@ -405,12 +477,20 @@ class WorkStealingExecutor:
             telemetry.instant("sched.task.rejected", task=task.task_id,
                               worker=worker)
             telemetry.inc("sched.tasks.rejected")
-            self._finish(task, worker, error=CircuitOpenError(
+            if is_backup:
+                # A rejected backup is dropped, never the primary's fate:
+                # the primary stays the only live copy of the family.
+                with self._lock:
+                    engine.on_complete(task, engine.now(), failed=True)
+                return
+            self._complete(task, worker, attempt, error=CircuitOpenError(
                 f"task {task.task_id} ({task.name}) rejected: breaker open"
             ))
             return
         previous_worker = getattr(self._local, "worker", None)
         self._local.worker = worker
+        if engine is not None:
+            _set_context(family, is_backup)
         try:
             faults.fire("sched.task", key=f"t{task.task_id}",
                         task=task.task_id, worker=worker, attempt=attempt)
@@ -421,35 +501,132 @@ class WorkStealingExecutor:
         except (InjectedCrash, TransientFault) as exc:
             if self.breaker is not None:
                 self.breaker.record_failure()
-            if attempt + 1 < self.max_attempts:
+            if not is_backup and attempt + 1 < self.max_attempts:
                 with self._lock:
                     task.taken = False
                     task.state = TaskState.PENDING
                     self._deques[worker].push(task)
                     self._pending += 1
                     self._counts["retries"] += 1
+                    if engine is not None:
+                        engine.task_retried(task)
                 self._record(worker, "retry", task.task_id, f"a{attempt}")
                 telemetry.instant("sched.task.retry", task=task.task_id,
                                   attempt=attempt)
                 telemetry.inc("sched.retries")
             else:
-                self._record(worker, "fail", task.task_id, f"a{attempt}")
-                self._finish(task, worker, error=SchedError(
+                self._complete(task, worker, attempt, error=SchedError(
                     f"task {task.task_id} ({task.name}) failed after "
-                    f"{self.max_attempts} attempt(s)"
+                    f"{attempt + 1} attempt(s)"
                 ), cause=exc)
         except BaseException as exc:  # noqa: BLE001 - stored on the handle
             if self.breaker is not None:
                 self.breaker.record_failure()
-            self._record(worker, "fail", task.task_id, f"a{attempt}")
-            self._finish(task, worker, error=exc)
+            self._complete(task, worker, attempt, error=exc)
         else:
             if self.breaker is not None:
                 self.breaker.record_success()
-            self._record(worker, "done", task.task_id, f"a{attempt}")
-            self._finish(task, worker, value=value)
+            self._complete(task, worker, attempt, value=value)
         finally:
             self._local.worker = previous_worker
+            if engine is not None:
+                _clear_context()
+
+    def _complete(
+        self,
+        task: Task,
+        worker: int,
+        attempt: int,
+        value: Any = None,
+        error: BaseException | None = None,
+        cause: BaseException | None = None,
+    ) -> None:
+        """Resolve one finished copy of a task.
+
+        Without speculation this is the classic done/fail path.  With a
+        :class:`SpecEngine` installed it applies first-completion-wins:
+        the first copy of a family to complete commits the primary's
+        handle; the loser is recorded (``lose``) and only counted, and a
+        backup still pending when its primary wins is cancelled in the
+        same locked section so it can never start afterwards.
+        """
+        engine = self.spec_engine
+        is_backup = task.backup_of is not None
+        if error is not None and cause is not None:
+            error.__cause__ = cause
+        if engine is None:
+            if error is not None:
+                self._record(worker, "fail", task.task_id, f"a{attempt}")
+                self._finish(task, worker, error=error)
+            else:
+                self._record(worker, "done", task.task_id, f"a{attempt}")
+                self._finish(task, worker, value=value)
+            return
+        suffix = f"|of=t{task.backup_of}" if is_backup else ""
+        cancelled_backup: Task | None = None
+        with self._lock:
+            outcome, family = engine.on_complete(
+                task, engine.now(), failed=error is not None
+            )
+            if outcome == "defer":
+                family.primary_error = error
+            if outcome == "commit" and not is_backup:
+                b = family.backup
+                if (b is not None and not b.taken
+                        and b.state is TaskState.PENDING):
+                    b.taken = True
+                    b.state = TaskState.CANCELLED
+                    self._pending -= 1
+                    engine.backup_cancelled(family)
+                    cancelled_backup = b
+            if outcome == "commit" and is_backup:
+                # A primary re-queued by an injected fault may still be
+                # pending when its backup commits; cancel it so a later
+                # drain never re-runs a superseded copy.
+                p = family.primary
+                if not p.taken and p.state is TaskState.PENDING:
+                    p.taken = True
+                    self._pending -= 1
+                    engine.loser_cancelled(family)
+                    cancelled_backup = p
+        if outcome == "lose":
+            self._record(worker, "lose", task.task_id,
+                         f"a{attempt}|winner={family.winner}{suffix}")
+            telemetry.instant("sched.spec.lose", task=task.task_id,
+                              winner=family.winner)
+            telemetry.inc("sched.spec.losses")
+            return
+        if outcome == "defer":
+            # The primary failed but its backup is still in flight and
+            # may yet produce the value; hold the handle open.
+            self._record(worker, "fail", task.task_id,
+                         f"a{attempt}|deferred")
+            return
+        if outcome == "backup-failed":
+            self._record(worker, "fail", task.task_id, f"a{attempt}{suffix}")
+            return
+        if outcome == "commit-error":
+            # Both copies failed; the primary's stored error is final.
+            self._record(worker, "fail", task.task_id, f"a{attempt}{suffix}")
+            self._finish(family.primary, worker, error=family.primary_error)
+            return
+        # "plain" or "commit": this copy is the family's result.
+        if error is not None:
+            self._record(worker, "fail", task.task_id, f"a{attempt}{suffix}")
+            self._finish(family.primary, worker, error=error)
+            return
+        self._record(worker, "done", task.task_id, f"a{attempt}{suffix}")
+        self._finish(family.primary, worker, value=value)
+        if cancelled_backup is not None:
+            self._record(worker, "backup-cancel", cancelled_backup.task_id,
+                         f"of=t{task.task_id}")
+            telemetry.inc("sched.spec.backups_cancelled")
+        if is_backup:
+            telemetry.instant("sched.spec.win", task=task.backup_of,
+                              backup=task.task_id, worker=worker)
+            telemetry.inc("sched.spec.backups_won")
+            if engine.listener is not None:
+                engine.listener("won", family.primary)
 
     def _execute_body(self, task: Task, worker: int) -> Any:
         """Run the task body where ``mode`` dictates.
@@ -593,6 +770,8 @@ class WorkStealingExecutor:
                         return
                     acquired = self._acquire_locked(worker)
                 if acquired is None:
+                    if self._maybe_backup(worker):
+                        continue
                     time.sleep(0.0002)
                     continue
                 self._run(acquired[0], worker, acquired[1], acquired[2])
@@ -649,6 +828,8 @@ class WorkStealingExecutor:
             if acquired is None:
                 if self._stop_serving.is_set():
                     return
+                if self._maybe_backup(worker):
+                    continue
                 time.sleep(0.001)
                 continue
             self._run(acquired[0], worker, acquired[1], acquired[2])
@@ -749,6 +930,7 @@ class WorkStealingExecutor:
 
     def stats(self) -> SchedStats:
         with self._lock:
+            engine = self.spec_engine
             return SchedStats(
                 n_workers=self.n_workers,
                 seed=self.seed,
@@ -756,5 +938,8 @@ class WorkStealingExecutor:
                 mode=self.mode,
                 steps=self._step,
                 high_water=self._high_water,
+                backups_launched=engine.backups_launched if engine else 0,
+                backups_won=engine.backups_won if engine else 0,
+                backup_time_saved_s=engine.time_saved_s if engine else 0.0,
                 **self._counts,
             )

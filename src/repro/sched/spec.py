@@ -1,0 +1,331 @@
+"""Scheduler-level speculative execution (backup tasks for stragglers).
+
+The MapReduce paper's answer to stragglers — §3.6's *backup tasks* — is
+taught by ``repro.mapreduce.stragglers`` as a course module.  This module
+moves the idiom into the dispatch substrate itself so every workload the
+:class:`~repro.sched.executor.WorkStealingExecutor` runs (pipeline
+drains, megacohort shards, served jobs) gets tail-latency protection
+from the same policy:
+
+- :class:`SpecPolicy` — *when* a running task counts as a straggler:
+  its age on the injectable clock exceeds ``max(min_age_s, k * median)``
+  of the runtimes of completed sibling tasks (a quantile threshold with
+  a minimum-age floor, so cold starts never speculate on noise);
+- :class:`SpecEngine` — the bookkeeping: per-family (primary + at most
+  one backup copy) start stamps, first-completion-wins commit, loser
+  accounting, and the sorted runtime samples the threshold reads.
+
+**Invariant (see DESIGN.md): speculation may change latency, never
+results or the stepping log.**  First-completion-wins resolves the
+primary's handle with whichever copy finishes first — both copies
+compute the same pure function, so results are byte-identical to a
+non-speculative run.  In stepping mode the canonical winner rule is
+structural: the stepping loop runs every acquired task to completion
+within its round, so no task is ever *in flight* when an idle worker
+could probe for stragglers — zero backups launch, the primary is always
+the canonical winner, and the event log stays a pure function of
+(workload, workers, seed).
+
+Cooperative cancellation: a deliberately stalling task body (the fault
+plans ``repro.faults`` injects, the slow maps the stragglers module
+teaches) can observe :func:`obsolete_event` — an event the engine sets
+the moment the other copy commits — and stop waiting early.  This is
+the in-process analogue of the kill RPC real schedulers send; bodies
+that ignore it are still correct, merely slower to release their worker.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.faults.clock import SYSTEM_CLOCK, Clock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sched.core import Task
+
+__all__ = [
+    "SpecPolicy",
+    "SpecEngine",
+    "SpecFamily",
+    "is_backup",
+    "obsolete_event",
+]
+
+# Thread-local speculation context: set by the executor around a task
+# body, read by cooperative bodies (and the stragglers module).
+_context = threading.local()
+
+
+def is_backup() -> bool:
+    """True inside a task body running as a speculative backup copy."""
+    return bool(getattr(_context, "backup", False))
+
+
+def obsolete_event() -> Optional[threading.Event]:
+    """The current task family's obsolete event, or None.
+
+    Set the instant the *other* copy of this task commits: a stalling
+    body that waits on it (through the injectable clock) releases its
+    worker as soon as its result can no longer matter.
+    """
+    family = getattr(_context, "family", None)
+    return family.obsolete if family is not None else None
+
+
+def _set_context(family: "SpecFamily | None", backup: bool) -> None:
+    _context.family = family
+    _context.backup = backup
+
+
+def _clear_context() -> None:
+    _context.family = None
+    _context.backup = False
+
+
+@dataclass(frozen=True)
+class SpecPolicy:
+    """When does a running task count as a straggler?
+
+    A task is eligible for a backup copy once its age exceeds
+    ``max(min_age_s, k * median_completed_runtime)``; until
+    ``min_completed`` siblings have completed there is no median worth
+    trusting, so the threshold falls back to ``min_age_s`` alone when
+    ``min_completed == 0`` and speculation stays off otherwise.
+    """
+
+    k: float = 2.0               # straggler = age > k x median sibling runtime
+    min_age_s: float = 0.05      # absolute floor: never speculate younger
+    min_completed: int = 3       # samples required before the median is live
+    max_backups: int | None = None   # lifetime cap on launched backups
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ValueError(f"k must be > 0, got {self.k}")
+        if self.min_age_s < 0:
+            raise ValueError(f"min_age_s must be >= 0, got {self.min_age_s}")
+        if self.min_completed < 0:
+            raise ValueError(
+                f"min_completed must be >= 0, got {self.min_completed}"
+            )
+        if self.max_backups is not None and self.max_backups < 1:
+            raise ValueError(     # "no backups at all" is spelled spec=None
+                f"max_backups must be >= 1, got {self.max_backups}"
+            )
+
+
+class SpecFamily:
+    """One task's copies: the primary, at most one backup, one commit."""
+
+    __slots__ = (
+        "primary", "backup", "primary_start", "backup_start",
+        "committed", "winner", "obsolete", "commit_s",
+        "primary_error", "backup_failed", "open_copies",
+    )
+
+    def __init__(self, primary: "Task") -> None:
+        self.primary = primary
+        self.backup: "Task | None" = None
+        self.primary_start = 0.0
+        self.backup_start = 0.0
+        self.committed = False
+        self.winner: str | None = None        # "primary" | "backup"
+        self.obsolete = threading.Event()     # set when either copy commits
+        self.commit_s = 0.0
+        self.primary_error: BaseException | None = None
+        self.backup_failed = False
+        self.open_copies = 1                  # unresolved copies (primary)
+
+
+class SpecEngine:
+    """Straggler detection + first-completion-wins bookkeeping.
+
+    Owned by the executor; every method except :meth:`now` is called
+    with the executor lock held, so plain attributes suffice.  Clock
+    reads go through the injectable :class:`~repro.faults.clock.Clock`
+    — the fake/scaled clocks the tests and benchmarks use — never
+    ``time.monotonic`` directly.
+    """
+
+    def __init__(
+        self,
+        policy: SpecPolicy,
+        clock: Clock | None = None,
+        listener: Callable[[str, "Task"], None] | None = None,
+    ) -> None:
+        self.policy = policy
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        #: Optional hook ``listener(event, primary_task)`` with event in
+        #: {"launched", "won"} — how the stragglers module keeps its
+        #: ``mr.backup.*`` telemetry names without reaching inside.
+        self.listener = listener
+        self._runtimes: list[float] = []      # sorted completed runtimes
+        self._running: dict[int, SpecFamily] = {}   # primary id -> family
+        self._families: dict[int, SpecFamily] = {}  # primary id -> family
+        self.backups_launched = 0
+        self.backups_won = 0
+        self.backups_lost = 0       # losing copies observed after a commit
+        self.backups_cancelled = 0  # pending backups cancelled by a win
+        self.time_saved_s = 0.0     # commit-to-loser-completion, summed
+
+    def now(self) -> float:
+        return self.clock.monotonic()
+
+    # -- threshold -----------------------------------------------------------
+
+    def threshold(self) -> float | None:
+        """Current straggler age threshold, or None (speculation off)."""
+        n = len(self._runtimes)
+        if n >= max(1, self.policy.min_completed):
+            median = self._runtimes[n // 2]
+            return max(self.policy.min_age_s, self.policy.k * median)
+        if self.policy.min_completed == 0:
+            return self.policy.min_age_s
+        return None
+
+    def _record_runtime(self, runtime: float) -> None:
+        bisect.insort(self._runtimes, max(0.0, runtime))
+
+    # -- lifecycle callbacks (executor lock held) ----------------------------
+
+    def family_of(self, task: "Task") -> SpecFamily | None:
+        primary_id = task.backup_of if task.backup_of is not None else task.task_id
+        return self._families.get(primary_id)
+
+    def task_started(self, task: "Task", now: float) -> SpecFamily:
+        if task.backup_of is not None:
+            family = self._families[task.backup_of]
+            family.backup_start = now
+            return family
+        family = self._families.get(task.task_id)
+        if family is None:
+            family = SpecFamily(task)
+            self._families[task.task_id] = family
+        family.primary_start = now
+        self._running[task.task_id] = family
+        return family
+
+    def task_retried(self, task: "Task") -> None:
+        """A primary was re-queued after an injected fault: it is no
+        longer running, so it cannot be picked as a straggler until its
+        next attempt re-stamps it."""
+        if task.backup_of is None:
+            self._running.pop(task.task_id, None)
+
+    def pick_straggler(self, now: float) -> "Task | None":
+        """The most overdue running primary with no backup yet, if any."""
+        limit = self.policy.max_backups
+        if limit is not None and self.backups_launched >= limit:
+            return None
+        threshold = self.threshold()
+        if threshold is None:
+            return None
+        best: "Task | None" = None
+        best_age = threshold
+        for family in self._running.values():
+            if family.backup is not None or family.committed:
+                continue
+            age = now - family.primary_start
+            if age > best_age or (
+                age == best_age and best is not None
+                and family.primary.task_id < best.task_id
+            ):
+                best = family.primary
+                best_age = age
+        return best
+
+    def backup_launched(self, primary: "Task", clone: "Task") -> SpecFamily:
+        family = self._families[primary.task_id]
+        family.backup = clone
+        family.open_copies += 1
+        self.backups_launched += 1
+        return family
+
+    def backup_cancelled(self, family: SpecFamily) -> None:
+        """A pending (never-started) backup was cancelled by a primary win."""
+        self.backups_cancelled += 1
+        self._resolve_copy(family)
+
+    def loser_cancelled(self, family: SpecFamily) -> None:
+        """A re-queued (pending) primary was cancelled by a backup win."""
+        self._resolve_copy(family)
+
+    def _resolve_copy(self, family: SpecFamily) -> None:
+        family.open_copies -= 1
+        if family.open_copies <= 0:
+            self._families.pop(family.primary.task_id, None)
+
+    def on_complete(
+        self, task: "Task", now: float, failed: bool
+    ) -> tuple[str, SpecFamily]:
+        """Classify one copy's completion.  Returns (outcome, family):
+
+        - ``"plain"``        — primary with no backup; behave as ever.
+        - ``"commit"``       — this copy wins; finish the primary handle.
+        - ``"commit-error"`` — both copies failed; finish with the
+          primary's stored error.
+        - ``"lose"``         — the other copy already committed; ignore.
+        - ``"defer"``        — primary failed while its backup is still
+          in flight; hold the error, the backup may yet win.
+        - ``"backup-failed"``— the backup failed first; the primary
+          remains the only live copy.
+        """
+        backup = task.backup_of is not None
+        family = self._families.get(
+            task.backup_of if backup else task.task_id
+        )
+        if family is None:  # pragma: no cover - engine installed mid-run
+            family = SpecFamily(task)
+            family.committed = False
+        if not backup:
+            self._running.pop(task.task_id, None)
+        if family.committed:
+            if backup:               # a losing *primary* is not a lost backup
+                self.backups_lost += 1
+            self.time_saved_s += max(0.0, now - family.commit_s)
+            self._resolve_copy(family)
+            return "lose", family
+        if failed:
+            if backup:
+                family.backup_failed = True
+                self._resolve_copy(family)
+                if family.primary_error is not None:
+                    # The primary already failed and deferred; its error
+                    # is now the family's final word.
+                    family.committed = True
+                    family.winner = "primary"
+                    family.commit_s = now
+                    family.obsolete.set()
+                    return "commit-error", family
+                return "backup-failed", family
+            if family.backup is not None and not family.backup_failed:
+                self._resolve_copy(family)
+                return "defer", family
+            self._resolve_copy(family)
+            return "plain", family
+        family.committed = True
+        family.winner = "backup" if backup else "primary"
+        family.commit_s = now
+        family.obsolete.set()
+        start = family.backup_start if backup else family.primary_start
+        self._record_runtime(now - start)
+        if backup:
+            self.backups_won += 1
+        self._resolve_copy(family)
+        if family.backup is None:
+            return "plain", family
+        return "commit", family
+
+    # -- reporting -----------------------------------------------------------
+
+    def counters(self) -> dict[str, Any]:
+        return {
+            "backups_launched": self.backups_launched,
+            "backups_won": self.backups_won,
+            "backups_lost": self.backups_lost,
+            "backups_cancelled": self.backups_cancelled,
+            "backup_time_saved_s": self.time_saved_s,
+            "samples": len(self._runtimes),
+        }

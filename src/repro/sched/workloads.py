@@ -126,6 +126,7 @@ class SchedReport:
         stat_order = [
             "submitted", "executed", "failed", "cancelled", "retries",
             "rejected", "local_pops", "queue_takes", "steals", "steal_rate",
+            "backups_launched", "backups_won", "backup_time_saved_s",
             "steps", "high_water",
         ]
         stats_line = " ".join(
@@ -152,6 +153,8 @@ def run_sched_workload(
     seed: int = 7,
     cache: ResultCache | None = None,
     mode: str = "threaded",
+    speculate: bool = False,
+    spec_k: float = 2.0,
 ) -> SchedReport:
     """Run one workload through a fresh deterministic executor.
 
@@ -166,6 +169,15 @@ def run_sched_workload(
     two.  The threaded cache key is unchanged from older releases;
     other modes append the mode name so a warm threaded cache cannot
     masquerade as an mp run (the stats payloads differ).
+
+    ``speculate`` installs a straggler policy
+    (:class:`~repro.sched.spec.SpecPolicy` with ``k=spec_k``) on the
+    executor.  Because the runner's executor is the deterministic
+    stepping mode, the canonical winner rule applies: no task is ever
+    in flight at an idle probe, zero backups launch, and the rendered
+    report stays byte-identical to a non-speculative run — the identity
+    CI diffs.  The flag exists precisely to demonstrate (and pin) that
+    invariant from the command line.
     """
     entry = registry.get(name)
     if entry.sched is None:
@@ -176,6 +188,10 @@ def run_sched_workload(
     def compute() -> dict:
         executor = WorkStealingExecutor(n_workers=workers, seed=seed,
                                         mode=mode)
+        if speculate:
+            from repro.sched.spec import SpecPolicy
+
+            executor.speculate(SpecPolicy(k=spec_k))
         try:
             summary, output_lines = fn(executor, workers, seed)
             return {

@@ -180,6 +180,7 @@ def run_serve_bench(
     # The warm phase races its first requests against each other: the
     # cache fills on the first completion, so up to one miss per seed
     # collision window is expected — gate at "almost all hits".
+    point["gate_applied"] = True       # throughput gate runs on any core count
     point["ok"] = bool(
         point["cold_done"] == point["cold_jobs"]
         and point["warm_done"] == point["warm_jobs"]

@@ -63,7 +63,12 @@ def _pearson_r(xs: Sequence[float], ys: Sequence[float]) -> float:
     syy = math.fsum((y - my) ** 2 for y in ys)
     if sxx == 0.0 or syy == 0.0:
         raise ValueError("correlation undefined for a constant sequence")
-    r = sxy / math.sqrt(sxx * syy)
+    denom = math.sqrt(sxx * syy)
+    if denom == 0.0:
+        # sxx * syy underflowed to zero for denormal-scale sums; the
+        # factored form cannot underflow when both inputs are nonzero.
+        denom = math.sqrt(sxx) * math.sqrt(syy)
+    r = sxy / denom
     # Guard against floating-point overshoot past +/-1.
     return max(-1.0, min(1.0, r))
 
@@ -100,7 +105,10 @@ def pearson_r_from_stats(
         raise ValueError("correlation requires at least 3 pairs")
     if sxx == 0.0 or syy == 0.0:
         raise ValueError("correlation undefined for a constant sequence")
-    r = sxy / math.sqrt(sxx * syy)
+    denom = math.sqrt(sxx * syy)
+    if denom == 0.0:
+        denom = math.sqrt(sxx) * math.sqrt(syy)
+    r = sxy / denom
     r = max(-1.0, min(1.0, r))
     if abs(r) == 1.0:
         p = 0.0

@@ -61,9 +61,13 @@ MODES: tuple[str, ...] = ("trace", "chaos", "sched", "pipeline")
 MODE_PARAMS: dict[str, tuple[str, ...]] = {
     "trace": ("threads",),
     "chaos": ("seed", "threads"),
-    "sched": ("workers", "seed", "mode"),
+    "sched": ("workers", "seed", "mode", "speculate"),
     "pipeline": ("workers", "seed"),
 }
+
+#: Integer parameters that accept 0 (``seed`` is a value, ``speculate``
+#: a 0/1 flag — every other integer parameter is a count >= 1).
+_ZERO_OK_PARAMS: frozenset[str] = frozenset({"seed", "speculate"})
 
 #: String-valued parameters and their allowed values.  ``mode`` here is
 #: the *executor* mode of a sched job (threaded workers vs a process
@@ -171,6 +175,7 @@ def _ensure_providers_loaded() -> None:
     # Outside the lock: the providers call register(), which takes it.
     import repro.faults.chaos       # noqa: F401  (registers chaos runners)
     import repro.megacohort.workloads  # noqa: F401  (registers megacohort modes)
+    import repro.mpi.stencil_sched  # noqa: F401  (registers stencil_sched modes)
     import repro.pipeline.workloads  # noqa: F401  (registers pipeline runners)
     import repro.sched.workloads    # noqa: F401  (registers sched runners)
     import repro.telemetry.workloads  # noqa: F401  (registers trace runners)
@@ -257,7 +262,7 @@ def validate_params(mode: str, params: Mapping[str, Any] | None) -> dict[str, An
         if isinstance(value, bool) or not isinstance(value, int):
             raise ValueError(f"parameter {key!r} must be an integer, "
                              f"got {value!r}")
-        if value < (0 if key == "seed" else 1):
+        if value < (0 if key in _ZERO_OK_PARAMS else 1):
             raise ValueError(f"parameter {key!r} out of range: {value}")
         out[key] = value
     return out
@@ -356,7 +361,8 @@ def run_job(
     report = run_sched_workload(workload.name,
                                 workers=clean.get("workers", 4),
                                 seed=clean.get("seed", 7),
-                                mode=clean.get("mode", "threaded"))
+                                mode=clean.get("mode", "threaded"),
+                                speculate=bool(clean.get("speculate", 0)))
     return {
         "mode": mode,
         "workload": workload.name,

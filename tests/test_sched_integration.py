@@ -87,7 +87,7 @@ def test_drugdesign_through_scheduler_matches_sequential():
 
 def test_workload_names_cover_all_runtimes():
     assert sched_workload_names() == [
-        "drugdesign", "mapreduce", "megacohort", "openmp"
+        "drugdesign", "mapreduce", "megacohort", "openmp", "stencil_sched"
     ]
 
 

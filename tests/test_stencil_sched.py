@@ -1,0 +1,71 @@
+"""The ``stencil_sched`` workload: MPI rank programs as executor tasks.
+
+The anchor: :func:`~repro.mpi.stencil_sched.heat_sched` must match
+:func:`~repro.mpi.stencil.heat_sequential` float for float at every
+rank count — including more ranks than cells — because the block
+decomposition and ghost arithmetic mirror ``heat_mpi`` exactly and the
+drain between steps is the BSP barrier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import workloads
+from repro.mpi.stencil import heat_sequential
+from repro.mpi.stencil_sched import heat_sched
+from repro.sched.executor import WorkStealingExecutor
+from repro.sched.workloads import run_sched_workload
+
+_ROD = [100.0] + [0.0] * 31 + [50.0]
+
+
+@pytest.mark.parametrize("ranks", [1, 2, 4, 7, 40])
+def test_heat_sched_matches_sequential(ranks):
+    expected = heat_sequential(_ROD, alpha=0.25, steps=10)
+    result = heat_sched(_ROD, alpha=0.25, steps=10, n_ranks=ranks)
+    assert result == expected          # float for float, empties included
+
+
+def test_heat_sched_validates_arguments():
+    with pytest.raises(ValueError, match="at least 3 cells"):
+        heat_sched([1.0, 2.0])
+    with pytest.raises(ValueError, match="alpha"):
+        heat_sched(_ROD, alpha=0.75)
+    with pytest.raises(ValueError, match="steps"):
+        heat_sched(_ROD, steps=-1)
+    with pytest.raises(ValueError, match="n_ranks"):
+        heat_sched(_ROD, n_ranks=0)
+
+
+def test_heat_sched_through_caller_executor_and_mp_safe_tasks():
+    executor = WorkStealingExecutor(n_workers=4, seed=3)
+    try:
+        result = heat_sched(_ROD, alpha=0.25, steps=6, n_ranks=4,
+                            executor=executor)
+        assert executor.stats().executed == 6 * 4
+    finally:
+        executor.close()
+    assert result == heat_sequential(_ROD, alpha=0.25, steps=6)
+
+
+def test_workload_report_is_deterministic_and_correct():
+    a = run_sched_workload("stencil_sched", workers=4, seed=7)
+    b = run_sched_workload("stencil_sched", workers=4, seed=7)
+    assert a.render() == b.render()
+    assert "matches_sequential=True" in a.output_lines
+
+
+def test_registered_for_trace_sched_and_chaos():
+    entry = workloads.get("stencil_sched")
+    assert entry.modes == ("trace", "chaos", "sched")
+
+
+def test_chaos_scenario_recovers_to_identical_rod():
+    payload = workloads.run_job("chaos", "stencil_sched",
+                                {"seed": 7, "threads": 4})
+    assert payload["ok"] is True
+    assert payload["recovered"] >= 2
+    again = workloads.run_job("chaos", "stencil_sched",
+                              {"seed": 7, "threads": 4})
+    assert payload == again            # same seed ⇒ same faults, same rod

@@ -41,7 +41,7 @@ def test_registry_unions_all_provider_tables():
     assert "barrier" not in workloads.names("chaos")
     assert "stencil" in workloads.names("chaos")
     assert set(workloads.names("sched")) == {
-        "mapreduce", "openmp", "drugdesign", "megacohort"
+        "mapreduce", "openmp", "drugdesign", "megacohort", "stencil_sched"
     }
     assert set(workloads.names("pipeline")) == {"drugdesign"}
     assert "pipeline" in workloads.names("chaos")     # the chaos scenario
@@ -158,7 +158,7 @@ def test_list_is_byte_identical_across_subcommands(capsys):
 
 def test_listing_names_every_workload_with_its_modes():
     listing = workloads.render_listing()
-    assert "13 registered" in listing
+    assert "14 registered" in listing
     assert "mapreduce" in listing
     assert "trace,chaos,sched" in listing
     assert "trace,chaos,sched,pipeline" in listing    # drugdesign, all modes
